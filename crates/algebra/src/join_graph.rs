@@ -1,0 +1,209 @@
+//! Equijoin graphs and join compatibility (paper §4.1).
+//!
+//! The equijoin graph has one node per table instance and an edge between
+//! two instances whenever some equivalence class contains a column of each.
+//! Two SPJ expressions over the same tables are *join compatible* iff the
+//! graph built from the **intersection** of their equivalence classes is
+//! connected.
+
+use crate::equiv::intersect_all;
+use crate::ids::{ColRef, RelId, RelSet};
+use std::collections::BTreeSet;
+
+/// Is the equijoin graph over `rels` induced by `classes` connected?
+/// A single rel is trivially connected; an empty rel set is not considered
+/// connected.
+pub fn is_connected(rels: RelSet, classes: &[BTreeSet<ColRef>]) -> bool {
+    let nodes: Vec<RelId> = rels.iter().collect();
+    match nodes.len() {
+        0 => return false,
+        1 => return true,
+        _ => {}
+    }
+    // Union-find over rel ids (small, so a simple vec suffices).
+    let mut parent: Vec<usize> = (0..nodes.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let index_of = |r: RelId| nodes.iter().position(|&n| n == r);
+    for class in classes {
+        // Each class connects all rels it touches (a clique).
+        let touched: Vec<usize> = class
+            .iter()
+            .filter_map(|c| index_of(c.rel))
+            .collect();
+        for w in touched.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    let root = find(&mut parent, 0);
+    (1..nodes.len()).all(|i| find(&mut parent, i) == root)
+}
+
+/// Join compatibility of a set of expressions given each expression's
+/// equivalence classes, all expressed over the *same* rel ids (consumers
+/// must be aligned onto common rel ids first — see `cse-core`).
+///
+/// Returns the intersected classes when compatible (they become the
+/// covering join predicate), or `None` when not.
+pub fn join_compatible(
+    rels: RelSet,
+    class_collections: &[Vec<BTreeSet<ColRef>>],
+) -> Option<Vec<BTreeSet<ColRef>>> {
+    let inter = intersect_all(class_collections);
+    if is_connected(rels, &inter) {
+        Some(inter)
+    } else {
+        None
+    }
+}
+
+/// Compositional join-compatibility derivation (paper §4.1, Example 3).
+///
+/// If subexpression pairs of `e1`/`e2` are already known join compatible,
+/// each pair contributes its (connected) equijoin subgraph; the union of
+/// those subgraphs is a *lower bound* on the full expressions' intersected
+/// equijoin graph. When the union already covers all tables and is
+/// connected, `e1` and `e2` are join compatible — without extracting their
+/// full trees or intersecting their equivalence classes.
+///
+/// `compatible_sub_rels` lists the rel sets of the known-compatible
+/// subexpression pairs (e.g. `{R,S}` and `{S,T}` in Example 3). Returns
+/// `true` when compatibility is *derivable*; `false` means "unknown — fall
+/// back to the direct method", never "incompatible".
+pub fn derive_compatibility_compositional(
+    all_rels: RelSet,
+    compatible_sub_rels: &[RelSet],
+) -> bool {
+    // Each compatible subexpression pair's equijoin graph is connected and
+    // covers its rel set, so treat that rel set as one connected component
+    // (a clique is a safe over-approximation of "connected").
+    let covered = compatible_sub_rels
+        .iter()
+        .fold(RelSet::EMPTY, |acc, s| acc.union(*s));
+    if covered != all_rels {
+        return false;
+    }
+    // Union-find over components: sets sharing a rel merge.
+    let sets: Vec<RelSet> = compatible_sub_rels.to_vec();
+    let mut parent: Vec<usize> = (0..sets.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for i in 0..sets.len() {
+        for j in (i + 1)..sets.len() {
+            if !sets[i].intersect(sets[j]).is_empty() {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    match sets.len() {
+        0 => false,
+        _ => {
+            let root = find(&mut parent, 0);
+            (1..sets.len()).all(|i| find(&mut parent, i) == root)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::EquivClasses;
+    use crate::ids::RelId;
+    use crate::scalar::Scalar;
+
+    fn cr(r: u32, c: u16) -> ColRef {
+        ColRef::new(RelId(r), c)
+    }
+
+    fn classes_of(conjuncts: &[Scalar]) -> Vec<BTreeSet<ColRef>> {
+        EquivClasses::from_conjuncts(conjuncts).classes()
+    }
+
+    #[test]
+    fn single_rel_is_connected() {
+        assert!(is_connected(RelSet::single(RelId(0)), &[]));
+        assert!(!is_connected(RelSet::EMPTY, &[]));
+    }
+
+    #[test]
+    fn two_rels_need_an_edge() {
+        let rels = RelSet::from_iter([RelId(0), RelId(1)]);
+        assert!(!is_connected(rels, &[]));
+        let class: BTreeSet<ColRef> = [cr(0, 0), cr(1, 0)].into_iter().collect();
+        assert!(is_connected(rels, &[class]));
+    }
+
+    #[test]
+    fn chain_of_three() {
+        let rels = RelSet::from_iter([RelId(0), RelId(1), RelId(2)]);
+        let c01: BTreeSet<ColRef> = [cr(0, 0), cr(1, 0)].into_iter().collect();
+        let c12: BTreeSet<ColRef> = [cr(1, 1), cr(2, 0)].into_iter().collect();
+        assert!(is_connected(rels, &[c01.clone(), c12]));
+        // Only one edge: {0,1} connected but 2 isolated.
+        assert!(!is_connected(rels, &[c01]));
+    }
+
+    #[test]
+    fn big_class_is_a_clique() {
+        let rels = RelSet::from_iter([RelId(0), RelId(1), RelId(2)]);
+        let class: BTreeSet<ColRef> = [cr(0, 0), cr(1, 0), cr(2, 0)].into_iter().collect();
+        assert!(is_connected(rels, &[class]));
+    }
+
+    #[test]
+    fn paper_example_3_compositional_derivation() {
+        // e1, e2 over {R, S, T}: if their {R,S} subexpressions are
+        // compatible and their {S,T} subexpressions are compatible, the
+        // union covers all three tables and is connected -> derivable.
+        let (r, s, t) = (RelId(0), RelId(1), RelId(2));
+        let all = RelSet::from_iter([r, s, t]);
+        let rs = RelSet::from_iter([r, s]);
+        let st = RelSet::from_iter([s, t]);
+        assert!(derive_compatibility_compositional(all, &[rs, st]));
+        // Missing coverage of T: not derivable (fall back).
+        assert!(!derive_compatibility_compositional(all, &[rs]));
+        // Disconnected union: {R,S} and {T,U} over {R,S,T,U}.
+        let u = RelId(3);
+        let all4 = RelSet::from_iter([r, s, t, u]);
+        let tu = RelSet::from_iter([t, u]);
+        assert!(!derive_compatibility_compositional(all4, &[rs, tu]));
+        // Empty evidence: never derivable.
+        assert!(!derive_compatibility_compositional(all, &[]));
+    }
+
+    #[test]
+    fn paper_example_2_compatibility() {
+        let rels = RelSet::from_iter([RelId(0), RelId(1)]);
+        // e1: R.a=S.d AND R.b=S.e ; e2: R.a=S.d AND R.c=S.f  -> compatible
+        let e1 = classes_of(&[
+            Scalar::eq(Scalar::Col(cr(0, 0)), Scalar::Col(cr(1, 3))),
+            Scalar::eq(Scalar::Col(cr(0, 1)), Scalar::Col(cr(1, 4))),
+        ]);
+        let e2 = classes_of(&[
+            Scalar::eq(Scalar::Col(cr(0, 0)), Scalar::Col(cr(1, 3))),
+            Scalar::eq(Scalar::Col(cr(0, 2)), Scalar::Col(cr(1, 5))),
+        ]);
+        let inter = join_compatible(rels, &[e1.clone(), e2]).expect("compatible");
+        assert_eq!(inter.len(), 1);
+
+        // e3: R.c=S.f only -> intersection with e1 empty -> not compatible
+        let e3 = classes_of(&[Scalar::eq(Scalar::Col(cr(0, 2)), Scalar::Col(cr(1, 5)))]);
+        assert!(join_compatible(rels, &[e1, e3]).is_none());
+    }
+}

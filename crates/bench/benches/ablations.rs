@@ -1,0 +1,76 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - **LCA cost placement** (§5.2): charging the spool's initial cost at
+//!   the consumers' least common ancestor vs deferring it to the plan root.
+//! - **Enumeration pruning** (§5.3): the proposition-driven subset walk vs
+//!   a single all-candidates optimization (`max_cse_optimizations = 1`).
+//! - **Stacked CSEs** (§5.5): detection over candidate definitions on/off.
+//! - **Eager aggregation** exploration on/off (the source of
+//!   pre-aggregation candidates).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cse_bench::workloads;
+use cse_core::optimize_sql;
+use cse_core::CseConfig;
+
+fn bench(c: &mut Criterion) {
+    let catalog = common::catalog();
+    let mut g = c.benchmark_group("ablations");
+    common::configure(&mut g);
+
+    let variants: Vec<(&str, CseConfig)> = vec![
+        ("baseline", CseConfig::default()),
+        ("charge_at_root", {
+            let mut cfg = CseConfig::default();
+            cfg.optimizer.charge_at_root = true;
+            cfg
+        }),
+        ("single_optimization", CseConfig {
+            max_cse_optimizations: 1,
+            ..Default::default()
+        }),
+        ("no_stacked", CseConfig {
+            stacked: false,
+            ..Default::default()
+        }),
+        ("no_eager_agg", {
+            let mut cfg = CseConfig::default();
+            cfg.explore.enable_eager_agg = false;
+            cfg
+        }),
+    ];
+
+    for (workload_name, sql) in [
+        ("table1", workloads::table1_batch()),
+        ("table2", workloads::table2_batch()),
+    ] {
+        for (name, cfg) in &variants {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{workload_name}/{name}"), "optimize"),
+                &sql,
+                |b, sql| {
+                    b.iter(|| optimize_sql(catalog, sql, cfg).expect("optimize"));
+                },
+            );
+        }
+    }
+    g.finish();
+
+    // Plan-quality side of the ablation (printed once; Criterion measures
+    // only time).
+    println!("\nablation plan costs (table2):");
+    for (name, cfg) in &variants {
+        let o = optimize_sql(catalog, &workloads::table2_batch(), cfg).expect("optimize");
+        println!(
+            "  {name:<22} cost {:>12.1} candidates {} opts {}",
+            o.report.final_cost,
+            o.report.candidates.len(),
+            o.report.cse_optimizations
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

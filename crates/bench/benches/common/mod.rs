@@ -1,0 +1,61 @@
+//! Shared bench scaffolding: one catalog per process, optimize-only and
+//! optimize+execute measurement closures for the paper's three
+//! configurations.
+#![allow(dead_code)] // not every bench target uses every helper
+
+use criterion::{BenchmarkId, Criterion};
+use cse_core::{optimize_sql, CseConfig};
+use cse_exec::Engine;
+use cse_storage::Catalog;
+use cse_tpch::{generate_catalog, TpchConfig};
+use std::sync::OnceLock;
+
+/// Bench scale factor: small enough for Criterion's repeated sampling,
+/// large enough that join sizes dominate constant overheads.
+pub const BENCH_SF: f64 = 0.002;
+
+pub fn catalog() -> &'static Catalog {
+    static CATALOG: OnceLock<Catalog> = OnceLock::new();
+    CATALOG.get_or_init(|| generate_catalog(&TpchConfig::new(BENCH_SF)))
+}
+
+/// The paper's three configurations.
+pub fn configs() -> [(&'static str, CseConfig); 3] {
+    [
+        ("no_cse", CseConfig::no_cse()),
+        ("cse", CseConfig::default()),
+        ("cse_no_heuristics", CseConfig::no_heuristics()),
+    ]
+}
+
+/// Keep total bench time CI-friendly: short warm-up and measurement
+/// windows, 10 samples (the quantities measured are milliseconds-scale
+/// optimizations, stable across samples).
+pub fn configure<M: criterion::measurement::Measurement>(
+    g: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200));
+}
+
+/// Bench a workload: `<group>/optimize/<config>` measures the full
+/// optimization (including the CSE phase), `<group>/execute/<config>`
+/// measures execution of the pre-optimized plan — mirroring the paper's
+/// "optimization time" and "execution time" rows.
+pub fn bench_workload(c: &mut Criterion, group: &str, sql: &str) {
+    let catalog = catalog();
+    let mut g = c.benchmark_group(group);
+    configure(&mut g);
+    for (name, cfg) in configs() {
+        g.bench_with_input(BenchmarkId::new("optimize", name), &cfg, |b, cfg| {
+            b.iter(|| optimize_sql(catalog, sql, cfg).expect("optimize"));
+        });
+        let optimized = optimize_sql(catalog, sql, &cfg).expect("optimize");
+        g.bench_with_input(BenchmarkId::new("execute", name), &optimized, |b, plan| {
+            let engine = Engine::new(catalog, &plan.ctx);
+            b.iter(|| engine.execute(&plan.plan).expect("execute"));
+        });
+    }
+    g.finish();
+}

@@ -1,0 +1,30 @@
+//! Regenerates paper Figure 8: optimization time and plan cost as the
+//! batch size grows from 2 to 10 similar queries.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cse_bench::workloads;
+use cse_core::optimize_sql;
+
+fn bench(c: &mut Criterion) {
+    let catalog = common::catalog();
+    let mut g = c.benchmark_group("fig8_scaleup");
+    common::configure(&mut g);
+    for n in [2usize, 4, 6, 8, 10] {
+        let sql = workloads::scaleup_batch(n);
+        for (name, cfg) in common::configs() {
+            g.bench_with_input(
+                BenchmarkId::new(format!("optimize_{name}"), n),
+                &sql,
+                |b, sql| {
+                    b.iter(|| optimize_sql(catalog, sql, &cfg).expect("optimize"));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

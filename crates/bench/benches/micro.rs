@@ -1,0 +1,86 @@
+//! Microbenchmarks of the paper's core mechanisms:
+//!
+//! - table-signature collection over a fully explored memo (the paper's
+//!   "overhead so small we could not reliably measure it" claim),
+//! - sharable-set detection in the CSE manager,
+//! - covering-subexpression construction,
+//! - predicate-implication checking.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cse_algebra::{implies, CmpOp, RelId, Scalar};
+use cse_bench::workloads;
+use cse_core::{compute_required, construct, prepare_consumers, CseManager};
+use cse_memo::{explore, ExploreConfig, Memo};
+use cse_sql::lower_batch_sql;
+
+fn explored_memo() -> Memo {
+    let catalog = common::catalog();
+    let (ctx, plan) = lower_batch_sql(catalog, &workloads::table1_batch()).expect("lower");
+    let mut memo = Memo::new(ctx);
+    let root = memo.insert_plan(&plan);
+    memo.set_root(root);
+    explore(&mut memo, &ExploreConfig::default());
+    memo
+}
+
+fn bench(c: &mut Criterion) {
+    let mut c = c.benchmark_group("micro");
+    common::configure(&mut c);
+    // Memo build + exploration (signatures are computed incrementally as
+    // part of this; there is no separate signature pass to measure).
+    c.bench_function("memo_insert_and_explore", |b| {
+        let catalog = common::catalog();
+        let (ctx, plan) = lower_batch_sql(catalog, &workloads::table1_batch()).expect("lower");
+        b.iter(|| {
+            let mut memo = Memo::new(ctx.clone());
+            let root = memo.insert_plan(&plan);
+            memo.set_root(root);
+            explore(&mut memo, &ExploreConfig::default());
+            memo.num_gexprs()
+        });
+    });
+
+    // Sharable-set detection over the explored memo.
+    c.bench_function("manager_detection", |b| {
+        let memo = explored_memo();
+        b.iter(|| CseManager::build(&memo).sharable_sets().len());
+    });
+
+    // Covering-subexpression construction for the main sharable set.
+    c.bench_function("cse_construction", |b| {
+        let mut memo = explored_memo();
+        let mgr = CseManager::build(&memo);
+        let sets = mgr.sharable_sets();
+        let (_, consumers) = sets
+            .iter()
+            .max_by_key(|(_, c)| c.len())
+            .expect("sharable set")
+            .clone();
+        let required = compute_required(&memo, &[memo.root()]);
+        b.iter(|| {
+            let prepared = prepare_consumers(&memo, &consumers);
+            construct(&mut memo, prepared, &required).map(|c| c.output.len())
+        });
+    });
+
+    // Predicate implication on range predicates.
+    c.bench_function("implication_ranges", |b| {
+        let col = |i: u16| Scalar::col(RelId(0), i);
+        let p = Scalar::and([
+            Scalar::cmp(CmpOp::Gt, col(0), Scalar::int(5)),
+            Scalar::cmp(CmpOp::Lt, col(0), Scalar::int(20)),
+            Scalar::cmp(CmpOp::Lt, col(1), Scalar::int(100)),
+        ]);
+        let q = Scalar::and([
+            Scalar::cmp(CmpOp::Gt, col(0), Scalar::int(0)),
+            Scalar::cmp(CmpOp::Lt, col(0), Scalar::int(25)),
+        ]);
+        b.iter(|| implies(&p, &q));
+    });
+    c.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! The §6 overhead experiment: optimizing queries with *no* sharable
+//! subexpressions must cost essentially the same with the CSE machinery on
+//! (the paper could not measure the difference reliably; this bench makes
+//! the comparison explicit).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cse_bench::workloads;
+use cse_core::optimize_sql;
+
+fn bench(c: &mut Criterion) {
+    let catalog = common::catalog();
+    let sql = workloads::no_sharing_batch();
+    let mut g = c.benchmark_group("overhead_no_sharing");
+    common::configure(&mut g);
+    for (name, cfg) in common::configs() {
+        g.bench_with_input(BenchmarkId::new("optimize", name), &sql, |b, sql| {
+            b.iter(|| {
+                let o = optimize_sql(catalog, sql, &cfg).expect("optimize");
+                assert!(o.plan.spools.is_empty());
+                o
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

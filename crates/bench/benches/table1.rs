@@ -1,0 +1,14 @@
+//! Regenerates paper Table 1: the Example 1 query batch (Q1, Q2, Q3) under
+//! No CSE / Using CSEs / no-heuristics.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cse_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    common::bench_workload(c, "table1_batch_q1q2q3", &workloads::table1_batch());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

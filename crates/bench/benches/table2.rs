@@ -1,0 +1,15 @@
+//! Regenerates paper Table 2: the batch extended with Q4 (part ⋈ orders ⋈
+//! lineitem), where the optimal sharing shape changes and stacked CSEs
+//! become available.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cse_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    common::bench_workload(c, "table2_batch_q1q2q3q4", &workloads::table2_batch());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates paper Table 3: the nested query whose HAVING subquery
+//! shares the customer ⋈ orders ⋈ lineitem aggregate with the main block.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cse_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    common::bench_workload(c, "table3_nested_query", workloads::NESTED);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

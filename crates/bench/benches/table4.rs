@@ -1,0 +1,15 @@
+//! Regenerates paper Table 4: two eight-table joins with different local
+//! predicates (the candidate-explosion stress test: dozens of candidates
+//! without heuristics, a couple with).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cse_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    common::bench_workload(c, "table4_complex_joins", &workloads::complex_join_batch());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

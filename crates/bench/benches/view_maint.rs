@@ -1,0 +1,42 @@
+//! Regenerates the §6.4 view-maintenance experiment: refreshing three
+//! similar materialized views after customer inserts, with the maintenance
+//! batch optimized with and without CSEs.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cse_bench::{experiments, workloads};
+use cse_core::{create_materialized_view, maintain_insert, CseConfig};
+use cse_tpch::{generate_catalog, TpchConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("view_maintenance");
+    common::configure(&mut g);
+    for (name, cfg) in [
+        ("no_cse", CseConfig::no_cse()),
+        ("cse", CseConfig::default()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("maintain", name), &cfg, |b, cfg| {
+            // Setup outside the timed section: fresh catalog + views.
+            b.iter_batched(
+                || {
+                    let mut catalog = generate_catalog(&TpchConfig::new(0.002));
+                    for (vname, def) in workloads::maintenance_views() {
+                        create_materialized_view(&mut catalog, vname, &def, cfg)
+                            .expect("create view");
+                    }
+                    let inserts = experiments::new_customers(&catalog, 200);
+                    (catalog, inserts)
+                },
+                |(mut catalog, inserts)| {
+                    maintain_insert(&mut catalog, "customer", inserts, cfg).expect("maintain")
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

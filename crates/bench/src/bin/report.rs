@@ -1,0 +1,93 @@
+//! Paper-style report generator: regenerates every table and figure of the
+//! evaluation section.
+//!
+//! Usage: `cargo run --release -p cse-bench --bin report [-- <experiment>] [--sf <f>]`
+//! where `<experiment>` is one of `table1 table2 table3 table4 fig8
+//! viewmaint overhead all` (default `all`).
+
+use cse_bench::{experiments, print_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut sf = experiments::DEFAULT_SF;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args[i].parse().expect("--sf expects a number");
+            }
+            other => which = other.to_string(),
+        }
+        i += 1;
+    }
+    println!("TPC-H scale factor: {sf}");
+    let catalog = experiments::catalog(sf);
+
+    let run_all = which == "all";
+    if run_all || which == "table1" {
+        print_table("Table 1: query batch (Q1, Q2, Q3)", &experiments::table1(&catalog));
+    }
+    if run_all || which == "table2" {
+        print_table(
+            "Table 2: query batch (Q1..Q4), stacked CSEs",
+            &experiments::table2(&catalog),
+        );
+    }
+    if run_all || which == "table3" {
+        print_table("Table 3: nested query", &experiments::table3(&catalog));
+    }
+    if run_all || which == "table4" {
+        print_table("Table 4: complex joins (8 tables)", &experiments::table4(&catalog));
+    }
+    if run_all || which == "fig8" {
+        println!("\n=== Figure 8: scaleup (batch size 2..10) ===");
+        println!(
+            "{:>3} {:>14} {:>14} {:>14} {:>12} {:>12} {:>12} {:>6} {:>6}",
+            "n", "cost NoCSE", "cost CSE", "cost CSE-noH", "opt NoCSE", "opt CSE",
+            "opt CSE-noH", "#cand", "#candH"
+        );
+        for p in experiments::fig8(&catalog, &[2, 3, 4, 5, 6, 7, 8, 9, 10]) {
+            println!(
+                "{:>3} {:>14.1} {:>14.1} {:>14.1} {:>10.1}ms {:>10.1}ms {:>10.1}ms {:>6} {:>6}",
+                p.n,
+                p.no_cse.est_cost,
+                p.cse.est_cost,
+                p.cse_no_heuristics.est_cost,
+                p.no_cse.opt_time.as_secs_f64() * 1e3,
+                p.cse.opt_time.as_secs_f64() * 1e3,
+                p.cse_no_heuristics.opt_time.as_secs_f64() * 1e3,
+                p.cse_no_heuristics.candidates,
+                p.cse.candidates,
+            );
+        }
+    }
+    if run_all || which == "viewmaint" {
+        println!("\n=== §6.4: materialized view maintenance ===");
+        let (no, yes) = experiments::view_maintenance(sf, 200);
+        for o in [&no, &yes] {
+            println!(
+                "{:<12} maintain {:>10.3} ms  candidates {}  views {}",
+                o.config,
+                o.maintain_time.as_secs_f64() * 1e3,
+                o.candidates,
+                o.views
+            );
+        }
+        println!(
+            "  maintenance-time ratio: {:.2}x",
+            no.maintain_time.as_secs_f64() / yes.maintain_time.as_secs_f64().max(1e-9)
+        );
+    }
+    if run_all || which == "overhead" {
+        println!("\n=== §6: overhead on non-sharing queries ===");
+        let (off, on) = experiments::overhead(&catalog);
+        println!(
+            "optimization: CSE machinery off {:.3} ms, on {:.3} ms (candidates: {})",
+            off.opt_time.as_secs_f64() * 1e3,
+            on.opt_time.as_secs_f64() * 1e3,
+            on.candidates
+        );
+    }
+}

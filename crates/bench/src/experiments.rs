@@ -1,0 +1,167 @@
+//! Experiment drivers: one function per paper table/figure. Each returns
+//! the measured outcomes so benches, tests and the report binary share the
+//! same code path.
+
+use crate::harness::{self, RunOutcome};
+use crate::workloads;
+use cse_core::{create_materialized_view, maintain_insert, CseConfig};
+use cse_storage::{Catalog, Row};
+use cse_tpch::{generate_catalog, TpchConfig};
+use std::time::Duration;
+
+/// Default scale factor for experiment runs; the paper uses SF=1, the
+/// in-memory substitute defaults to a laptop-friendly SF (the *shape* of
+/// the results is cardinality-ratio-driven, not absolute-size-driven).
+pub const DEFAULT_SF: f64 = 0.01;
+
+pub fn catalog(sf: f64) -> Catalog {
+    generate_catalog(&TpchConfig::new(sf))
+}
+
+/// Table 1: the Example 1 batch (Q1, Q2, Q3).
+pub fn table1(catalog: &Catalog) -> [RunOutcome; 3] {
+    let out = harness::three_way(catalog, &workloads::table1_batch());
+    harness::assert_results_agree(&out);
+    out
+}
+
+/// Table 2: the batch with Q4 added (stacked CSEs).
+pub fn table2(catalog: &Catalog) -> [RunOutcome; 3] {
+    let out = harness::three_way(catalog, &workloads::table2_batch());
+    harness::assert_results_agree(&out);
+    out
+}
+
+/// Table 3: the nested query.
+pub fn table3(catalog: &Catalog) -> [RunOutcome; 3] {
+    let out = harness::three_way(catalog, workloads::NESTED);
+    harness::assert_results_agree(&out);
+    out
+}
+
+/// Table 4: two eight-table joins.
+pub fn table4(catalog: &Catalog) -> [RunOutcome; 3] {
+    let out = harness::three_way(catalog, &workloads::complex_join_batch());
+    harness::assert_results_agree(&out);
+    out
+}
+
+/// One point of Figure 8: batch of `n` similar queries, with and without
+/// heuristic pruning, plus the no-CSE baseline.
+pub struct ScaleupPoint {
+    pub n: usize,
+    pub no_cse: RunOutcome,
+    pub cse: RunOutcome,
+    pub cse_no_heuristics: RunOutcome,
+}
+
+/// Figure 8: scaleup over batch sizes 2..=10.
+pub fn fig8(catalog: &Catalog, sizes: &[usize]) -> Vec<ScaleupPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let sql = workloads::scaleup_batch(n);
+            let outcomes = harness::three_way(catalog, &sql);
+            harness::assert_results_agree(&outcomes);
+            let [no_cse, cse, cse_no_heuristics] = outcomes;
+            ScaleupPoint {
+                n,
+                no_cse,
+                cse,
+                cse_no_heuristics,
+            }
+        })
+        .collect()
+}
+
+/// §6.4 view maintenance outcome.
+pub struct MaintenanceOutcome {
+    pub config: &'static str,
+    pub maintain_time: Duration,
+    pub candidates: usize,
+    pub views: usize,
+}
+
+/// §6.4: create the three views, insert customers, maintain with and
+/// without CSEs. Returns (no-CSE, with-CSE) outcomes; correctness is
+/// verified by comparing the refreshed view contents.
+pub fn view_maintenance(sf: f64, insert_count: usize) -> (MaintenanceOutcome, MaintenanceOutcome) {
+    let run = |cfg: &CseConfig, name: &'static str| -> (MaintenanceOutcome, Vec<Vec<cse_storage::Row>>) {
+        let mut catalog = catalog(sf);
+        for (vname, def) in workloads::maintenance_views() {
+            create_materialized_view(&mut catalog, vname, &def, cfg).expect("create view");
+        }
+        let inserts = new_customers(&catalog, insert_count);
+        let report = maintain_insert(&mut catalog, "customer", inserts, cfg).expect("maintain");
+        let contents: Vec<Vec<Row>> = workloads::maintenance_views()
+            .iter()
+            .map(|(vname, _)| {
+                let mut rows = catalog.table(vname).unwrap().rows().to_vec();
+                rows.sort_by(|a, b| {
+                    for (x, y) in a.iter().zip(b.iter()) {
+                        let o = x.total_cmp(y);
+                        if !o.is_eq() {
+                            return o;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                rows
+            })
+            .collect();
+        (
+            MaintenanceOutcome {
+                config: name,
+                maintain_time: report.total_time,
+                candidates: report.cse.candidates.len(),
+                views: report.views.len(),
+            },
+            contents,
+        )
+    };
+    let (no, c_no) = run(&CseConfig::no_cse(), "No CSE");
+    let (yes, c_yes) = run(&CseConfig::default(), "Using CSEs");
+    // Refreshed contents must agree (FP tolerance on sums).
+    for (a, b) in c_no.iter().zip(c_yes.iter()) {
+        assert_eq!(a.len(), b.len(), "view row counts diverged");
+        for (ra, rb) in a.iter().zip(b.iter()) {
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                match (x.as_f64(), y.as_f64()) {
+                    (Some(fx), Some(fy)) => {
+                        assert!((fx - fy).abs() <= 1e-6 * fx.abs().max(fy.abs()).max(1.0))
+                    }
+                    _ => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+    (no, yes)
+}
+
+/// Fabricate `n` new customer rows with fresh keys.
+pub fn new_customers(catalog: &Catalog, n: usize) -> Vec<Row> {
+    use cse_tpch::rng::SplitMix64;
+    use cse_tpch::text::CommentPool;
+    let existing = catalog.table("customer").unwrap().row_count() as i64;
+    let mut rng = SplitMix64::derive(0xfeed, "maintenance");
+    let pool = CommentPool::new(0xfeed, 64);
+    (0..n)
+        .map(|i| {
+            let key = existing + 1 + i as i64;
+            let nation = rng.int_range(0, 24);
+            cse_tpch::customer_row(key, nation, &mut rng, &pool)
+        })
+        .collect()
+}
+
+/// §6 overhead check: optimize a batch with no sharable subexpressions
+/// with and without the CSE machinery; returns (off, on) outcomes — the
+/// candidate count of the "on" run must be 0 and its optimization-time
+/// overhead negligible.
+pub fn overhead(catalog: &Catalog) -> (RunOutcome, RunOutcome) {
+    let sql = workloads::no_sharing_batch();
+    let off = harness::run(catalog, &sql, "No CSE", &CseConfig::no_cse());
+    let on = harness::run(catalog, &sql, "Using CSEs", &CseConfig::default());
+    assert_eq!(on.candidates, 0, "no-sharing batch must yield no candidates");
+    (off, on)
+}

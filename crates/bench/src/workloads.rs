@@ -1,0 +1,175 @@
+//! The paper's workloads (§6), shared by the benchmark harness, the
+//! report binary and the integration tests.
+
+/// Example 1 / §6.1, Q1: per-(nation, segment) revenue summary.
+pub const Q1: &str = "select c_nationkey, c_mktsegment, sum(l_extendedprice) as le, sum(l_quantity) as lq \
+ from customer, orders, lineitem \
+ where c_custkey = o_custkey and o_orderkey = l_orderkey \
+   and o_orderdate < '1996-07-01' \
+   and c_nationkey > 0 and c_nationkey < 20 \
+ group by c_nationkey, c_mktsegment";
+
+/// Example 1 / §6.1, Q2: per-nation summary, shifted predicate range.
+pub const Q2: &str = "select c_nationkey, sum(l_extendedprice) as le, sum(l_quantity) as lq \
+ from customer, orders, lineitem \
+ where c_custkey = o_custkey and o_orderkey = l_orderkey \
+   and o_orderdate < '1996-07-01' \
+   and c_nationkey > 5 and c_nationkey < 25 \
+ group by c_nationkey";
+
+/// Example 1 / §6.1, Q3: joins nation additionally, groups by region.
+pub const Q3: &str = "select n_regionkey, sum(l_extendedprice) as le, sum(l_quantity) as lq \
+ from customer, orders, lineitem, nation \
+ where c_custkey = o_custkey and o_orderkey = l_orderkey \
+   and c_nationkey = n_nationkey \
+   and o_orderdate < '1996-07-01' \
+   and c_nationkey > 2 and c_nationkey < 24 \
+ group by n_regionkey";
+
+/// §6.2's Q4: part ⋈ orders ⋈ lineitem (the paper's projection uses a
+/// part column; the quantity sum keeps the same shape against standard
+/// TPC-H columns).
+pub const Q4: &str = "select p_type, sum(l_quantity) as qty \
+ from part, orders, lineitem \
+ where p_partkey = l_partkey and o_orderkey = l_orderkey \
+   and o_orderdate < '1996-07-01' \
+ group by p_type";
+
+/// §6.3's nested query (TPC-H Q11-like): nations whose total discount
+/// exceeds 1/25 of the global total — main block and subquery share the
+/// customer ⋈ orders ⋈ lineitem aggregate.
+pub const NESTED: &str = "select c_nationkey, n_name, sum(l_discount) as totaldisc \
+ from customer, orders, lineitem, nation \
+ where c_custkey = o_custkey and o_orderkey = l_orderkey \
+   and c_nationkey = n_nationkey \
+ group by c_nationkey, n_name \
+ having sum(l_discount) > (select sum(l_discount) / 25 \
+   from customer, orders, lineitem \
+   where c_custkey = o_custkey and o_orderkey = l_orderkey) \
+ order by totaldisc desc";
+
+/// The batch of Table 1.
+pub fn table1_batch() -> String {
+    format!("{Q1};\n{Q2};\n{Q3};")
+}
+
+/// The batch of Table 2 (adds Q4, triggering stacked CSEs).
+pub fn table2_batch() -> String {
+    format!("{Q1};\n{Q2};\n{Q3};\n{Q4};")
+}
+
+/// §6.5 scaleup batches: `n` queries joining customer/orders/lineitem with
+/// varying predicates, groupings, and optional nation/region joins.
+pub fn scaleup_batch(n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        let lo = i % 5;
+        let hi = 20 + (i % 5);
+        let date = ["1995-01-01", "1995-07-01", "1996-01-01", "1996-07-01", "1997-01-01"]
+            [i % 5];
+        let q = match i % 3 {
+            0 => format!(
+                "select c_nationkey, sum(l_extendedprice) as le \
+                 from customer, orders, lineitem \
+                 where c_custkey = o_custkey and o_orderkey = l_orderkey \
+                   and o_orderdate < '{date}' \
+                   and c_nationkey > {lo} and c_nationkey < {hi} \
+                 group by c_nationkey"
+            ),
+            1 => format!(
+                "select c_nationkey, c_mktsegment, sum(l_quantity) as lq \
+                 from customer, orders, lineitem \
+                 where c_custkey = o_custkey and o_orderkey = l_orderkey \
+                   and o_orderdate < '{date}' \
+                   and c_nationkey > {lo} and c_nationkey < {hi} \
+                 group by c_nationkey, c_mktsegment"
+            ),
+            _ => format!(
+                "select n_regionkey, sum(l_extendedprice) as le \
+                 from customer, orders, lineitem, nation \
+                 where c_custkey = o_custkey and o_orderkey = l_orderkey \
+                   and c_nationkey = n_nationkey \
+                   and o_orderdate < '{date}' \
+                   and c_nationkey > {lo} and c_nationkey < {hi} \
+                 group by n_regionkey"
+            ),
+        };
+        out.push_str(&q);
+        out.push_str(";\n");
+    }
+    out
+}
+
+/// §6.5's complex-join batch: two queries joining all eight TPC-H tables,
+/// aggregating by region, with different local predicates.
+pub fn complex_join_batch() -> String {
+    let q = |date: &str, lo: i64, hi: i64, size: i64| {
+        format!(
+            "select r_name, sum(l_extendedprice) as revenue, sum(ps_supplycost) as cost \
+             from region, nation, customer, orders, lineitem, part, partsupp, supplier \
+             where r_regionkey = n_regionkey and n_nationkey = c_nationkey \
+               and c_custkey = o_custkey and o_orderkey = l_orderkey \
+               and l_partkey = p_partkey and l_suppkey = s_suppkey \
+               and ps_partkey = p_partkey and ps_suppkey = s_suppkey \
+               and o_orderdate < '{date}' \
+               and c_nationkey > {lo} and c_nationkey < {hi} \
+               and p_size < {size} \
+             group by r_name"
+        )
+    };
+    format!(
+        "{};\n{};",
+        q("1996-07-01", 0, 20, 30),
+        q("1997-01-01", 2, 24, 40)
+    )
+}
+
+/// Queries with no sharing opportunity (§6 overhead paragraph): distinct
+/// table sets per statement.
+pub fn no_sharing_batch() -> String {
+    [
+        "select c_nationkey, count(*) as n from customer where c_acctbal > 0 group by c_nationkey",
+        "select o_orderpriority, count(*) as n from orders where o_orderdate < '1996-01-01' group by o_orderpriority",
+        "select l_returnflag, sum(l_quantity) as q from lineitem where l_shipdate < '1996-01-01' group by l_returnflag",
+        "select p_brand, count(*) as n from part where p_size < 20 group by p_brand",
+        "select s_nationkey, sum(s_acctbal) as bal from supplier group by s_nationkey",
+    ]
+    .join(";\n")
+}
+
+/// The three materialized views of §6.4 (the Example 1 queries as views).
+pub fn maintenance_views() -> Vec<(&'static str, String)> {
+    vec![
+        ("mv_nation_segment", Q1.to_string()),
+        ("mv_nation", Q2.to_string()),
+        ("mv_region", Q3.to_string()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_parse() {
+        for sql in [
+            table1_batch(),
+            table2_batch(),
+            scaleup_batch(2),
+            scaleup_batch(10),
+            complex_join_batch(),
+            no_sharing_batch(),
+        ] {
+            cse_sql::parse_batch(&sql).expect("workload must parse");
+        }
+        cse_sql::parse_one(NESTED).expect("nested query must parse");
+    }
+
+    #[test]
+    fn scaleup_sizes() {
+        for n in 2..=10 {
+            let stmts = cse_sql::parse_batch(&scaleup_batch(n)).unwrap();
+            assert_eq!(stmts.len(), n);
+        }
+    }
+}

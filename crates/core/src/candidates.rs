@@ -1,0 +1,419 @@
+//! Candidate generation (paper §4.3): Algorithm 1's greedy merging plus
+//! the four cost-based heuristics.
+
+use crate::compat::{partition_compatible, prepare_consumers, CompatibleGroup, PreparedConsumer};
+use crate::construct::{construct, ConstructedCse};
+use crate::manager::CseManager;
+use crate::required::RequiredCols;
+use cse_cost::{Cardinality, CostModel, Selectivity, StatsCatalog};
+use cse_memo::{GroupId, Memo, TableSignature};
+use std::collections::HashMap;
+
+/// Generation knobs (paper values: α = 10%, β = 90%).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Apply the pruning heuristics H1/H2/H3/H4. When off, every
+    /// join-compatible set yields one all-covering candidate (the paper's
+    /// "no heuristics" configuration that produced 5 candidates for
+    /// Example 1 and 51 for the 8-table batch).
+    pub heuristics: bool,
+    /// H1 threshold: consumers must sum to at least `alpha · C_Q`.
+    pub alpha: f64,
+    /// H4 threshold: a contained candidate survives only if its result is
+    /// at most `beta` of the container's.
+    pub beta: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            heuristics: true,
+            alpha: 0.10,
+            beta: 0.90,
+        }
+    }
+}
+
+/// A constructed candidate plus its cost ingredients.
+#[derive(Debug, Clone)]
+pub struct CostedCandidate {
+    pub cse: ConstructedCse,
+    pub signature: TableSignature,
+    pub est_rows: f64,
+    pub est_width: f64,
+    /// C_W / C_R of the work table.
+    pub cw: f64,
+    pub cr: f64,
+    /// Lower bound on the evaluation cost C_E (highest of the members'
+    /// lower cost bounds, per §4.3.3).
+    pub ce_lower: f64,
+}
+
+/// Per-group baseline costs from the normal optimization phases. Both
+/// bounds coincide here because the baseline search is exhaustive over the
+/// explored memo; the API keeps them separate to mirror the paper.
+#[derive(Debug, Clone, Default)]
+pub struct CostBounds {
+    costs: HashMap<GroupId, f64>,
+}
+
+impl CostBounds {
+    pub fn new(costs: HashMap<GroupId, f64>) -> Self {
+        CostBounds { costs }
+    }
+
+    pub fn lower(&self, g: GroupId) -> f64 {
+        self.costs.get(&g).copied().unwrap_or(f64::INFINITY)
+    }
+
+    pub fn upper(&self, g: GroupId) -> f64 {
+        self.costs.get(&g).copied().unwrap_or(0.0)
+    }
+}
+
+/// Estimate a constructed CSE's work-table cardinality and width.
+pub fn estimate_cse(
+    memo: &Memo,
+    stats: &StatsCatalog,
+    cse: &ConstructedCse,
+) -> (f64, f64) {
+    let card = Cardinality::new(&memo.ctx, stats);
+    let sel = Selectivity::new(&memo.ctx, stats);
+    let rels = &cse.members[0].normal.spj.rels;
+    let mut rows = card.spj_rows(rels, &cse.join_conjuncts);
+    rows *= sel.of(&cse.covering).max(1e-12);
+    rows = rows.max(1.0);
+    let rows = match &cse.group {
+        Some((keys, _, _)) => card.group_rows(keys, rows),
+        None => rows,
+    };
+    let width = card.width_of(&cse.output);
+    (rows, width)
+}
+
+/// Cost a constructed CSE.
+pub fn cost_candidate(
+    memo: &Memo,
+    stats: &StatsCatalog,
+    model: &CostModel,
+    bounds: &CostBounds,
+    signature: TableSignature,
+    cse: ConstructedCse,
+) -> CostedCandidate {
+    let (est_rows, est_width) = estimate_cse(memo, stats, &cse);
+    let cw = model.spool_write(est_rows, est_width);
+    let cr = model.spool_read(est_rows, est_width);
+    let ce_lower = cse
+        .members
+        .iter()
+        .map(|m| bounds.lower(m.group))
+        .fold(0.0, f64::max);
+    CostedCandidate {
+        cse,
+        signature,
+        est_rows,
+        est_width,
+        cw,
+        cr,
+        ce_lower,
+    }
+}
+
+/// Shared-usage cost of a candidate: C_E + C_W + N · C_R (§4.3.3).
+pub fn shared_cost(c: &CostedCandidate) -> f64 {
+    c.ce_lower + c.cw + c.cse.members.len() as f64 * c.cr
+}
+
+/// Heuristic 1: only bother when the consumers amount to a significant
+/// fraction of the whole query's cost.
+pub fn h1_worthwhile(
+    bounds: &CostBounds,
+    consumers: &[GroupId],
+    query_cost: f64,
+    alpha: f64,
+) -> bool {
+    let total: f64 = consumers.iter().map(|g| bounds.lower(*g)).sum();
+    total >= alpha * query_cost
+}
+
+/// Heuristic 2: drop consumers whose results are so large that
+/// materializing + reading them beats recomputation even with perfect
+/// sharing. Returns the surviving members.
+pub fn h2_filter_consumers(
+    memo: &mut Memo,
+    stats: &StatsCatalog,
+    model: &CostModel,
+    bounds: &CostBounds,
+    required: &RequiredCols,
+    members: Vec<PreparedConsumer>,
+) -> Vec<PreparedConsumer> {
+    let n = members.len() as f64;
+    members
+        .into_iter()
+        .filter(|m| {
+            // Trivial CSE covering this member alone gives its C_W / C_R.
+            let trivial = match construct(memo, vec![m.clone()], required) {
+                Some(t) => t,
+                None => return false,
+            };
+            let (rows, width) = estimate_cse(memo, stats, &trivial);
+            let cw = model.spool_write(rows, width);
+            let cr = model.spool_read(rows, width);
+            let upper = bounds.upper(m.group);
+            // Discard if computing from scratch is cheaper than even the
+            // best-case shared usage: C_upper < C_R + (C_upper + C_W)/N.
+            upper >= cr + (upper + cw) / n
+        })
+        .collect()
+}
+
+/// Algorithm 1: greedily merge trivial candidates while the benefit Δ is
+/// positive; restart over the leftovers. Returns the merged candidates.
+#[allow(clippy::too_many_arguments)]
+pub fn create_candidates(
+    memo: &mut Memo,
+    stats: &StatsCatalog,
+    model: &CostModel,
+    bounds: &CostBounds,
+    required: &RequiredCols,
+    signature: &TableSignature,
+    group: &CompatibleGroup,
+    cfg: &GenConfig,
+) -> Vec<CostedCandidate> {
+    let members = group.members.clone();
+    if members.len() < 2 {
+        return Vec::new();
+    }
+    if !cfg.heuristics {
+        // One candidate covering every compatible consumer.
+        return construct(memo, members, required)
+            .map(|c| {
+                vec![cost_candidate(
+                    memo,
+                    stats,
+                    model,
+                    bounds,
+                    signature.clone(),
+                    c,
+                )]
+            })
+            .unwrap_or_default();
+    }
+    let mut rest: Vec<PreparedConsumer> = members;
+    let mut out: Vec<CostedCandidate> = Vec::new();
+    while rest.len() > 1 {
+        // Seed with the first trivial candidate.
+        let seed = rest.remove(0);
+        let mut current: Vec<PreparedConsumer> = vec![seed];
+        let mut merged_any = false;
+        loop {
+            // Pick the remaining member with the best merge benefit.
+            let mut best: Option<(usize, f64, CostedCandidate)> = None;
+            for (i, m) in rest.iter().enumerate() {
+                let mut trial_members = current.clone();
+                trial_members.push(m.clone());
+                let trial = match construct(memo, trial_members, required) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                let trial = cost_candidate(
+                    memo,
+                    stats,
+                    model,
+                    bounds,
+                    signature.clone(),
+                    trial,
+                );
+                let delta = merge_benefit(memo, stats, model, bounds, required, &current, m, &trial);
+                if delta > 0.0 && best.as_ref().map(|(_, d, _)| delta > *d).unwrap_or(true) {
+                    best = Some((i, delta, trial));
+                }
+            }
+            match best {
+                Some((i, _, _)) => {
+                    current.push(rest.remove(i));
+                    merged_any = true;
+                }
+                None => break,
+            }
+        }
+        if merged_any {
+            if let Some(c) = construct(memo, current, required) {
+                out.push(cost_candidate(
+                    memo,
+                    stats,
+                    model,
+                    bounds,
+                    signature.clone(),
+                    c,
+                ));
+            }
+        }
+        // Unmerged seed is dropped; the loop restarts over the leftovers.
+    }
+    out
+}
+
+/// Δ of merging `addition` into `current` (positive = beneficial):
+/// separate costs minus the merged candidate's shared cost.
+#[allow(clippy::too_many_arguments)]
+fn merge_benefit(
+    memo: &mut Memo,
+    stats: &StatsCatalog,
+    model: &CostModel,
+    bounds: &CostBounds,
+    required: &RequiredCols,
+    current: &[PreparedConsumer],
+    addition: &PreparedConsumer,
+    merged: &CostedCandidate,
+) -> f64 {
+    let sep_current = if current.len() == 1 {
+        // A single consumer computes from scratch.
+        bounds.lower(current[0].group)
+    } else {
+        match construct(memo, current.to_vec(), required) {
+            Some(c) => shared_cost(&cost_candidate(
+                memo,
+                stats,
+                model,
+                bounds,
+                merged.signature.clone(),
+                c,
+            )),
+            None => return f64::NEG_INFINITY,
+        }
+    };
+    let sep_add = bounds.lower(addition.group);
+    sep_current + sep_add - shared_cost(merged)
+}
+
+/// Heuristic 4: containment pruning across candidates (possibly from
+/// different signatures). `ancestors` supplies the memo descendant
+/// relation.
+pub fn h4_prune_contained(
+    mgr: &CseManager,
+    mut candidates: Vec<CostedCandidate>,
+    beta: f64,
+) -> Vec<CostedCandidate> {
+    let mut dead = vec![false; candidates.len()];
+    for i in 0..candidates.len() {
+        for j in 0..candidates.len() {
+            if i == j || dead[i] {
+                continue;
+            }
+            if dead[j] {
+                continue;
+            }
+            let (child, parent) = (&candidates[i], &candidates[j]);
+            if !is_contained(mgr, child, parent) {
+                continue;
+            }
+            let s_child = child.est_rows * child.est_width;
+            let s_parent = parent.est_rows * parent.est_width;
+            if s_child > beta * s_parent {
+                dead[i] = true;
+            }
+        }
+    }
+    let mut i = 0;
+    candidates.retain(|_| {
+        let keep = !dead[i];
+        i += 1;
+        keep
+    });
+    candidates
+}
+
+/// Definition 4.2: child's tables ⊆ parent's tables (multiset) and every
+/// child consumer is a memo descendant of some parent consumer.
+pub fn is_contained(
+    mgr: &CseManager,
+    child: &CostedCandidate,
+    parent: &CostedCandidate,
+) -> bool {
+    if !child.signature.tables_subset_of(&parent.signature) {
+        return false;
+    }
+    child.cse.members.iter().all(|cm| {
+        parent
+            .cse
+            .members
+            .iter()
+            .any(|pm| mgr.is_ancestor(pm.group, cm.group))
+    })
+}
+
+/// Full generation for one sharable set: H1 → compatibility → H1 → H2 →
+/// Algorithm 1 (H3). H4 runs across sets afterwards.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_for_set(
+    memo: &mut Memo,
+    stats: &StatsCatalog,
+    model: &CostModel,
+    bounds: &CostBounds,
+    required: &RequiredCols,
+    signature: &TableSignature,
+    consumers: &[GroupId],
+    query_cost: f64,
+    cfg: &GenConfig,
+) -> Vec<CostedCandidate> {
+    if cfg.heuristics && !h1_worthwhile(bounds, consumers, query_cost, cfg.alpha) {
+        return Vec::new();
+    }
+    let prepared = prepare_consumers(memo, consumers);
+    // The memo performs no group merging, so logically identical
+    // expressions reached through different transformation paths can sit in
+    // distinct groups. Generation runs over one representative per normal
+    // form (quadratic merge trials over duplicates are pure waste);
+    // duplicates rejoin the constructed candidates afterwards so every
+    // group still receives its view-matching substitute.
+    let mut unique: Vec<PreparedConsumer> = Vec::new();
+    let mut duplicates: Vec<(usize, PreparedConsumer)> = Vec::new();
+    for p in prepared {
+        match unique.iter().position(|u| u.normal == p.normal) {
+            Some(i) => duplicates.push((i, p)),
+            None => unique.push(p),
+        }
+    }
+    let unique_keys: Vec<cse_algebra::SpjgNormal> =
+        unique.iter().map(|u| u.normal.clone()).collect();
+    let prepared = unique;
+    let groups = partition_compatible(&memo.ctx, prepared);
+    let mut out = Vec::new();
+    for mut g in groups {
+        if g.members.len() < 2 {
+            continue;
+        }
+        if cfg.heuristics {
+            let ids: Vec<GroupId> = g.members.iter().map(|m| m.group).collect();
+            if !h1_worthwhile(bounds, &ids, query_cost, cfg.alpha) {
+                continue;
+            }
+            g.members = h2_filter_consumers(memo, stats, model, bounds, required, g.members);
+            if g.members.len() < 2 {
+                continue;
+            }
+        }
+        out.extend(create_candidates(
+            memo, stats, model, bounds, required, signature, &g, cfg,
+        ));
+    }
+    // Re-attach duplicate groups: a duplicate consumes the candidate
+    // exactly like the representative it mirrors.
+    for cand in &mut out {
+        for (rep_idx, dup) in &duplicates {
+            let rep_normal = &unique_keys[*rep_idx];
+            if let Some(pos) = cand
+                .cse
+                .members
+                .iter()
+                .position(|m| &m.normal == rep_normal)
+            {
+                let simplified = cand.cse.simplified[pos].clone();
+                cand.cse.members.push(dup.clone());
+                cand.cse.simplified.push(simplified);
+            }
+        }
+    }
+    out
+}

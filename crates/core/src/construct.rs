@@ -1,0 +1,492 @@
+//! Covering-subexpression construction (paper §4.2, the six steps).
+//!
+//! Given a set of aligned, join-compatible consumers:
+//! 1. intersect equivalence classes → N-ary equijoin predicate;
+//! 2. simplify each consumer's predicate by deleting conjuncts already in
+//!    the join predicate;
+//! 3. OR the simplified predicates into a covering predicate (with
+//!    factoring of common conjuncts and single-column range hulls, which is
+//!    how the paper's E5 ends up with `o_orderdate < '1996-07-01' AND
+//!    0 < c_nationkey < 25`);
+//! 4. union group-by keys (+ covering-predicate columns) and aggregation
+//!    expressions when aggregation is required;
+//! 5. project exactly the columns consumers require;
+//! 6. (the spool operator is implicit: the optimizer charges C_W/C_R and
+//!    the executor materializes the work table).
+
+use crate::compat::PreparedConsumer;
+use crate::required::RequiredCols;
+use cse_algebra::{
+    classes_to_conjuncts, implies, intersect_all, AggExpr, CmpOp, ColRef, LogicalPlan, RelId,
+    RelSet, Scalar,
+};
+use cse_memo::Memo;
+use std::collections::BTreeSet;
+
+/// A constructed covering subexpression (pre-costing).
+#[derive(Debug, Clone)]
+pub struct ConstructedCse {
+    /// The consumers covered, in anchor space.
+    pub members: Vec<PreparedConsumer>,
+    /// SPJG definition plan (anchor space), without the spool.
+    pub plan: LogicalPlan,
+    /// Work-table column layout.
+    pub output: Vec<ColRef>,
+    /// Covering selection predicate (TRUE when consumers' predicates
+    /// union to everything).
+    pub covering: Scalar,
+    /// Equijoin conjuncts from the intersected classes.
+    pub join_conjuncts: Vec<Scalar>,
+    /// Per-member simplified predicate (step 2), parallel to `members`.
+    pub simplified: Vec<Scalar>,
+    /// Group-by of the CSE, if aggregation is required.
+    pub group: Option<(Vec<ColRef>, Vec<AggExpr>, RelId)>,
+}
+
+/// Build the CSE covering `members` (≥1). Returns `None` when members mix
+/// grouped/ungrouped shapes (cannot happen for same-signature sets) or no
+/// member survives normalization.
+pub fn construct(
+    memo: &mut Memo,
+    members: Vec<PreparedConsumer>,
+    required: &RequiredCols,
+) -> Option<ConstructedCse> {
+    if members.is_empty() {
+        return None;
+    }
+    let grouped = members[0].normal.has_group();
+    if members.iter().any(|m| m.normal.has_group() != grouped) {
+        return None;
+    }
+    let rels: Vec<RelId> = members[0].normal.spj.rels.clone();
+
+    // Step 1: intersected equivalence classes → join conjuncts.
+    let class_collections: Vec<_> = members.iter().map(|m| m.classes.clone()).collect();
+    let inter = intersect_all(&class_collections);
+    let join_conjuncts = classes_to_conjuncts(&inter);
+
+    // Step 2: simplify each member's predicate.
+    let implied_by_join = |c: &Scalar| -> bool {
+        match c.as_col_eq_col() {
+            Some((a, b)) => inter.iter().any(|cl| cl.contains(&a) && cl.contains(&b)),
+            None => false,
+        }
+    };
+    let simplified: Vec<Scalar> = members
+        .iter()
+        .map(|m| {
+            Scalar::and(
+                m.normal
+                    .spj
+                    .conjuncts
+                    .iter()
+                    .filter(|c| !implied_by_join(c))
+                    .cloned(),
+            )
+            .normalize()
+        })
+        .collect();
+
+    // Step 3: covering predicate = OR of simplified predicates, factored
+    // and range-merged.
+    let covering = simplify_covering(&simplified);
+
+    // Step 4: group-by. Beyond the union of consumer keys, only columns a
+    // consumer's *compensation* predicate will re-filter on must survive
+    // the group-by — conjuncts already guaranteed by the covering predicate
+    // (e.g. a date filter common to every consumer) need no compensation,
+    // which is why the paper's E5 groups only by (c_nationkey,
+    // c_mktsegment) although its covering predicate also mentions
+    // o_orderdate.
+    let group = if grouped {
+        let mut keys: Vec<ColRef> = Vec::new();
+        let mut aggs: Vec<AggExpr> = Vec::new();
+        for (m, simp) in members.iter().zip(&simplified) {
+            let g = m.normal.group.as_ref().expect("grouped checked");
+            for k in &g.keys {
+                if !keys.contains(k) {
+                    keys.push(*k);
+                }
+            }
+            for a in &g.aggs {
+                if !aggs.contains(a) {
+                    aggs.push(a.clone());
+                }
+            }
+            for conj in simp.conjuncts() {
+                if implies(&covering, &conj) {
+                    continue; // guaranteed by the spool contents
+                }
+                for c in conj.columns() {
+                    if !keys.contains(&c) {
+                        keys.push(c);
+                    }
+                }
+            }
+        }
+        keys.sort();
+        let block = memo.ctx.rel(rels[0]).block;
+        // Reuse one synthetic rel per (rels, keys, aggs) shape: Algorithm
+        // 1's trial constructions revisit the same shapes many times.
+        let out = memo.agg_out_for_key(
+            format!("cse|{rels:?}|{keys:?}|{aggs:?}"),
+            &aggs,
+            Some(block),
+        );
+        Some((keys, aggs, out))
+    } else {
+        None
+    };
+
+    // Step 5: output columns.
+    let output: Vec<ColRef> = match &group {
+        Some((keys, aggs, out)) => {
+            let mut cols = keys.clone();
+            cols.extend((0..aggs.len()).map(|i| ColRef::new(*out, i as u16)));
+            cols
+        }
+        None => {
+            let mut set: BTreeSet<ColRef> = BTreeSet::new();
+            for (m, simp) in members.iter().zip(&simplified) {
+                for c in crate::required::required_of(required, m.group) {
+                    set.insert(m.alignment.col(c));
+                }
+                // Compensation-predicate columns only.
+                for conj in simp.conjuncts() {
+                    if !implies(&covering, &conj) {
+                        set.extend(conj.columns());
+                    }
+                }
+            }
+            // A consumer with no recorded requirements (shouldn't happen
+            // for real roots) falls back to every column of every rel.
+            if set.is_empty() {
+                for &r in &rels {
+                    let n = memo.ctx.rel(r).schema.len();
+                    set.extend((0..n).map(|i| ColRef::new(r, i as u16)));
+                }
+            }
+            set.into_iter().collect()
+        }
+    };
+
+    // Step 6 (plan shape): filtered leaves, connected join order, residual
+    // covering predicate on top, optional aggregate.
+    let plan = build_join_plan(&rels, &join_conjuncts, &covering)?;
+    let plan = match &group {
+        Some((keys, aggs, out)) => LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            keys: keys.clone(),
+            aggs: aggs.clone(),
+            out: *out,
+        },
+        None => plan,
+    };
+
+    Some(ConstructedCse {
+        members,
+        plan,
+        output,
+        covering,
+        join_conjuncts,
+        simplified,
+        group,
+    })
+}
+
+/// OR of the simplified predicates with two equivalence-preserving /
+/// sound-weakening rewrites:
+/// - conjuncts present in every branch are factored out of the OR;
+/// - per column, if every branch constrains it with ranges, the OR of the
+///   branches implies the per-column interval hull, which is added as an
+///   extra conjunct (and branches that become fully represented drop out).
+pub fn simplify_covering(simplified: &[Scalar]) -> Scalar {
+    if simplified.iter().any(|s| s.is_true()) {
+        return Scalar::true_();
+    }
+    let branch_conjuncts: Vec<Vec<Scalar>> =
+        simplified.iter().map(|s| s.conjuncts()).collect();
+    // Factor common conjuncts.
+    let mut common: Vec<Scalar> = branch_conjuncts[0].clone();
+    for b in &branch_conjuncts[1..] {
+        common.retain(|c| b.contains(c));
+    }
+    let residual_branches: Vec<Vec<Scalar>> = branch_conjuncts
+        .iter()
+        .map(|b| {
+            b.iter()
+                .filter(|c| !common.contains(c))
+                .cloned()
+                .collect()
+        })
+        .collect();
+
+    let mut top_conjuncts = common;
+    if residual_branches.iter().any(|b| b.is_empty()) {
+        // Some branch imposes nothing beyond the common part: the OR of the
+        // residuals is TRUE.
+        return Scalar::and(top_conjuncts).normalize();
+    }
+
+    // Single-column range hull: if every residual branch constrains a
+    // common set of columns with ranges only, replace the OR by per-column
+    // hulls (this is exactly how the paper's E5 covering predicate looks).
+    let range_only = residual_branches.iter().all(|b| {
+        b.iter().all(|c| {
+            c.as_col_vs_lit()
+                .map(|(_, op, _)| op != CmpOp::Ne)
+                .unwrap_or(false)
+        })
+    });
+    if range_only {
+        let mut cols: BTreeSet<ColRef> = residual_branches[0]
+            .iter()
+            .filter_map(|c| c.as_col_vs_lit().map(|(col, _, _)| col))
+            .collect();
+        for b in &residual_branches[1..] {
+            let bc: BTreeSet<ColRef> = b
+                .iter()
+                .filter_map(|c| c.as_col_vs_lit().map(|(col, _, _)| col))
+                .collect();
+            cols = cols.intersection(&bc).copied().collect();
+        }
+        // Hull per column constrained in every branch.
+        let mut hull_conjuncts: Vec<Scalar> = Vec::new();
+        for col in &cols {
+            let mut lo: Option<(cse_storage::Value, bool)> = None;
+            let mut hi: Option<(cse_storage::Value, bool)> = None;
+            let mut all_bounded_lo = true;
+            let mut all_bounded_hi = true;
+            for b in &residual_branches {
+                let pred = Scalar::and(b.iter().cloned());
+                let ranges = cse_algebra::column_ranges(&pred);
+                let iv = ranges.get(col).cloned().unwrap_or_default();
+                match iv.lo {
+                    Some((v, inc)) => {
+                        lo = Some(match lo {
+                            None => (v, inc),
+                            Some((cur, cinc)) => match v.total_cmp(&cur) {
+                                std::cmp::Ordering::Less => (v, inc),
+                                std::cmp::Ordering::Equal => (cur, cinc || inc),
+                                std::cmp::Ordering::Greater => (cur, cinc),
+                            },
+                        });
+                    }
+                    None => all_bounded_lo = false,
+                }
+                match iv.hi {
+                    Some((v, inc)) => {
+                        hi = Some(match hi {
+                            None => (v, inc),
+                            Some((cur, cinc)) => match v.total_cmp(&cur) {
+                                std::cmp::Ordering::Greater => (v, inc),
+                                std::cmp::Ordering::Equal => (cur, cinc || inc),
+                                std::cmp::Ordering::Less => (cur, cinc),
+                            },
+                        });
+                    }
+                    None => all_bounded_hi = false,
+                }
+            }
+            if all_bounded_lo {
+                if let Some((v, inc)) = lo {
+                    hull_conjuncts.push(Scalar::cmp(
+                        if inc { CmpOp::Ge } else { CmpOp::Gt },
+                        Scalar::Col(*col),
+                        Scalar::Lit(v),
+                    ));
+                }
+            }
+            if all_bounded_hi {
+                if let Some((v, inc)) = hi {
+                    hull_conjuncts.push(Scalar::cmp(
+                        if inc { CmpOp::Le } else { CmpOp::Lt },
+                        Scalar::Col(*col),
+                        Scalar::Lit(v),
+                    ));
+                }
+            }
+        }
+        // The hull is sound for any branch shape; it is *exact* (no
+        // residual OR needed) when each branch constrains exactly one
+        // column and that column is shared — the common workload shape.
+        let exact = residual_branches.iter().all(|b| {
+            let bc: BTreeSet<ColRef> = b
+                .iter()
+                .filter_map(|c| c.as_col_vs_lit().map(|(col, _, _)| col))
+                .collect();
+            bc.len() == 1 && cols.iter().any(|c| bc.contains(c))
+        }) && cols.len() == 1;
+        top_conjuncts.extend(hull_conjuncts);
+        if !exact {
+            top_conjuncts.push(Scalar::or(
+                residual_branches
+                    .iter()
+                    .map(|b| Scalar::and(b.iter().cloned())),
+            ));
+        }
+        return Scalar::and(top_conjuncts).normalize();
+    }
+
+    top_conjuncts.push(Scalar::or(
+        residual_branches
+            .iter()
+            .map(|b| Scalar::and(b.iter().cloned())),
+    ));
+    Scalar::and(top_conjuncts).normalize()
+}
+
+/// Build a left-deep, connected join tree over `rels`: single-rel covering
+/// conjuncts become leaf filters, join conjuncts attach at the lowest
+/// covering join, multi-rel covering residue lands in a top filter.
+pub fn build_join_plan(
+    rels: &[RelId],
+    join_conjuncts: &[Scalar],
+    covering: &Scalar,
+) -> Option<LogicalPlan> {
+    let mut remaining: Vec<Scalar> = join_conjuncts.to_vec();
+    remaining.extend(covering.conjuncts());
+    // Greedy connected order.
+    let mut order: Vec<RelId> = vec![*rels.first()?];
+    let mut left: Vec<RelId> = rels[1..].to_vec();
+    while !left.is_empty() {
+        let covered = RelSet::from_iter(order.iter().copied());
+        let next = left
+            .iter()
+            .position(|r| {
+                remaining.iter().any(|c| {
+                    let cr = c.rels();
+                    cr.contains(*r) && !cr.intersect(covered).is_empty()
+                })
+            })
+            .unwrap_or(0); // disconnected: cross join the first leftover
+        order.push(left.remove(next));
+    }
+    let mut plan: Option<LogicalPlan> = None;
+    let mut covered = RelSet::EMPTY;
+    for r in order {
+        let leaf_set = RelSet::single(r);
+        let local: Vec<Scalar> = take_covered(&mut remaining, leaf_set);
+        let mut leaf = LogicalPlan::get(r);
+        if !local.is_empty() {
+            leaf = leaf.filter(Scalar::and(local));
+        }
+        covered = covered.union(leaf_set);
+        plan = Some(match plan {
+            None => leaf,
+            Some(p) => {
+                let join_pred: Vec<Scalar> = take_covered(&mut remaining, covered);
+                p.join(leaf, Scalar::and(join_pred).normalize())
+            }
+        });
+    }
+    let mut plan = plan?;
+    if !remaining.is_empty() {
+        plan = plan.filter(Scalar::and(remaining));
+    }
+    Some(plan)
+}
+
+fn take_covered(remaining: &mut Vec<Scalar>, set: RelSet) -> Vec<Scalar> {
+    let mut out = Vec::new();
+    remaining.retain(|c| {
+        let r = c.rels();
+        if !r.is_empty() && r.is_subset(set) {
+            out.push(c.clone());
+            false
+        } else {
+            true
+        }
+    });
+    out
+}
+
+/// Does the covering predicate of a CSE admit this member (sanity check
+/// used by tests and view matching)?
+pub fn member_implies_covering(member_pred: &Scalar, covering: &Scalar) -> bool {
+    implies(member_pred, covering)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_algebra::RelId;
+
+    fn col(r: u32, c: u16) -> Scalar {
+        Scalar::col(RelId(r), c)
+    }
+
+    #[test]
+    fn covering_factors_common_and_merges_ranges() {
+        // Example 1's shape: shared o_orderdate conjunct, disjoint
+        // c_nationkey ranges (0,20), (5,25), (2,24) → hull (0,25).
+        let date = Scalar::cmp(CmpOp::Lt, col(1, 4), Scalar::int(9678));
+        let b1 = Scalar::and([
+            date.clone(),
+            Scalar::cmp(CmpOp::Gt, col(0, 3), Scalar::int(0)),
+            Scalar::cmp(CmpOp::Lt, col(0, 3), Scalar::int(20)),
+        ]);
+        let b2 = Scalar::and([
+            date.clone(),
+            Scalar::cmp(CmpOp::Gt, col(0, 3), Scalar::int(5)),
+            Scalar::cmp(CmpOp::Lt, col(0, 3), Scalar::int(25)),
+        ]);
+        let b3 = Scalar::and([
+            date.clone(),
+            Scalar::cmp(CmpOp::Gt, col(0, 3), Scalar::int(2)),
+            Scalar::cmp(CmpOp::Lt, col(0, 3), Scalar::int(24)),
+        ]);
+        let branches = vec![b1.normalize(), b2.normalize(), b3.normalize()];
+        let cov = simplify_covering(&branches);
+        // Must contain the common date conjunct + hull, no OR.
+        let cs = cov.conjuncts();
+        assert_eq!(cs.len(), 3, "covering = date ∧ hull-lo ∧ hull-hi: {cov}");
+        for b in &branches {
+            assert!(member_implies_covering(b, &cov), "{b} must imply {cov}");
+        }
+        // And the hull is (0, 25).
+        let ranges = cse_algebra::column_ranges(&cov);
+        let iv = &ranges[&cse_algebra::ColRef::new(RelId(0), 3)];
+        assert_eq!(iv.lo.as_ref().unwrap().0, cse_storage::Value::Int(0));
+        assert_eq!(iv.hi.as_ref().unwrap().0, cse_storage::Value::Int(25));
+    }
+
+    #[test]
+    fn covering_with_true_branch_is_true() {
+        let b1 = Scalar::true_();
+        let b2 = Scalar::cmp(CmpOp::Lt, col(0, 0), Scalar::int(5));
+        assert!(simplify_covering(&[b1, b2]).is_true());
+    }
+
+    #[test]
+    fn covering_keeps_or_when_not_mergeable() {
+        // Branches on different columns: hull is sound but inexact, the OR
+        // must remain.
+        let b1 = Scalar::cmp(CmpOp::Lt, col(0, 0), Scalar::int(5)).normalize();
+        let b2 = Scalar::cmp(CmpOp::Gt, col(0, 1), Scalar::int(7)).normalize();
+        let cov = simplify_covering(&[b1.clone(), b2.clone()]);
+        assert!(member_implies_covering(&b1, &cov));
+        assert!(member_implies_covering(&b2, &cov));
+        assert!(!cov.is_true());
+    }
+
+    #[test]
+    fn join_plan_is_connected() {
+        let rels = vec![RelId(0), RelId(1), RelId(2)];
+        let joins = vec![
+            Scalar::eq(col(0, 0), col(1, 0)).normalize(),
+            Scalar::eq(col(1, 1), col(2, 0)).normalize(),
+        ];
+        let plan = build_join_plan(&rels, &joins, &Scalar::true_()).unwrap();
+        // No cross joins: every Join node's predicate is non-trivial.
+        fn check(p: &LogicalPlan) {
+            if let LogicalPlan::Join { left, right, pred } = p {
+                assert!(!pred.is_true(), "cross join generated");
+                check(left);
+                check(right);
+            }
+        }
+        check(&plan);
+        assert_eq!(plan.rels().len(), 3);
+    }
+}

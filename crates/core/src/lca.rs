@@ -1,0 +1,114 @@
+//! Least-common-ancestor computation over the memo DAG (paper §5.2).
+
+use crate::manager::CseManager;
+use cse_memo::GroupId;
+use std::collections::BTreeSet;
+
+/// The least common ancestor group of `consumers`: the lowest group of
+/// which every consumer is a descendant. `None` when the consumers span
+/// disconnected trees (e.g. a stacked CSE consumed from several spool
+/// definitions) — the optimizer then charges the initial cost at final
+/// assembly instead.
+pub fn least_common_ancestor(mgr: &CseManager, consumers: &[GroupId]) -> Option<GroupId> {
+    let mut iter = consumers.iter();
+    let first = iter.next()?;
+    let mut common: BTreeSet<GroupId> = mgr.ancestors_of(*first).clone();
+    for c in iter {
+        let anc = mgr.ancestors_of(*c);
+        common = common.intersection(anc).copied().collect();
+        if common.is_empty() {
+            return None;
+        }
+    }
+    // Lowest: a common ancestor that is not an ancestor of any other
+    // common member (other than itself).
+    let lowest: Vec<GroupId> = common
+        .iter()
+        .copied()
+        .filter(|&x| {
+            !common
+                .iter()
+                .any(|&y| y != x && mgr.ancestors_of(y).contains(&x))
+        })
+        .collect();
+    lowest.first().copied().or_else(|| common.first().copied())
+}
+
+/// Are two candidates competing (Definition 5.2)? Their LCAs lie on one
+/// ancestor path. Missing LCAs are conservatively treated as competing.
+pub fn competing(
+    mgr: &CseManager,
+    lca_a: Option<GroupId>,
+    lca_b: Option<GroupId>,
+) -> bool {
+    match (lca_a, lca_b) {
+        (Some(a), Some(b)) => {
+            a == b || mgr.ancestors_of(a).contains(&b) || mgr.ancestors_of(b).contains(&a)
+        }
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::CseManager;
+    use cse_algebra::{LogicalPlan, PlanContext, Scalar};
+    use cse_memo::Memo;
+    use cse_storage::{DataType, Schema};
+    use std::sync::Arc;
+
+    /// Batch of two queries, each a two-table join; plus the batch root.
+    fn build() -> (Memo, Vec<GroupId>, GroupId) {
+        let mut ctx = PlanContext::new();
+        let schema = Arc::new(Schema::from_pairs(&[("k", DataType::Int)]));
+        let mk = |ctx: &mut PlanContext| {
+            let b = ctx.new_block();
+            let a = ctx.add_base_rel("ta", "ta", schema.clone(), b);
+            let t = ctx.add_base_rel("tb", "tb", schema.clone(), b);
+            LogicalPlan::get(a).join(
+                LogicalPlan::get(t),
+                Scalar::eq(Scalar::col(a, 0), Scalar::col(t, 0)),
+            )
+        };
+        let q1 = mk(&mut ctx);
+        let q2 = mk(&mut ctx);
+        let mut memo = Memo::new(ctx);
+        let g1 = memo.insert_plan(&q1);
+        let g2 = memo.insert_plan(&q2);
+        let root = memo.insert_plan(&LogicalPlan::Batch {
+            children: vec![q1, q2],
+        });
+        memo.set_root(root);
+        (memo, vec![g1, g2], root)
+    }
+
+    #[test]
+    fn lca_of_cross_query_consumers_is_root() {
+        let (memo, consumers, root) = build();
+        let mgr = CseManager::build(&memo);
+        assert_eq!(least_common_ancestor(&mgr, &consumers), Some(root));
+    }
+
+    #[test]
+    fn lca_of_single_consumer_is_itself() {
+        let (memo, consumers, _) = build();
+        let mgr = CseManager::build(&memo);
+        assert_eq!(
+            least_common_ancestor(&mgr, &consumers[..1]),
+            Some(consumers[0])
+        );
+    }
+
+    #[test]
+    fn competing_on_same_path() {
+        let (memo, consumers, root) = build();
+        let mgr = CseManager::build(&memo);
+        // root is an ancestor of consumer 0: competing.
+        assert!(competing(&mgr, Some(root), Some(consumers[0])));
+        // The two join groups are unrelated: independent.
+        assert!(!competing(&mgr, Some(consumers[0]), Some(consumers[1])));
+        // Unknown LCA: conservatively competing.
+        assert!(competing(&mgr, None, Some(consumers[0])));
+    }
+}

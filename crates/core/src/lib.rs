@@ -1,0 +1,39 @@
+//! # cse-core
+//!
+//! The paper's contribution: detection, construction and cost-based
+//! exploitation of similar subexpressions ("Efficient Exploitation of
+//! Similar Subexpressions for Query Processing", SIGMOD 2007).
+//!
+//! - [`manager`]: table-signature hash table, sharable-set detection;
+//! - [`align`] / [`compat`]: consumer alignment and join compatibility;
+//! - [`mod@construct`]: the six-step covering-subexpression builder;
+//! - [`candidates`]: Algorithm 1 with heuristics H1–H4;
+//! - [`view_match`]: substitute (compensation) construction;
+//! - [`lca`] / [`enumerate`]: least-common-ancestor costing and the
+//!   multi-candidate set enumeration with Propositions 5.4–5.6;
+//! - [`pipeline`]: the end-to-end optimizer entry points;
+//! - [`maintenance`]: materialized-view maintenance over the pipeline.
+
+pub mod align;
+pub mod candidates;
+pub mod compat;
+pub mod construct;
+pub mod enumerate;
+pub mod lca;
+pub mod maintenance;
+pub mod manager;
+pub mod pipeline;
+pub mod required;
+pub mod view_match;
+
+pub use align::Alignment;
+pub use candidates::{CostBounds, CostedCandidate, GenConfig};
+pub use compat::{partition_compatible, prepare_consumers, CompatibleGroup, PreparedConsumer};
+pub use construct::{construct, simplify_covering, ConstructedCse};
+pub use enumerate::{choose_best, EnumOutcome};
+pub use lca::{competing, least_common_ancestor};
+pub use maintenance::{create_materialized_view, maintain_insert, MaintenanceReport};
+pub use manager::CseManager;
+pub use pipeline::{optimize_plan, optimize_sql, CandidateSummary, CseConfig, CseReport, Optimized};
+pub use required::{compute_required, RequiredCols};
+pub use view_match::build_substitute;

@@ -1,0 +1,422 @@
+//! Materialized-view maintenance via the CSE pipeline (paper §6.4).
+//!
+//! When a base table receives inserts, the new tuples are captured in a
+//! delta work table; each affected view's definition is rewritten to read
+//! the delta instead of the base table, the rewritten maintenance queries
+//! are optimized *as one batch* — letting the covering-subexpression
+//! machinery share the common joins — and the per-view delta results are
+//! merged into the stored view contents.
+
+use crate::pipeline::{optimize_sql, CseConfig, CseReport};
+use cse_exec::Engine;
+use cse_sql::ast::{AggName, Expr, SelectItem, Statement};
+use cse_storage::{row, Catalog, MaterializedView, Row, Table, TableStats, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How one output column of a view merges on refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergeKind {
+    Key,
+    Sum,
+    Count,
+    Min,
+    Max,
+}
+
+/// Result of a maintenance run.
+#[derive(Debug)]
+pub struct MaintenanceReport {
+    /// Views refreshed, in maintenance order.
+    pub views: Vec<String>,
+    /// Rows in the delta that drove maintenance.
+    pub delta_rows: usize,
+    /// Optimizer report of the maintenance batch (candidates, costs, ...).
+    pub cse: CseReport,
+    /// Wall-clock of optimize + execute + merge.
+    pub total_time: std::time::Duration,
+}
+
+/// Create a materialized view: execute its definition and store the result
+/// as a table named after the view.
+pub fn create_materialized_view(
+    catalog: &mut Catalog,
+    name: &str,
+    definition_sql: &str,
+    cfg: &CseConfig,
+) -> Result<(), String> {
+    let stmt = cse_sql::parse_one(definition_sql)?;
+    let select = match stmt {
+        Statement::Select(s) => s,
+        Statement::CreateMaterializedView { .. } => {
+            return Err("pass the defining SELECT, not CREATE MATERIALIZED VIEW".into())
+        }
+    };
+    // Validate mergeability now so maintenance cannot fail later.
+    merge_plan_of(&select)?;
+    let optimized = optimize_sql(catalog, definition_sql, cfg)?;
+    let engine = Engine::new(catalog, &optimized.ctx);
+    let out = engine.execute(&optimized.plan)?;
+    let result = out
+        .results
+        .into_iter()
+        .next()
+        .ok_or("view definition produced no result")?;
+    let schema = infer_schema(&result.columns, &result.rows);
+    let table = Table::with_rows(name, schema, result.rows);
+    let stats = Arc::new(TableStats::analyze(&table));
+    catalog
+        .register_table_with_stats(stats, table)
+        .map_err(|e| e.to_string())?;
+    catalog.register_view(MaterializedView {
+        name: name.to_string(),
+        definition_sql: definition_sql.to_string(),
+    });
+    Ok(())
+}
+
+/// Apply `inserts` to `base` and maintain every affected materialized view
+/// through one CSE-optimized batch.
+pub fn maintain_insert(
+    catalog: &mut Catalog,
+    base: &str,
+    inserts: Vec<Row>,
+    cfg: &CseConfig,
+) -> Result<MaintenanceReport, String> {
+    let t0 = Instant::now();
+    let base_entry = catalog.get(base).map_err(|e| e.to_string())?;
+    let base_schema = base_entry.table.schema().as_ref().clone();
+    let delta_name = format!("delta_{}", base.to_ascii_lowercase());
+
+    // Affected views: definition references the base table.
+    let affected: Vec<MaterializedView> = catalog
+        .views()
+        .filter(|v| {
+            definition_tables(&v.definition_sql)
+                .map(|ts| ts.iter().any(|t| t.eq_ignore_ascii_case(base)))
+                .unwrap_or(false)
+        })
+        .cloned()
+        .collect();
+
+    // Register the delta work table.
+    let delta_rows = inserts.len();
+    let delta_table = Table::with_rows(&delta_name, base_schema.clone(), inserts.clone());
+    catalog.replace_table(delta_table);
+
+    let mut views = Vec::new();
+    let mut cse_report = CseReport::default();
+    if !affected.is_empty() {
+        // Build the maintenance batch: each view's definition with the
+        // base table swapped for the delta.
+        let mut batch_sql = String::new();
+        let mut merge_plans = Vec::new();
+        for v in &affected {
+            let rewritten = rewrite_from(&v.definition_sql, base, &delta_name)?;
+            let stmt = cse_sql::parse_one(&rewritten)?;
+            let select = match stmt {
+                Statement::Select(s) => s,
+                _ => return Err("view definition must be a SELECT".into()),
+            };
+            merge_plans.push(merge_plan_of(&select)?);
+            batch_sql.push_str(&rewritten);
+            batch_sql.push(';');
+            views.push(v.name.clone());
+        }
+        let optimized = optimize_sql(catalog, &batch_sql, cfg)?;
+        cse_report = optimized.report.clone();
+        let engine = Engine::new(catalog, &optimized.ctx);
+        let out = engine.execute(&optimized.plan)?;
+        if out.results.len() != affected.len() {
+            return Err("maintenance batch produced the wrong number of results".into());
+        }
+        for ((v, result), merge) in affected.iter().zip(out.results).zip(&merge_plans) {
+            let stored = catalog.table(&v.name).map_err(|e| e.to_string())?;
+            let merged = merge_rows(stored.as_ref(), &result.rows, merge)?;
+            catalog.replace_table(Table::with_rows(
+                &v.name,
+                stored.schema().as_ref().clone(),
+                merged,
+            ));
+        }
+    }
+
+    // Apply the base-table inserts.
+    let base_table = catalog.table(base).map_err(|e| e.to_string())?;
+    let mut rows: Vec<Row> = base_table.rows().to_vec();
+    rows.extend(inserts);
+    catalog.replace_table(Table::with_rows(base, base_schema, rows));
+    catalog.drop_table(&delta_name);
+
+    Ok(MaintenanceReport {
+        views,
+        delta_rows,
+        cse: cse_report,
+        total_time: t0.elapsed(),
+    })
+}
+
+/// Which output column merges how; errors on non-self-maintainable
+/// definitions (AVG, HAVING, ORDER BY).
+fn merge_plan_of(select: &cse_sql::SelectStmt) -> Result<Vec<MergeKind>, String> {
+    if select.having.is_some() || !select.order_by.is_empty() {
+        return Err("materialized views cannot use HAVING or ORDER BY".into());
+    }
+    let mut out = Vec::new();
+    for item in &select.select {
+        match item {
+            SelectItem::Star => {
+                return Err("materialized views must list output columns explicitly".into())
+            }
+            SelectItem::Expr { expr, .. } => match expr {
+                Expr::Agg { func, .. } => out.push(match func {
+                    AggName::Sum => MergeKind::Sum,
+                    AggName::Count => MergeKind::Count,
+                    AggName::Min => MergeKind::Min,
+                    AggName::Max => MergeKind::Max,
+                    AggName::Avg => {
+                        return Err(
+                            "AVG is not self-maintainable; define SUM and COUNT columns".into(),
+                        )
+                    }
+                }),
+                _ => out.push(MergeKind::Key),
+            },
+        }
+    }
+    if select.group_by.is_empty() && out.contains(&MergeKind::Key) {
+        return Err("mixing keys and aggregates requires GROUP BY".into());
+    }
+    Ok(out)
+}
+
+/// Merge delta rows into stored rows according to the per-column plan.
+fn merge_rows(stored: &Table, delta: &[Row], plan: &[MergeKind]) -> Result<Vec<Row>, String> {
+    let key_idx: Vec<usize> = plan
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| **k == MergeKind::Key)
+        .map(|(i, _)| i)
+        .collect();
+    if key_idx.is_empty() {
+        // Pure SPJ view: append.
+        let mut rows = stored.rows().to_vec();
+        rows.extend(delta.iter().cloned());
+        return Ok(rows);
+    }
+    let mut index: HashMap<Vec<Value>, usize> = HashMap::with_capacity(stored.row_count());
+    let mut rows: Vec<Vec<Value>> = stored.rows().iter().map(|r| r.to_vec()).collect();
+    for (i, r) in rows.iter().enumerate() {
+        index.insert(key_idx.iter().map(|k| r[*k].clone()).collect(), i);
+    }
+    for d in delta {
+        let key: Vec<Value> = key_idx.iter().map(|k| d[*k].clone()).collect();
+        match index.get(&key) {
+            Some(&i) => {
+                for (c, kind) in plan.iter().enumerate() {
+                    let old = rows[i][c].clone();
+                    rows[i][c] = combine(*kind, &old, &d[c])?;
+                }
+            }
+            None => {
+                index.insert(key, rows.len());
+                rows.push(d.to_vec());
+            }
+        }
+    }
+    Ok(rows.into_iter().map(row).collect())
+}
+
+fn combine(kind: MergeKind, old: &Value, new: &Value) -> Result<Value, String> {
+    Ok(match kind {
+        MergeKind::Key => old.clone(),
+        MergeKind::Sum | MergeKind::Count => match (old, new) {
+            (Value::Null, v) | (v, Value::Null) => v.clone(),
+            (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(x + y),
+                _ => return Err("cannot merge non-numeric aggregate".into()),
+            },
+        },
+        MergeKind::Min => {
+            if old.is_null() || (!new.is_null() && new.total_cmp(old).is_lt()) {
+                new.clone()
+            } else {
+                old.clone()
+            }
+        }
+        MergeKind::Max => {
+            if old.is_null() || (!new.is_null() && new.total_cmp(old).is_gt()) {
+                new.clone()
+            } else {
+                old.clone()
+            }
+        }
+    })
+}
+
+/// Tables referenced in the FROM clause of a definition.
+fn definition_tables(sql: &str) -> Result<Vec<String>, String> {
+    let stmt = cse_sql::parse_one(sql)?;
+    match stmt {
+        Statement::Select(s) => Ok(s.from.iter().map(|f| f.table.clone()).collect()),
+        _ => Err("view definition must be a SELECT".into()),
+    }
+}
+
+/// Rewrite a definition's FROM clause, replacing `base` with `delta`.
+/// Works at the AST level and re-renders via a minimal SQL printer.
+fn rewrite_from(sql: &str, base: &str, delta: &str) -> Result<String, String> {
+    let stmt = cse_sql::parse_one(sql)?;
+    let mut select = match stmt {
+        Statement::Select(s) => s,
+        _ => return Err("view definition must be a SELECT".into()),
+    };
+    let mut replaced = 0;
+    for f in &mut select.from {
+        if f.table.eq_ignore_ascii_case(base) {
+            // Keep column references working: the delta shares the base's
+            // schema; alias the delta as the original table name unless an
+            // alias already exists.
+            if f.alias.is_none() {
+                f.alias = Some(f.table.clone());
+            }
+            f.table = delta.to_string();
+            replaced += 1;
+        }
+    }
+    if replaced == 0 {
+        return Err(format!("view does not reference {base}"));
+    }
+    if replaced > 1 {
+        return Err("self-joins over the updated table are not supported".into());
+    }
+    Ok(render_select(&select))
+}
+
+/// Minimal SQL renderer (inverse of the parser for the supported subset).
+pub fn render_select(s: &cse_sql::SelectStmt) -> String {
+    let mut out = String::from("select ");
+    let items: Vec<String> = s
+        .select
+        .iter()
+        .map(|i| match i {
+            SelectItem::Star => "*".to_string(),
+            SelectItem::Expr { expr, alias } => {
+                let e = render_expr(expr);
+                match alias {
+                    Some(a) => format!("{e} as {a}"),
+                    None => e,
+                }
+            }
+        })
+        .collect();
+    out.push_str(&items.join(", "));
+    out.push_str(" from ");
+    let from: Vec<String> = s
+        .from
+        .iter()
+        .map(|f| match &f.alias {
+            Some(a) if !a.eq_ignore_ascii_case(&f.table) => format!("{} {}", f.table, a),
+            Some(a) => format!("{} {}", f.table, a),
+            None => f.table.clone(),
+        })
+        .collect();
+    out.push_str(&from.join(", "));
+    if let Some(w) = &s.where_clause {
+        out.push_str(" where ");
+        out.push_str(&render_expr(w));
+    }
+    if !s.group_by.is_empty() {
+        out.push_str(" group by ");
+        let g: Vec<String> = s.group_by.iter().map(render_expr).collect();
+        out.push_str(&g.join(", "));
+    }
+    out
+}
+
+fn render_expr(e: &Expr) -> String {
+    use cse_sql::BinOp;
+    match e {
+        Expr::Column { qualifier, name } => match qualifier {
+            Some(q) => format!("{q}.{name}"),
+            None => name.clone(),
+        },
+        Expr::Int(i) => i.to_string(),
+        Expr::Float(f) => format!("{f}"),
+        Expr::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Expr::Binary(op, a, b) => {
+            let o = match op {
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+            };
+            format!("({} {o} {})", render_expr(a), render_expr(b))
+        }
+        Expr::And(a, b) => format!("({} and {})", render_expr(a), render_expr(b)),
+        Expr::Or(a, b) => format!("({} or {})", render_expr(a), render_expr(b)),
+        Expr::Not(a) => format!("(not {})", render_expr(a)),
+        Expr::IsNull(a, neg) => format!(
+            "({} is {}null)",
+            render_expr(a),
+            if *neg { "not " } else { "" }
+        ),
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => format!(
+            "({} {}between {} and {})",
+            render_expr(expr),
+            if *negated { "not " } else { "" },
+            render_expr(lo),
+            render_expr(hi)
+        ),
+        Expr::Agg { func, arg } => {
+            let f = match func {
+                AggName::Sum => "sum",
+                AggName::Count => "count",
+                AggName::Min => "min",
+                AggName::Max => "max",
+                AggName::Avg => "avg",
+            };
+            match arg {
+                Some(a) => format!("{f}({})", render_expr(a)),
+                None => "count(*)".to_string(),
+            }
+        }
+        Expr::Subquery(s) => format!("({})", render_select(s)),
+    }
+}
+
+/// Infer a storage schema from delivered result columns and rows.
+fn infer_schema(columns: &[String], rows: &[Row]) -> cse_storage::Schema {
+    use cse_storage::{ColumnDef, DataType};
+    let types: Vec<DataType> = (0..columns.len())
+        .map(|i| {
+            rows.iter()
+                .find_map(|r| r[i].data_type())
+                .unwrap_or(DataType::Int)
+        })
+        .collect();
+    cse_storage::Schema::new(
+        columns
+            .iter()
+            .zip(types)
+            .map(|(n, t)| {
+                let mut c = ColumnDef::new(n.clone(), t);
+                c.nullable = true;
+                c
+            })
+            .collect(),
+    )
+}

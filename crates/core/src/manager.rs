@@ -1,0 +1,239 @@
+//! The CSE manager (paper §2.2 / §3): a hash table from table signatures
+//! to the memo groups carrying them, and detection of potentially sharable
+//! expression sets.
+
+use cse_memo::{GroupId, Memo, TableSignature};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Signature hash table plus ancestor bookkeeping.
+pub struct CseManager {
+    /// signature -> groups with that signature (registration order).
+    table: BTreeMap<TableSignature, Vec<GroupId>>,
+    /// Upward-reachability: group -> all ancestor groups (inclusive).
+    ancestors: HashMap<GroupId, BTreeSet<GroupId>>,
+}
+
+impl CseManager {
+    /// Scan the memo and register every signature-bearing group
+    /// (signatures were computed incrementally at group creation — this
+    /// pass just indexes them, mirroring Step 1 of the paper).
+    pub fn build(memo: &Memo) -> Self {
+        let mut table: BTreeMap<TableSignature, Vec<GroupId>> = BTreeMap::new();
+        for g in memo.groups() {
+            if let Some(sig) = &g.props.signature {
+                // Single-table signatures can never produce a useful CSE
+                // (the covering expression would be the table itself), and
+                // delivery operators (root projections/sorts) are not
+                // replaceable expressions in this IR — the group beneath
+                // them is the consumer.
+                let first = memo.gexpr(g.exprs[0]);
+                let delivery = matches!(
+                    first.op,
+                    cse_memo::Op::Project { .. } | cse_memo::Op::Sort { .. } | cse_memo::Op::Batch
+                );
+                if sig.table_count() >= 2 && !delivery {
+                    table.entry(sig.clone()).or_default().push(g.id);
+                }
+            }
+        }
+        let ancestors = compute_ancestors(memo);
+        CseManager { table, ancestors }
+    }
+
+    /// Is `anc` an ancestor of `g` (or equal)?
+    pub fn is_ancestor(&self, anc: GroupId, g: GroupId) -> bool {
+        self.ancestors
+            .get(&g)
+            .map(|s| s.contains(&anc))
+            .unwrap_or(false)
+    }
+
+    pub fn ancestors_of(&self, g: GroupId) -> &BTreeSet<GroupId> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<GroupId>> = std::sync::OnceLock::new();
+        self.ancestors
+            .get(&g)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// All signatures observed, for diagnostics.
+    pub fn signatures(&self) -> impl Iterator<Item = (&TableSignature, &Vec<GroupId>)> {
+        self.table.iter()
+    }
+
+    /// Groups registered under one signature.
+    pub fn groups_of(&self, sig: &TableSignature) -> &[GroupId] {
+        self.table.get(sig).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Potentially sharable sets (Step 2, first part): signatures with at
+    /// least two *maximal* groups. A group is dropped when an ancestor
+    /// with the same signature is also registered — e.g. `σ(C⋈O)` above
+    /// `C⋈O` represents the same part of the query, and the wider
+    /// expression is the real consumer.
+    pub fn sharable_sets(&self) -> Vec<(TableSignature, Vec<GroupId>)> {
+        let mut out = Vec::new();
+        for (sig, groups) in &self.table {
+            if groups.len() < 2 {
+                continue;
+            }
+            let set: BTreeSet<GroupId> = groups.iter().copied().collect();
+            let maximal: Vec<GroupId> = groups
+                .iter()
+                .copied()
+                .filter(|g| {
+                    !self
+                        .ancestors_of(*g)
+                        .iter()
+                        .any(|a| a != g && set.contains(a))
+                })
+                .collect();
+            if maximal.len() >= 2 {
+                out.push((sig.clone(), maximal));
+            }
+        }
+        out
+    }
+}
+
+/// Ancestor sets via reverse (parent) edges, to a fixpoint.
+fn compute_ancestors(memo: &Memo) -> HashMap<GroupId, BTreeSet<GroupId>> {
+    let mut anc: HashMap<GroupId, BTreeSet<GroupId>> = HashMap::new();
+    for g in memo.groups() {
+        anc.entry(g.id).or_default().insert(g.id);
+    }
+    // Iterate to fixpoint: ancestors(g) ⊇ ancestors(parent) for each parent.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for g in memo.groups() {
+            let mut add: BTreeSet<GroupId> = BTreeSet::new();
+            for &peid in &g.parents {
+                let pg = memo.group_of(peid);
+                if let Some(pa) = anc.get(&pg) {
+                    add.extend(pa.iter().copied());
+                }
+            }
+            let entry = anc.entry(g.id).or_default();
+            let before = entry.len();
+            entry.extend(add);
+            if entry.len() != before {
+                changed = true;
+            }
+        }
+    }
+    anc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_algebra::{LogicalPlan, PlanContext, Scalar};
+    use cse_storage::{DataType, Schema};
+    use std::sync::Arc;
+
+    /// Two statements joining the same pair of tables with different
+    /// filters — the canonical sharable situation.
+    fn two_query_memo() -> Memo {
+        let mut ctx = PlanContext::new();
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("v", DataType::Int),
+        ]));
+        let mk = |ctx: &mut PlanContext, lit: i64| {
+            let b = ctx.new_block();
+            let a = ctx.add_base_rel("ta", "ta", schema.clone(), b);
+            let bb = ctx.add_base_rel("tb", "tb", schema.clone(), b);
+            LogicalPlan::get(a)
+                .filter(Scalar::cmp(
+                    cse_algebra::CmpOp::Lt,
+                    Scalar::col(a, 1),
+                    Scalar::int(lit),
+                ))
+                .join(
+                    LogicalPlan::get(bb),
+                    Scalar::eq(Scalar::col(a, 0), Scalar::col(bb, 0)),
+                )
+        };
+        let q1 = mk(&mut ctx, 10);
+        let q2 = mk(&mut ctx, 20);
+        let mut memo = Memo::new(ctx);
+        memo.insert_plan(&LogicalPlan::Batch {
+            children: vec![q1, q2],
+        });
+        memo
+    }
+
+    #[test]
+    fn detects_sharable_join_pair() {
+        let memo = two_query_memo();
+        let mgr = CseManager::build(&memo);
+        let sets = mgr.sharable_sets();
+        assert_eq!(sets.len(), 1, "exactly the {{ta,tb}} signature: {sets:?}");
+        let (sig, groups) = &sets[0];
+        assert_eq!(sig.tables, vec!["ta", "tb"]);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn single_table_signatures_excluded() {
+        let memo = two_query_memo();
+        let mgr = CseManager::build(&memo);
+        assert!(mgr
+            .signatures()
+            .all(|(s, _)| s.table_count() >= 2));
+    }
+
+    #[test]
+    fn ancestors_reach_root() {
+        let memo = two_query_memo();
+        let mgr = CseManager::build(&memo);
+        let root = memo.root();
+        for g in memo.groups() {
+            assert!(
+                mgr.is_ancestor(root, g.id),
+                "root must be ancestor of {}",
+                g.id
+            );
+        }
+        assert!(mgr.is_ancestor(root, root));
+    }
+
+    #[test]
+    fn maximality_prunes_filter_wrappers() {
+        // A single query where σ(A⋈B) sits above A⋈B: both carry the same
+        // signature, but only one maximal consumer must remain per branch.
+        let mut ctx = PlanContext::new();
+        let schema = Arc::new(Schema::from_pairs(&[("k", DataType::Int)]));
+        let b1 = ctx.new_block();
+        let a1 = ctx.add_base_rel("ta", "ta", schema.clone(), b1);
+        let b1b = ctx.add_base_rel("tb", "tb", schema.clone(), b1);
+        let q1 = LogicalPlan::get(a1)
+            .join(
+                LogicalPlan::get(b1b),
+                Scalar::eq(Scalar::col(a1, 0), Scalar::col(b1b, 0)),
+            )
+            // Filter ABOVE the join: same table signature as the join.
+            .filter(Scalar::cmp(
+                cse_algebra::CmpOp::Lt,
+                Scalar::col(a1, 0),
+                Scalar::int(5),
+            ));
+        let b2 = ctx.new_block();
+        let a2 = ctx.add_base_rel("ta", "ta", schema.clone(), b2);
+        let b2b = ctx.add_base_rel("tb", "tb", schema.clone(), b2);
+        let q2 = LogicalPlan::get(a2).join(
+            LogicalPlan::get(b2b),
+            Scalar::eq(Scalar::col(a2, 0), Scalar::col(b2b, 0)),
+        );
+        let mut memo = Memo::new(ctx);
+        memo.insert_plan(&LogicalPlan::Batch {
+            children: vec![q1, q2],
+        });
+        let mgr = CseManager::build(&memo);
+        let sets = mgr.sharable_sets();
+        assert_eq!(sets.len(), 1);
+        // Query 1 contributes only its maximal σ(A⋈B) group, query 2 its
+        // join group: exactly two consumers.
+        assert_eq!(sets[0].1.len(), 2);
+    }
+}

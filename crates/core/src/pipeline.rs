@@ -1,0 +1,516 @@
+//! The end-to-end optimization pipeline (the paper's Figure 1):
+//!
+//! 1. lower SQL → logical plan → memo; explore; table signatures are
+//!    collected incrementally (Step 1);
+//! 2. normal optimization (baseline plan + per-group cost bounds);
+//! 3. if the query is expensive enough and the CSE manager finds sharable
+//!    signatures: generate candidate CSEs (Step 2) with heuristics H1–H4,
+//!    including a second detection round over the candidate definitions
+//!    themselves (stacked CSEs, §5.5);
+//! 4. resume optimization with candidate sets enabled (Step 3, §5.3) and
+//!    return the cheapest plan.
+
+use crate::candidates::{
+    cost_candidate, estimate_cse, generate_for_set, h4_prune_contained, CostBounds,
+    CostedCandidate, GenConfig,
+};
+use crate::enumerate::choose_best;
+use crate::lca::least_common_ancestor;
+use crate::manager::CseManager;
+use crate::required::{compute_required, RequiredCols};
+use crate::view_match::build_substitute;
+use cse_algebra::{LogicalPlan, PlanContext};
+use cse_cost::{CostModel, StatsCatalog};
+use cse_memo::{explore, ExploreConfig, GroupId, Memo};
+use cse_optimizer::{
+    CseCandidate, CseId, FullPlan, IndexInfo, Optimizer, OptimizerConfig, Substitute,
+};
+use cse_storage::Catalog;
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct CseConfig {
+    /// Master switch: off reproduces the "No CSE" columns of the paper.
+    pub enable_cse: bool,
+    /// Candidate-generation knobs (heuristics on/off, α, β).
+    pub gen: GenConfig,
+    pub explore: ExploreConfig,
+    pub optimizer: OptimizerConfig,
+    pub cost_model: CostModel,
+    /// Cap on CSE re-optimizations (§5.3 enumeration).
+    pub max_cse_optimizations: u32,
+    /// Cheap-query gate: skip the CSE phase below this baseline cost.
+    pub min_query_cost: f64,
+    /// Detect CSEs over candidate definitions too (§5.5).
+    pub stacked: bool,
+}
+
+impl Default for CseConfig {
+    fn default() -> Self {
+        CseConfig {
+            enable_cse: true,
+            gen: GenConfig::default(),
+            explore: ExploreConfig::default(),
+            optimizer: OptimizerConfig::default(),
+            cost_model: CostModel::default(),
+            max_cse_optimizations: 64,
+            min_query_cost: 0.0,
+            stacked: true,
+        }
+    }
+}
+
+impl CseConfig {
+    /// The paper's "No CSE" configuration.
+    pub fn no_cse() -> Self {
+        CseConfig {
+            enable_cse: false,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's "Using CSEs (no heuristics)" configuration.
+    pub fn no_heuristics() -> Self {
+        CseConfig {
+            gen: GenConfig {
+                heuristics: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Diagnostic summary of one candidate.
+#[derive(Debug, Clone)]
+pub struct CandidateSummary {
+    pub id: CseId,
+    pub tables: Vec<String>,
+    pub grouped: bool,
+    pub consumers: usize,
+    pub est_rows: f64,
+    pub est_width: f64,
+}
+
+/// What happened during optimization — the numbers the paper's tables
+/// report.
+#[derive(Debug, Clone, Default)]
+pub struct CseReport {
+    /// Signatures shared by ≥2 expressions (detection output).
+    pub sharable_signatures: usize,
+    /// Candidates given to the optimizer (paper: "# of CSEs").
+    pub candidates: Vec<CandidateSummary>,
+    /// CSE re-optimizations performed (paper: bracketed count).
+    pub cse_optimizations: u32,
+    /// Estimated cost of the plan without CSEs.
+    pub baseline_cost: f64,
+    /// Estimated cost of the final plan.
+    pub final_cost: f64,
+    /// Spools actually used in the final plan.
+    pub spools_used: usize,
+    /// Wall-clock of the normal optimization phases.
+    pub baseline_time: Duration,
+    /// Wall-clock of the whole optimization including the CSE phase.
+    pub total_time: Duration,
+}
+
+/// Optimization output: executable plan, context for the executor, report.
+pub struct Optimized {
+    pub plan: FullPlan,
+    pub ctx: PlanContext,
+    pub report: CseReport,
+}
+
+/// Optimize a SQL batch end to end.
+pub fn optimize_sql(
+    catalog: &Catalog,
+    sql: &str,
+    cfg: &CseConfig,
+) -> Result<Optimized, String> {
+    let (ctx, plan) = cse_sql::lower_batch_sql(catalog, sql)?;
+    optimize_plan(catalog, ctx, plan, cfg)
+}
+
+/// Optimize an already-lowered logical plan.
+pub fn optimize_plan(
+    catalog: &Catalog,
+    ctx: PlanContext,
+    plan: LogicalPlan,
+    cfg: &CseConfig,
+) -> Result<Optimized, String> {
+    let trace = std::env::var("CSE_TRACE").is_ok();
+    macro_rules! stage {
+        ($name:expr, $t:expr) => {
+            if trace {
+                eprintln!("[cse-trace] {}: {:?}", $name, $t.elapsed());
+            }
+        };
+    }
+    let t_start = Instant::now();
+    let mut memo = Memo::new(ctx);
+    let root = memo.insert_plan(&plan);
+    memo.set_root(root);
+    explore(&mut memo, &cfg.explore);
+    stage!("insert+explore", t_start);
+
+    let stats = StatsCatalog::from_catalog(catalog);
+    let indexes = IndexInfo::from_catalog(catalog);
+
+    // Normal optimization phases: baseline plan + cost bounds.
+    let baseline = {
+        let mut opt = Optimizer::new(
+            &memo,
+            &stats,
+            cfg.cost_model.clone(),
+            cfg.optimizer.clone(),
+            indexes.clone(),
+        );
+        opt.optimize_full(root, 0)
+    };
+    let baseline_time = t_start.elapsed();
+    stage!("baseline", t_start);
+    let mut report = CseReport {
+        baseline_cost: baseline.cost,
+        final_cost: baseline.cost,
+        baseline_time,
+        total_time: baseline_time,
+        ..Default::default()
+    };
+
+    if !cfg.enable_cse || baseline.cost < cfg.min_query_cost {
+        return Ok(Optimized {
+            plan: baseline,
+            ctx: memo.ctx.clone(),
+            report,
+        });
+    }
+
+    // Step 2: detection + candidate generation (phase A).
+    let t_gen = Instant::now();
+    let candidates = run_generation(&mut memo, &stats, &indexes, cfg, root, &BTreeSet::new());
+    stage!("generation", t_gen);
+    {
+        let mgr = CseManager::build(&memo);
+        report.sharable_signatures = mgr.sharable_sets().len();
+    }
+    if candidates.is_empty() {
+        report.total_time = t_start.elapsed();
+        return Ok(Optimized {
+            plan: baseline,
+            ctx: memo.ctx.clone(),
+            report,
+        });
+    }
+
+    // Register definitions in the memo for costing.
+    let mut registered: Vec<(CostedCandidate, GroupId)> = Vec::new();
+    for c in candidates {
+        let def_root = memo.insert_plan(&c.cse.plan);
+        registered.push((c, def_root));
+    }
+    explore(&mut memo, &cfg.explore);
+    stage!("def-insert+explore", t_start);
+
+    // Stacked round (§5.5): candidate definitions are themselves query
+    // expressions — a narrower candidate may pick up additional consumers
+    // *inside* a wider candidate's definition (e.g. the paper's Table 2,
+    // where the pre-aggregated orders⋈lineitem CSE also feeds the
+    // customer⋈orders⋈lineitem CSE's definition). The candidate set is
+    // fixed at this point; only consumer sets are extended.
+    if cfg.stacked {
+        let def_roots: BTreeSet<GroupId> =
+            registered.iter().map(|(_, d)| *d).collect();
+        let t_ext = Instant::now();
+        extend_with_stacked_consumers(&memo, &mut registered, &def_roots);
+        stage!("stacked-extension", t_ext);
+    }
+
+    // Too many candidates cannot be represented in the optimizer's mask;
+    // keep the most promising (widest consumer sets, then smallest size) —
+    // in practice only the no-heuristics configuration comes close.
+    registered.sort_by(|(a, _), (b, _)| {
+        b.cse
+            .members
+            .len()
+            .cmp(&a.cse.members.len())
+            .then(a.est_rows.total_cmp(&b.est_rows))
+    });
+    registered.truncate(60);
+
+    let t_mgr = Instant::now();
+    let mgr = CseManager::build(&memo);
+    stage!("manager-rebuild", t_mgr);
+    let mut roots = vec![root];
+    roots.extend(registered.iter().map(|(_, d)| *d));
+    let required = compute_required(&memo, &roots);
+
+    let mut cse_candidates: Vec<CseCandidate> = Vec::new();
+    let mut substitutes: Vec<Substitute> = Vec::new();
+    let mut lca_list: Vec<(CseId, Option<GroupId>)> = Vec::new();
+    for (i, (c, def_root)) in registered.iter().enumerate() {
+        let id = CseId(i as u32);
+        let consumers: Vec<GroupId> = c.cse.members.iter().map(|m| m.group).collect();
+        let lca = least_common_ancestor(&mgr, &consumers);
+        let mut matched = 0usize;
+        for (mi, _) in c.cse.members.iter().enumerate() {
+            if let Some(s) = build_substitute(&memo, id, &c.cse, mi, &required) {
+                substitutes.push(s);
+                matched += 1;
+            }
+        }
+        if matched < 2 {
+            // Not enough matchable consumers: candidate is useless.
+            substitutes.retain(|s| s.cse != id);
+            continue;
+        }
+        report.candidates.push(CandidateSummary {
+            id,
+            tables: c.signature.tables.clone(),
+            grouped: c.signature.grouped,
+            consumers: consumers.len(),
+            est_rows: c.est_rows,
+            est_width: c.est_width,
+        });
+        lca_list.push((id, lca));
+        cse_candidates.push(CseCandidate {
+            id,
+            def_root: *def_root,
+            def_plan: c.cse.plan.clone(),
+            output: c.cse.output.clone(),
+            est_rows: c.est_rows,
+            est_width: c.est_width,
+            consumers,
+            lca,
+        });
+    }
+
+    if cse_candidates.is_empty() {
+        report.total_time = t_start.elapsed();
+        return Ok(Optimized {
+            plan: baseline,
+            ctx: memo.ctx.clone(),
+            report,
+        });
+    }
+
+    // Step 3: resume optimization with candidates enabled.
+    let mut opt = Optimizer::new(
+        &memo,
+        &stats,
+        cfg.cost_model.clone(),
+        cfg.optimizer.clone(),
+        indexes,
+    );
+    opt.register_candidates(cse_candidates, substitutes);
+    let t_enum = Instant::now();
+    let outcome = choose_best(&mut opt, &mgr, root, &lca_list, cfg.max_cse_optimizations);
+    stage!("enumeration", t_enum);
+    report.cse_optimizations = outcome.optimizations;
+
+    let (final_plan, final_cost) = if outcome.plan.cost < baseline.cost {
+        let c = outcome.plan.cost;
+        (outcome.plan, c)
+    } else {
+        (baseline.clone(), baseline.cost)
+    };
+    report.final_cost = final_cost;
+    report.spools_used = final_plan.spools.len();
+    report.total_time = t_start.elapsed();
+
+    Ok(Optimized {
+        plan: final_plan,
+        ctx: memo.ctx.clone(),
+        report,
+    })
+}
+
+/// Add def-internal consumers to existing candidates (§5.5). A group
+/// inside a definition qualifies when it has the candidate's signature,
+/// aligns onto the anchor rels, *requires* every covering join (its
+/// equivalence classes entail the candidate's join conjuncts), its
+/// predicate implies the covering predicate, and — for grouped candidates
+/// — its keys and aggregates are subsumed by the candidate's.
+fn extend_with_stacked_consumers(
+    memo: &Memo,
+    registered: &mut [(CostedCandidate, GroupId)],
+    def_roots: &BTreeSet<GroupId>,
+) {
+    let mgr = CseManager::build(memo);
+    let mut def_internal: BTreeSet<GroupId> = BTreeSet::new();
+    for &d in def_roots {
+        def_internal.extend(memo.descendants(d));
+    }
+    for d in def_roots {
+        def_internal.remove(d);
+    }
+    for (cand, own_def) in registered.iter_mut() {
+        let own_tree: BTreeSet<GroupId> = memo.descendants(*own_def).into_iter().collect();
+        let groups: Vec<GroupId> = mgr.groups_of(&cand.signature).to_vec();
+        for g in groups {
+            if !def_internal.contains(&g)
+                || own_tree.contains(&g)
+                || cand.cse.members.iter().any(|m| m.group == g)
+            {
+                continue;
+            }
+            let tree = memo.extract_first_tree(g);
+            let normal = match cse_algebra::SpjgNormal::from_plan(&tree) {
+                Some(n) => n,
+                None => continue,
+            };
+            let anchor = &cand.cse.members[0].normal.spj.rels;
+            let alignment = match crate::align::Alignment::new(&memo.ctx, anchor, &normal.spj.rels)
+            {
+                Some(a) => a,
+                None => continue,
+            };
+            let aligned = alignment.normal_form(&normal);
+            let classes = aligned.spj.equiv_classes();
+            let ec = cse_algebra::EquivClasses::from_conjuncts(&aligned.spj.conjuncts);
+            // The consumer must enforce every join the spool applied.
+            let joins_ok = cand.cse.join_conjuncts.iter().all(|j| {
+                j.as_col_eq_col()
+                    .map(|(a, b)| ec.are_equal(a, b))
+                    .unwrap_or(false)
+            });
+            if !joins_ok {
+                continue;
+            }
+            if !cse_algebra::implies(&aligned.spj.predicate(), &cand.cse.covering) {
+                continue;
+            }
+            if let Some((keys, aggs, _)) = &cand.cse.group {
+                let mg = match &aligned.group {
+                    Some(mg) => mg,
+                    None => continue,
+                };
+                if !mg.keys.iter().all(|k| keys.contains(k))
+                    || !mg.aggs.iter().all(|a| aggs.contains(a))
+                {
+                    continue;
+                }
+            } else if aligned.group.is_some() {
+                continue;
+            }
+            // Simplified predicate: conjuncts beyond the covering joins.
+            let implied_by_join = |c: &cse_algebra::Scalar| -> bool {
+                c.as_col_eq_col()
+                    .map(|(a, b)| {
+                        let jec = cse_algebra::EquivClasses::from_conjuncts(
+                            &cand.cse.join_conjuncts,
+                        );
+                        jec.are_equal(a, b)
+                    })
+                    .unwrap_or(false)
+            };
+            let simplified = cse_algebra::Scalar::and(
+                aligned
+                    .spj
+                    .conjuncts
+                    .iter()
+                    .filter(|c| !implied_by_join(c))
+                    .cloned(),
+            )
+            .normalize();
+            cand.cse.members.push(crate::compat::PreparedConsumer {
+                group: g,
+                normal: aligned,
+                classes,
+                alignment,
+            });
+            cand.cse.simplified.push(simplified);
+        }
+    }
+}
+
+/// One round of detection + candidate generation over the current memo.
+fn run_generation(
+    memo: &mut Memo,
+    stats: &StatsCatalog,
+    indexes: &IndexInfo,
+    cfg: &CseConfig,
+    root: GroupId,
+    exclude_consumers: &BTreeSet<GroupId>,
+) -> Vec<CostedCandidate> {
+    // Cost bounds for every group (normal-phase history, §5.4/§4.3).
+    let bounds = {
+        let mut opt = Optimizer::new(
+            memo,
+            stats,
+            cfg.cost_model.clone(),
+            cfg.optimizer.clone(),
+            indexes.clone(),
+        );
+        let mut costs: HashMap<GroupId, f64> = HashMap::new();
+        let ids: Vec<GroupId> = memo.groups().map(|g| g.id).collect();
+        for g in ids {
+            costs.insert(g, opt.optimize_group(g, 0).cost);
+        }
+        CostBounds::new(costs)
+    };
+    let query_cost = bounds.lower(root);
+    let mgr = CseManager::build(memo);
+    let sets: Vec<_> = mgr
+        .sharable_sets()
+        .into_iter()
+        .map(|(sig, consumers)| {
+            (
+                sig,
+                consumers
+                    .into_iter()
+                    .filter(|g| !exclude_consumers.contains(g))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .filter(|(_, consumers)| consumers.len() >= 2)
+        .collect();
+    let mut roots = vec![root];
+    roots.extend(exclude_consumers.iter().copied());
+    let required: RequiredCols = compute_required(memo, &roots);
+    let trace = std::env::var("CSE_TRACE").is_ok();
+    let mut all: Vec<CostedCandidate> = Vec::new();
+    for (sig, consumers) in sets {
+        let t = std::time::Instant::now();
+        let before = all.len();
+        all.extend(generate_for_set(
+            memo,
+            stats,
+            &cfg.cost_model,
+            &bounds,
+            &required,
+            &sig,
+            &consumers,
+            query_cost,
+            &cfg.gen,
+        ));
+        if trace && t.elapsed().as_millis() > 50 {
+            eprintln!(
+                "[cse-trace]   set {} consumers={} -> +{} candidates in {:?}",
+                sig,
+                0,
+                all.len() - before,
+                t.elapsed()
+            );
+        }
+    }
+    if cfg.gen.heuristics {
+        all = h4_prune_contained(&mgr, all, cfg.gen.beta);
+    }
+    all
+}
+
+/// Convenience: recost a constructed CSE after memo changes (used by
+/// maintenance and tests).
+pub fn recost(
+    memo: &Memo,
+    stats: &StatsCatalog,
+    model: &CostModel,
+    bounds: &CostBounds,
+    c: crate::construct::ConstructedCse,
+    signature: cse_memo::TableSignature,
+) -> CostedCandidate {
+    let _ = estimate_cse(memo, stats, &c);
+    cost_candidate(memo, stats, model, bounds, signature, c)
+}

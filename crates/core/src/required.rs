@@ -1,0 +1,173 @@
+//! Required-column analysis over the memo.
+//!
+//! For every group, which of its output columns do its ancestors actually
+//! reference? The covering subexpression only needs to materialize the
+//! union of its consumers' required columns (step 5 of the construction in
+//! §4.2: "all columns and expressions that are required to compute the
+//! result of a potential consumer") — and this is what makes Heuristic 2
+//! bite on `SELECT *` consumers.
+
+use cse_algebra::{ColRef, Scalar};
+use cse_memo::{GroupId, Memo, Op};
+use std::collections::{BTreeSet, HashMap};
+
+/// `required[g]` = columns of g's output that some ancestor references.
+pub type RequiredCols = HashMap<GroupId, BTreeSet<ColRef>>;
+
+/// Compute required columns for every group reachable from `roots`,
+/// propagating down through every group expression to a fixpoint.
+pub fn compute_required(memo: &Memo, roots: &[GroupId]) -> RequiredCols {
+    let mut required: RequiredCols = HashMap::new();
+    // Roots (statement outputs) require their full projection inputs; for
+    // non-Project roots require all output cols.
+    let mut work: Vec<GroupId> = Vec::new();
+    for &r in roots {
+        let all: BTreeSet<ColRef> = memo.group(r).props.output_cols.iter().copied().collect();
+        required.insert(r, all);
+        work.push(r);
+    }
+    while let Some(g) = work.pop() {
+        let req_g = required.get(&g).cloned().unwrap_or_default();
+        for &eid in &memo.group(g).exprs.clone() {
+            let e = memo.gexpr(eid);
+            // Columns this operator itself consumes from its children.
+            let mut local: BTreeSet<ColRef> = BTreeSet::new();
+            let add_scalar = |s: &Scalar, acc: &mut BTreeSet<ColRef>| {
+                acc.extend(s.columns());
+            };
+            match &e.op {
+                Op::Get { .. } => {}
+                Op::Filter { pred } => add_scalar(pred, &mut local),
+                Op::Join { pred } => add_scalar(pred, &mut local),
+                Op::Aggregate { keys, aggs, .. } => {
+                    local.extend(keys.iter().copied());
+                    for a in aggs {
+                        if let Some(arg) = &a.arg {
+                            add_scalar(arg, &mut local);
+                        }
+                    }
+                }
+                Op::Project { exprs } => {
+                    for (_, s) in exprs {
+                        add_scalar(s, &mut local);
+                    }
+                }
+                Op::Sort { keys } => {
+                    for (s, _) in keys {
+                        add_scalar(s, &mut local);
+                    }
+                }
+                Op::Batch => {}
+            }
+            for &c in &e.children {
+                let child_cols: BTreeSet<ColRef> = memo
+                    .group(c)
+                    .props
+                    .output_cols
+                    .iter()
+                    .copied()
+                    .collect();
+                // Child must provide: pass-through requirements it can
+                // supply + the operator's own references into it.
+                let mut need: BTreeSet<ColRef> = req_g
+                    .iter()
+                    .copied()
+                    .filter(|col| child_cols.contains(col))
+                    .collect();
+                need.extend(local.iter().copied().filter(|col| child_cols.contains(col)));
+                // Batch children are statement roots: they require all
+                // their outputs (results are delivered in full).
+                if matches!(e.op, Op::Batch) {
+                    need.extend(child_cols.iter().copied());
+                }
+                let entry = required.entry(c).or_default();
+                let before = entry.len();
+                entry.extend(need);
+                if entry.len() != before || before == 0 {
+                    work.push(c);
+                }
+            }
+        }
+    }
+    required
+}
+
+/// The required columns of one group (empty set if never computed).
+pub fn required_of(required: &RequiredCols, g: GroupId) -> BTreeSet<ColRef> {
+    required.get(&g).cloned().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_algebra::{AggExpr, LogicalPlan, PlanContext, Scalar};
+    use cse_storage::{DataType, Schema};
+    use std::sync::Arc;
+
+    fn build() -> (Memo, GroupId, cse_algebra::RelId, cse_algebra::RelId) {
+        let mut ctx = PlanContext::new();
+        let blk = ctx.new_block();
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("c", DataType::Int),
+        ]));
+        let r = ctx.add_base_rel("r", "r", schema.clone(), blk);
+        let s = ctx.add_base_rel("s", "s", schema, blk);
+        let out = ctx.add_agg_output(&[DataType::Int], blk);
+        let join = LogicalPlan::get(r).join(
+            LogicalPlan::get(s),
+            Scalar::eq(Scalar::col(r, 0), Scalar::col(s, 0)),
+        );
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(join),
+            keys: vec![cse_algebra::ColRef::new(r, 1)],
+            aggs: vec![AggExpr::sum(Scalar::col(s, 2))],
+            out,
+        }
+        .project(vec![(
+            "total".into(),
+            Scalar::col(out, 0),
+        )]);
+        let mut memo = Memo::new(ctx);
+        let root = memo.insert_plan(&plan);
+        (memo, root, r, s)
+    }
+
+    #[test]
+    fn join_group_requires_only_referenced_columns() {
+        let (memo, root, r, s) = build();
+        let req = compute_required(&memo, &[root]);
+        // Find the join group (rels = {r,s}, no group flag).
+        let join_group = memo
+            .groups()
+            .find(|g| {
+                g.props.rels.len() == 2
+                    && g.props
+                        .signature
+                        .as_ref()
+                        .is_some_and(|sig| !sig.grouped)
+            })
+            .unwrap();
+        let need = required_of(&req, join_group.id);
+        // Required: r.a (join key via agg input? no: join key), r.b (group
+        // key), s.a (join key), s.c (agg arg). NOT r.c, s.b.
+        assert!(need.contains(&cse_algebra::ColRef::new(r, 1)));
+        assert!(need.contains(&cse_algebra::ColRef::new(s, 2)));
+        assert!(!need.contains(&cse_algebra::ColRef::new(r, 2)));
+        assert!(!need.contains(&cse_algebra::ColRef::new(s, 1)));
+    }
+
+    #[test]
+    fn leaf_requirements_subset_of_schema() {
+        let (memo, root, r, _) = build();
+        let req = compute_required(&memo, &[root]);
+        let get_group = memo
+            .groups()
+            .find(|g| g.props.rels == cse_algebra::RelSet::single(r))
+            .unwrap();
+        let need = required_of(&req, get_group.id);
+        assert!(!need.is_empty());
+        assert!(need.iter().all(|c| c.rel == r));
+    }
+}

@@ -1,0 +1,190 @@
+//! Unit-level tests of the generation heuristics (§4.3) against synthetic
+//! catalogs where each heuristic's firing condition is controlled.
+
+use cse_core::candidates::{
+    cost_candidate, h1_worthwhile, h4_prune_contained, shared_cost, CostBounds,
+};
+use cse_core::{compute_required, construct, prepare_consumers, CseManager};
+use cse_algebra::{CmpOp, LogicalPlan, PlanContext, Scalar};
+use cse_cost::{CostModel, StatsCatalog};
+use cse_memo::{explore, ExploreConfig, GroupId, Memo};
+use cse_storage::{row, Catalog, DataType, Schema, Table, Value};
+use std::collections::HashMap;
+
+/// Catalog with two tables of `n` rows each.
+fn catalog(n: i64) -> Catalog {
+    let mut a = Table::new(
+        "ta",
+        Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]),
+    );
+    let mut b = Table::new(
+        "tb",
+        Schema::from_pairs(&[("k", DataType::Int), ("w", DataType::Int)]),
+    );
+    for i in 0..n {
+        a.push(row(vec![Value::Int(i), Value::Int(i % 10)])).unwrap();
+        b.push(row(vec![Value::Int(i), Value::Int(i % 7)])).unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.register_table(a).unwrap();
+    cat.register_table(b).unwrap();
+    cat
+}
+
+/// Memo with two similar joins (different filter bounds) + batch root.
+fn memo_two_joins(catalog: &Catalog) -> (Memo, Vec<GroupId>) {
+    let mut ctx = PlanContext::new();
+    let sa = catalog.table("ta").unwrap().schema().clone();
+    let sb = catalog.table("tb").unwrap().schema().clone();
+    let mk = |ctx: &mut PlanContext, hi: i64| {
+        let blk = ctx.new_block();
+        let a = ctx.add_base_rel("ta", "ta", sa.clone(), blk);
+        let b = ctx.add_base_rel("tb", "tb", sb.clone(), blk);
+        LogicalPlan::get(a)
+            .filter(Scalar::cmp(CmpOp::Lt, Scalar::col(a, 1), Scalar::int(hi)))
+            .join(
+                LogicalPlan::get(b),
+                Scalar::eq(Scalar::col(a, 0), Scalar::col(b, 0)),
+            )
+            .project(vec![
+                ("k".into(), Scalar::col(a, 0)),
+                ("w".into(), Scalar::col(b, 1)),
+            ])
+    };
+    let q1 = mk(&mut ctx, 5);
+    let q2 = mk(&mut ctx, 8);
+    let mut memo = Memo::new(ctx);
+    let root = memo.insert_plan(&LogicalPlan::Batch {
+        children: vec![q1, q2],
+    });
+    memo.set_root(root);
+    explore(&mut memo, &ExploreConfig::default());
+    let mgr = CseManager::build(&memo);
+    let sets = mgr.sharable_sets();
+    assert_eq!(sets.len(), 1);
+    (memo, sets.into_iter().next().unwrap().1)
+}
+
+#[test]
+fn h1_rejects_cheap_sets_and_accepts_expensive_ones() {
+    let bounds = CostBounds::new(HashMap::from([
+        (GroupId(1), 10.0),
+        (GroupId(2), 15.0),
+    ]));
+    // Query cost 1000, alpha 10%: 25 < 100 -> reject.
+    assert!(!h1_worthwhile(
+        &bounds,
+        &[GroupId(1), GroupId(2)],
+        1000.0,
+        0.10
+    ));
+    // Query cost 200: 25 >= 20 -> accept.
+    assert!(h1_worthwhile(&bounds, &[GroupId(1), GroupId(2)], 200.0, 0.10));
+}
+
+#[test]
+fn shared_cost_includes_all_three_components() {
+    let cat = catalog(500);
+    let (mut memo, consumers) = memo_two_joins(&cat);
+    let stats = StatsCatalog::from_catalog(&cat);
+    let required = compute_required(&memo, &[memo.root()]);
+    let prepared = prepare_consumers(&memo, &consumers);
+    let sig = memo
+        .signature_of(consumers[0])
+        .expect("consumer has signature")
+        .clone();
+    let cse = construct(&mut memo, prepared, &required).unwrap();
+    let bounds = CostBounds::new(HashMap::from([
+        (consumers[0], 100.0),
+        (consumers[1], 150.0),
+    ]));
+    let costed = cost_candidate(&memo, &stats, &CostModel::default(), &bounds, sig, cse);
+    // ce_lower = max of member bounds = 150.
+    assert_eq!(costed.ce_lower, 150.0);
+    assert!(costed.cw > 0.0);
+    assert!(costed.cr > 0.0);
+    assert!(costed.cr < costed.cw, "reading must be cheaper than writing");
+    let sc = shared_cost(&costed);
+    assert!(
+        (sc - (costed.ce_lower + costed.cw + 2.0 * costed.cr)).abs() < 1e-9,
+        "shared cost formula"
+    );
+}
+
+#[test]
+fn h4_discards_contained_candidate_with_larger_result() {
+    let cat = catalog(500);
+    let (mut memo, consumers) = memo_two_joins(&cat);
+    let stats = StatsCatalog::from_catalog(&cat);
+    let required = compute_required(&memo, &[memo.root()]);
+    let mgr = CseManager::build(&memo);
+    let sig = memo.signature_of(consumers[0]).unwrap().clone();
+    let prepared = prepare_consumers(&memo, &consumers);
+    let cse = construct(&mut memo, prepared, &required).unwrap();
+    let bounds = CostBounds::default();
+    let model = CostModel::default();
+    // Two copies of the same candidate: mutually contained, equal size —
+    // with β=0.9, size_c > 0.9·size_p holds, so one dies.
+    let a = cost_candidate(&memo, &stats, &model, &bounds, sig.clone(), cse.clone());
+    let b = cost_candidate(&memo, &stats, &model, &bounds, sig, cse);
+    let kept = h4_prune_contained(&mgr, vec![a, b], 0.90);
+    assert_eq!(kept.len(), 1, "one of two identical candidates must die");
+    // With β above 1.0 nothing dies (a candidate is never bigger than
+    // itself times >1).
+    let cat2 = catalog(500);
+    let (mut memo2, consumers2) = memo_two_joins(&cat2);
+    let stats2 = StatsCatalog::from_catalog(&cat2);
+    let required2 = compute_required(&memo2, &[memo2.root()]);
+    let mgr2 = CseManager::build(&memo2);
+    let sig2 = memo2.signature_of(consumers2[0]).unwrap().clone();
+    let prepared2 = prepare_consumers(&memo2, &consumers2);
+    let cse2 = construct(&mut memo2, prepared2, &required2).unwrap();
+    let a2 = cost_candidate(&memo2, &stats2, &model, &bounds, sig2.clone(), cse2.clone());
+    let b2 = cost_candidate(&memo2, &stats2, &model, &bounds, sig2, cse2);
+    let kept2 = h4_prune_contained(&mgr2, vec![a2, b2], 1.5);
+    assert_eq!(kept2.len(), 2);
+}
+
+#[test]
+fn construct_output_covers_compensation_columns() {
+    let cat = catalog(200);
+    let (mut memo, consumers) = memo_two_joins(&cat);
+    let required = compute_required(&memo, &[memo.root()]);
+    let prepared = prepare_consumers(&memo, &consumers);
+    let cse = construct(&mut memo, prepared, &required).unwrap();
+    // The differing filter column (ta.v, aligned to the anchor's rel) must
+    // be materialized so consumers can compensate.
+    for simp in &cse.simplified {
+        for conj in simp.conjuncts() {
+            if !cse_algebra::implies(&cse.covering, &conj) {
+                for c in conj.columns() {
+                    assert!(
+                        cse.output.contains(&c),
+                        "compensation column {c} missing from spool output"
+                    );
+                }
+            }
+        }
+    }
+    // Covering is the range hull: v < 8 (the wider of 5 and 8).
+    assert!(!cse.covering.is_true());
+    let ranges = cse_algebra::column_ranges(&cse.covering);
+    let (_, iv) = ranges.iter().next().expect("hull range");
+    assert_eq!(iv.hi.as_ref().unwrap().0, Value::Int(8));
+}
+
+#[test]
+fn trivial_construct_matches_consumer() {
+    let cat = catalog(100);
+    let (mut memo, consumers) = memo_two_joins(&cat);
+    let required = compute_required(&memo, &[memo.root()]);
+    let prepared = prepare_consumers(&memo, &consumers);
+    let one = vec![prepared[0].clone()];
+    let cse = construct(&mut memo, one, &required).unwrap();
+    assert_eq!(cse.members.len(), 1);
+    // Trivial CSE's covering predicate is the consumer's own filter.
+    assert!(cse_algebra::implies(
+        &cse.members[0].normal.spj.predicate(),
+        &cse.covering
+    ));
+}

@@ -1,0 +1,65 @@
+//! The maintenance module's SQL renderer must be a faithful inverse of
+//! the parser for the supported subset (view definitions round-trip
+//! through rewrite_from → parse).
+
+use cse_core::maintenance::render_select;
+use cse_sql::{parse_one, Statement};
+
+fn roundtrip(sql: &str) {
+    let Statement::Select(s1) = parse_one(sql).expect("parse original") else {
+        panic!("not a select");
+    };
+    let rendered = render_select(&s1);
+    let Statement::Select(s2) = parse_one(&rendered).expect("parse rendered") else {
+        panic!("rendered not a select");
+    };
+    // Rendering normalizes alias presence; compare re-rendered forms.
+    assert_eq!(
+        render_select(&s2),
+        rendered,
+        "second render must be stable"
+    );
+    assert_eq!(s1.select.len(), s2.select.len());
+    assert_eq!(s1.from.len(), s2.from.len());
+    assert_eq!(s1.group_by.len(), s2.group_by.len());
+}
+
+#[test]
+fn renders_simple_select() {
+    roundtrip("select a, b from t where a < 5");
+}
+
+#[test]
+fn renders_aggregates_and_grouping() {
+    roundtrip(
+        "select c_nationkey, sum(l_extendedprice) as le, count(*) as n \
+         from customer, orders, lineitem \
+         where c_custkey = o_custkey and o_orderkey = l_orderkey \
+         group by c_nationkey",
+    );
+}
+
+#[test]
+fn renders_qualified_columns_and_aliases() {
+    roundtrip("select c.a as x, d.b from t1 c, t2 d where c.k = d.k");
+}
+
+#[test]
+fn renders_string_and_date_literals() {
+    roundtrip("select a from t where d < '1996-07-01' and s = 'it''s'");
+}
+
+#[test]
+fn renders_or_not_between() {
+    roundtrip("select a from t where a between 1 and 5 or not b = 2");
+}
+
+#[test]
+fn renders_arithmetic() {
+    roundtrip("select a * 2 + 1 as x from t where a / 4 > 1.5");
+}
+
+#[test]
+fn renders_min_max() {
+    roundtrip("select min(a) as lo, max(b) as hi from t group by c");
+}

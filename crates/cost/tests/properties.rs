@@ -1,0 +1,105 @@
+//! Property tests: selectivities stay in [0,1], cost formulas are
+//! monotone and non-negative — the invariants the search relies on.
+
+use cse_algebra::{CmpOp, PlanContext, RelId, Scalar};
+use cse_cost::{CostModel, Selectivity, StatsCatalog};
+use cse_storage::{row, Catalog, DataType, Schema, Table, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn setup(n: i64) -> (PlanContext, StatsCatalog, RelId) {
+    let mut t = Table::new(
+        "t",
+        Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float)]),
+    );
+    for i in 0..n {
+        t.push(row(vec![
+            Value::Int(i % 50),
+            Value::Float((i % 13) as f64),
+        ]))
+        .unwrap();
+    }
+    let mut cat = Catalog::new();
+    cat.register_table(t).unwrap();
+    let stats = StatsCatalog::from_catalog(&cat);
+    let mut ctx = PlanContext::new();
+    let b = ctx.new_block();
+    let schema = Arc::new(Schema::from_pairs(&[
+        ("a", DataType::Int),
+        ("b", DataType::Float),
+    ]));
+    let r = ctx.add_base_rel("t", "t", schema, b);
+    (ctx, stats, r)
+}
+
+fn arb_pred(rel: RelId) -> impl Strategy<Value = Scalar> {
+    let leaf = ((0u16..2), -60i64..60, 0usize..6).prop_map(move |(c, v, op)| {
+        let op = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ][op];
+        Scalar::cmp(op, Scalar::col(rel, c), Scalar::int(v))
+    });
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Scalar::and),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Scalar::or),
+            inner.prop_map(|p| Scalar::Not(Box::new(p))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn selectivity_in_unit_interval(p in arb_pred(RelId(0))) {
+        let (ctx, stats, _) = setup(500);
+        let s = Selectivity::new(&ctx, &stats).of(&p);
+        prop_assert!((0.0..=1.0).contains(&s), "selectivity {s} for {p}");
+    }
+
+    #[test]
+    fn conjunction_never_more_selective_than_parts(
+        p in arb_pred(RelId(0)),
+        q in arb_pred(RelId(0)),
+    ) {
+        let (ctx, stats, _) = setup(500);
+        let sel = Selectivity::new(&ctx, &stats);
+        let sp = sel.of(&p);
+        let spq = sel.of(&Scalar::and([p, q]));
+        prop_assert!(spq <= sp + 1e-9, "AND increased selectivity: {spq} > {sp}");
+    }
+
+    #[test]
+    fn disjunction_never_less_selective_than_parts(
+        p in arb_pred(RelId(0)),
+        q in arb_pred(RelId(0)),
+    ) {
+        let (ctx, stats, _) = setup(500);
+        let sel = Selectivity::new(&ctx, &stats);
+        let sp = sel.of(&p);
+        let spq = sel.of(&Scalar::or([p, q]));
+        prop_assert!(spq >= sp - 1e-9, "OR decreased selectivity: {spq} < {sp}");
+    }
+
+    #[test]
+    fn costs_nonnegative_and_monotone(rows in 1.0f64..1e7, width in 1.0f64..512.0) {
+        let m = CostModel::default();
+        for f in [
+            m.scan(rows, width),
+            m.filter(rows),
+            m.hash_join(rows, rows, rows),
+            m.hash_agg(rows, rows / 2.0),
+            m.spool_write(rows, width),
+            m.spool_read(rows, width),
+            m.sort(rows),
+        ] {
+            prop_assert!(f >= 0.0 && f.is_finite());
+        }
+        prop_assert!(m.scan(rows * 2.0, width) >= m.scan(rows, width));
+        prop_assert!(m.spool_write(rows, width * 2.0) >= m.spool_write(rows, width));
+    }
+}

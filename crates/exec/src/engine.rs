@@ -1,0 +1,522 @@
+//! The physical plan interpreter.
+//!
+//! Executes a [`FullPlan`]: spool work tables are computed at most once
+//! (on first read) and shared by every consumer, which is precisely the
+//! runtime behaviour the covering-subexpression optimization banks on.
+
+use crate::eval::{accepts, agg_input, eval, AggState, Layout};
+use cse_algebra::{AggExpr, ColRef, PlanContext, SortOrder};
+use cse_optimizer::{CseId, FullPlan, PhysicalPlan};
+use cse_storage::{Catalog, Row, Value};
+use std::collections::HashMap;
+use std::ops::Bound;
+
+/// A delivered result set (one per batch statement).
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Canonical form for comparisons in tests: rows sorted by total order.
+    pub fn canonicalized(mut self) -> ResultSet {
+        self.rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let o = x.total_cmp(y);
+                if !o.is_eq() {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self
+    }
+
+    /// Order-insensitive equality with a relative tolerance on floats.
+    /// Plans that share subexpressions aggregate in stages, so float sums
+    /// legitimately differ in the last bits from single-stage plans.
+    pub fn approx_eq(&self, other: &ResultSet, rel_tol: f64) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let a = self.clone().canonicalized();
+        let b = other.clone().canonicalized();
+        a.rows.iter().zip(b.rows.iter()).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb.iter()).all(|(x, y)| match (x, y) {
+                    (Value::Float(_), _) | (_, Value::Float(_)) => {
+                        match (x.as_f64(), y.as_f64()) {
+                            (Some(fx), Some(fy)) => {
+                                let tol = rel_tol * fx.abs().max(fy.abs()).max(1.0);
+                                (fx - fy).abs() <= tol
+                            }
+                            _ => false,
+                        }
+                    }
+                    _ => x == y,
+                })
+        })
+    }
+}
+
+/// Execution counters.
+#[derive(Debug, Clone, Default)]
+pub struct ExecMetrics {
+    /// Rows produced into each spool work table.
+    pub spool_rows: HashMap<CseId, usize>,
+    /// Number of times each spool was read.
+    pub spool_reads: HashMap<CseId, usize>,
+    /// Total rows scanned from base tables.
+    pub base_rows_scanned: usize,
+}
+
+/// Execution output: one result set per delivered statement plus metrics.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    pub results: Vec<ResultSet>,
+    pub metrics: ExecMetrics,
+}
+
+/// Intermediate rows + their layout.
+struct Chunk {
+    layout: Layout,
+    cols: Vec<ColRef>,
+    rows: Vec<Row>,
+}
+
+impl Chunk {
+    fn new(cols: Vec<ColRef>, rows: Vec<Row>) -> Self {
+        Chunk {
+            layout: Layout::new(&cols),
+            cols,
+            rows,
+        }
+    }
+}
+
+/// The interpreter.
+pub struct Engine<'a> {
+    pub catalog: &'a Catalog,
+    pub ctx: &'a PlanContext,
+}
+
+struct RunState<'p> {
+    plan: &'p FullPlan,
+    spools: HashMap<CseId, (Vec<ColRef>, Vec<Row>)>,
+    metrics: ExecMetrics,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(catalog: &'a Catalog, ctx: &'a PlanContext) -> Self {
+        Engine { catalog, ctx }
+    }
+
+    /// Execute a full plan; batch roots deliver one result set per child.
+    pub fn execute(&self, plan: &FullPlan) -> Result<ExecOutput, String> {
+        let mut st = RunState {
+            plan,
+            spools: HashMap::new(),
+            metrics: ExecMetrics::default(),
+        };
+        let results = match &plan.root {
+            PhysicalPlan::Batch { children } => {
+                let mut out = Vec::with_capacity(children.len());
+                for c in children {
+                    out.push(self.deliver(c, &mut st)?);
+                }
+                out
+            }
+            other => vec![self.deliver(other, &mut st)?],
+        };
+        Ok(ExecOutput {
+            results,
+            metrics: st.metrics,
+        })
+    }
+
+    /// Run one statement subtree and name its output columns.
+    fn deliver(&self, plan: &PhysicalPlan, st: &mut RunState<'_>) -> Result<ResultSet, String> {
+        match plan {
+            PhysicalPlan::Project { input, exprs } => {
+                let chunk = self.run(input, st)?;
+                let mut rows = Vec::with_capacity(chunk.rows.len());
+                for r in &chunk.rows {
+                    let vals: Vec<Value> = exprs
+                        .iter()
+                        .map(|(_, e)| eval(e, &chunk.layout, r))
+                        .collect();
+                    rows.push(cse_storage::row(vals));
+                }
+                Ok(ResultSet {
+                    columns: exprs.iter().map(|(n, _)| n.clone()).collect(),
+                    rows,
+                })
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                // Sort above Project is not generated; Sort below Project is
+                // handled inside run(). A bare Sort root delivers positional
+                // columns.
+                let chunk = self.run(&PhysicalPlan::Sort {
+                    input: input.clone(),
+                    keys: keys.clone(),
+                }, st)?;
+                Ok(ResultSet {
+                    columns: chunk
+                        .cols
+                        .iter()
+                        .map(|c| self.ctx.col_name(*c))
+                        .collect(),
+                    rows: chunk.rows,
+                })
+            }
+            other => {
+                let chunk = self.run(other, st)?;
+                Ok(ResultSet {
+                    columns: chunk
+                        .cols
+                        .iter()
+                        .map(|c| self.ctx.col_name(*c))
+                        .collect(),
+                    rows: chunk.rows,
+                })
+            }
+        }
+    }
+
+    fn run(&self, plan: &PhysicalPlan, st: &mut RunState<'_>) -> Result<Chunk, String> {
+        match plan {
+            PhysicalPlan::TableScan { rel, filter, layout } => {
+                let info = self.ctx.rel(*rel);
+                let table = self
+                    .catalog
+                    .table(&info.name)
+                    .map_err(|e| e.to_string())?;
+                let lay = Layout::new(layout);
+                let mut rows = Vec::new();
+                st.metrics.base_rows_scanned += table.row_count();
+                for r in table.scan() {
+                    if let Some(p) = filter {
+                        if !accepts(p, &lay, r) {
+                            continue;
+                        }
+                    }
+                    rows.push(r.clone());
+                }
+                Ok(Chunk::new(layout.clone(), rows))
+            }
+            PhysicalPlan::IndexRangeScan {
+                rel,
+                col,
+                lo,
+                hi,
+                residual,
+                layout,
+            } => {
+                let info = self.ctx.rel(*rel);
+                let entry = self.catalog.get(&info.name).map_err(|e| e.to_string())?;
+                let table = entry.table.clone();
+                let lay = Layout::new(layout);
+                let idx = entry
+                    .btree_indexes
+                    .iter()
+                    .find(|i| i.column == col.col as usize);
+                let mut rows = Vec::new();
+                let lo_b = match lo {
+                    Some((v, true)) => Bound::Included(v),
+                    Some((v, false)) => Bound::Excluded(v),
+                    None => Bound::Unbounded,
+                };
+                let hi_b = match hi {
+                    Some((v, true)) => Bound::Included(v),
+                    Some((v, false)) => Bound::Excluded(v),
+                    None => Bound::Unbounded,
+                };
+                match idx {
+                    Some(idx) => {
+                        for rid in idx.range(lo_b, hi_b) {
+                            let r = &table.rows()[rid as usize];
+                            if let Some(p) = residual {
+                                if !accepts(p, &lay, r) {
+                                    continue;
+                                }
+                            }
+                            rows.push(r.clone());
+                        }
+                        st.metrics.base_rows_scanned += rows.len();
+                    }
+                    None => {
+                        // Index dropped since planning: degrade to a scan.
+                        st.metrics.base_rows_scanned += table.row_count();
+                        let in_range = |v: &Value| {
+                            let lo_ok = match lo {
+                                Some((b, true)) => v.total_cmp(b).is_ge(),
+                                Some((b, false)) => v.total_cmp(b).is_gt(),
+                                None => true,
+                            };
+                            let hi_ok = match hi {
+                                Some((b, true)) => v.total_cmp(b).is_le(),
+                                Some((b, false)) => v.total_cmp(b).is_lt(),
+                                None => true,
+                            };
+                            lo_ok && hi_ok
+                        };
+                        let pos = lay
+                            .position(*col)
+                            .ok_or("index column missing from layout")?;
+                        for r in table.scan() {
+                            if !in_range(&r[pos]) {
+                                continue;
+                            }
+                            if let Some(p) = residual {
+                                if !accepts(p, &lay, r) {
+                                    continue;
+                                }
+                            }
+                            rows.push(r.clone());
+                        }
+                    }
+                }
+                Ok(Chunk::new(layout.clone(), rows))
+            }
+            PhysicalPlan::Filter { input, pred } => {
+                let chunk = self.run(input, st)?;
+                let rows = chunk
+                    .rows
+                    .iter()
+                    .filter(|r| accepts(pred, &chunk.layout, r))
+                    .cloned()
+                    .collect();
+                Ok(Chunk::new(chunk.cols, rows))
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                keys,
+                residual,
+                layout,
+            } => {
+                let lchunk = self.run(left, st)?;
+                let rchunk = self.run(right, st)?;
+                let lkeys: Vec<usize> = keys
+                    .iter()
+                    .map(|(a, _)| lchunk.layout.position(*a).ok_or("left key missing"))
+                    .collect::<Result<_, _>>()?;
+                let rkeys: Vec<usize> = keys
+                    .iter()
+                    .map(|(_, b)| rchunk.layout.position(*b).ok_or("right key missing"))
+                    .collect::<Result<_, _>>()?;
+                let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+                for r in &lchunk.rows {
+                    let k: Vec<Value> = lkeys.iter().map(|i| r[*i].clone()).collect();
+                    if k.iter().any(Value::is_null) {
+                        continue; // NULL never joins
+                    }
+                    table.entry(k).or_default().push(r);
+                }
+                let out_layout = Layout::new(layout);
+                let mut rows = Vec::new();
+                for rrow in &rchunk.rows {
+                    let k: Vec<Value> = rkeys.iter().map(|i| rrow[*i].clone()).collect();
+                    if k.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(&k) {
+                        for lrow in matches {
+                            let mut vals: Vec<Value> = Vec::with_capacity(layout.len());
+                            vals.extend(lrow.iter().cloned());
+                            vals.extend(rrow.iter().cloned());
+                            let joined = cse_storage::row(vals);
+                            if let Some(p) = residual {
+                                if !accepts(p, &out_layout, &joined) {
+                                    continue;
+                                }
+                            }
+                            rows.push(joined);
+                        }
+                    }
+                }
+                Ok(Chunk::new(layout.clone(), rows))
+            }
+            PhysicalPlan::NlJoin {
+                left,
+                right,
+                pred,
+                layout,
+            } => {
+                let lchunk = self.run(left, st)?;
+                let rchunk = self.run(right, st)?;
+                let out_layout = Layout::new(layout);
+                let mut rows = Vec::new();
+                for lrow in &lchunk.rows {
+                    for rrow in &rchunk.rows {
+                        let mut vals: Vec<Value> = Vec::with_capacity(layout.len());
+                        vals.extend(lrow.iter().cloned());
+                        vals.extend(rrow.iter().cloned());
+                        let joined = cse_storage::row(vals);
+                        if pred.is_true() || accepts(pred, &out_layout, &joined) {
+                            rows.push(joined);
+                        }
+                    }
+                }
+                Ok(Chunk::new(layout.clone(), rows))
+            }
+            PhysicalPlan::HashAggregate {
+                input,
+                keys,
+                aggs,
+                layout,
+                ..
+            } => {
+                let chunk = self.run(input, st)?;
+                let rows = aggregate(&chunk, keys, aggs)?;
+                Ok(Chunk::new(layout.clone(), rows))
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let chunk = self.run(input, st)?;
+                let mut rows = chunk.rows;
+                rows.sort_by(|a, b| {
+                    for (k, dir) in keys {
+                        let va = eval(k, &chunk.layout, a);
+                        let vb = eval(k, &chunk.layout, b);
+                        let mut o = va.total_cmp(&vb);
+                        if *dir == SortOrder::Desc {
+                            o = o.reverse();
+                        }
+                        if !o.is_eq() {
+                            return o;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                Ok(Chunk::new(chunk.cols, rows))
+            }
+            PhysicalPlan::Project { input, exprs } => {
+                // Interior projection (rare): deliver positionally with
+                // synthetic cols — only valid at roots, guarded here.
+                let _ = (input, exprs);
+                Err("interior Project operators are not supported".into())
+            }
+            PhysicalPlan::CseRead {
+                cse,
+                filter,
+                reagg,
+                output_map,
+                layout,
+            } => {
+                self.ensure_spool(*cse, st)?;
+                *st.metrics.spool_reads.entry(*cse).or_insert(0) += 1;
+                let (spool_cols, spool_rows) = st.spools.get(cse).expect("spool computed").clone();
+                let spool_layout = Layout::new(&spool_cols);
+                let mut rows: Vec<Row> = spool_rows;
+                if let Some(p) = filter {
+                    rows.retain(|r| accepts(p, &spool_layout, r));
+                }
+                let (cur_cols, cur_rows) = match reagg {
+                    Some(r) => {
+                        let chunk = Chunk::new(spool_cols.clone(), rows);
+                        let agg_rows = aggregate(&chunk, &r.keys, &r.aggs)?;
+                        let mut cols = r.keys.clone();
+                        cols.extend((0..r.aggs.len()).map(|i| ColRef::new(r.out, i as u16)));
+                        (cols, agg_rows)
+                    }
+                    None => (spool_cols, rows),
+                };
+                let cur_layout = Layout::new(&cur_cols);
+                let mut out_rows = Vec::with_capacity(cur_rows.len());
+                for r in &cur_rows {
+                    let vals: Vec<Value> = output_map
+                        .iter()
+                        .map(|(_, e)| eval(e, &cur_layout, r))
+                        .collect();
+                    out_rows.push(cse_storage::row(vals));
+                }
+                Ok(Chunk::new(layout.clone(), out_rows))
+            }
+            PhysicalPlan::Batch { .. } => Err("nested Batch operators are not supported".into()),
+        }
+    }
+
+    /// Compute a spool's work table once (recursively computes narrower
+    /// stacked spools it reads).
+    fn ensure_spool(&self, cse: CseId, st: &mut RunState<'_>) -> Result<(), String> {
+        if st.spools.contains_key(&cse) {
+            return Ok(());
+        }
+        let def = st
+            .plan
+            .spools
+            .get(&cse)
+            .ok_or_else(|| format!("missing spool definition for {cse}"))?
+            .clone();
+        let chunk = self.run(&def.plan, st)?;
+        // Re-layout the definition output into the spool's column order.
+        let rows: Vec<Row> = if chunk.cols == def.layout {
+            chunk.rows
+        } else {
+            let positions: Vec<usize> = def
+                .layout
+                .iter()
+                .map(|c| {
+                    chunk
+                        .layout
+                        .position(*c)
+                        .ok_or_else(|| format!("spool column {c} missing from definition"))
+                })
+                .collect::<Result<_, _>>()?;
+            chunk
+                .rows
+                .iter()
+                .map(|r| {
+                    cse_storage::row(positions.iter().map(|i| r[*i].clone()).collect())
+                })
+                .collect()
+        };
+        st.metrics.spool_rows.insert(cse, rows.len());
+        st.spools.insert(cse, (def.layout.clone(), rows));
+        Ok(())
+    }
+}
+
+/// Hash aggregation shared by HashAggregate and CseRead re-aggregation.
+fn aggregate(chunk: &Chunk, keys: &[ColRef], aggs: &[AggExpr]) -> Result<Vec<Row>, String> {
+    let key_pos: Vec<usize> = keys
+        .iter()
+        .map(|k| {
+            chunk
+                .layout
+                .position(*k)
+                .ok_or_else(|| format!("group key {k} missing from layout"))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    // Deterministic output order: remember first-seen order.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for r in &chunk.rows {
+        let k: Vec<Value> = key_pos.iter().map(|i| r[*i].clone()).collect();
+        let states = groups.entry(k.clone()).or_insert_with(|| {
+            order.push(k);
+            aggs.iter().map(|a| AggState::new(a.func)).collect()
+        });
+        for (a, s) in aggs.iter().zip(states.iter_mut()) {
+            let v = agg_input(a, &chunk.layout, r);
+            s.update(&v);
+        }
+    }
+    // Scalar aggregate over an empty input produces one row.
+    if keys.is_empty() && groups.is_empty() {
+        let vals: Vec<Value> = aggs
+            .iter()
+            .map(|a| AggState::new(a.func).finish())
+            .collect();
+        return Ok(vec![cse_storage::row(vals)]);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for k in order {
+        let states = &groups[&k];
+        let mut vals = k.clone();
+        vals.extend(states.iter().map(AggState::finish));
+        out.push(cse_storage::row(vals));
+    }
+    Ok(out)
+}

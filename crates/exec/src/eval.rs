@@ -1,0 +1,355 @@
+//! Scalar and aggregate evaluation against physical row layouts.
+
+use cse_algebra::{AggExpr, AggFunc, ArithOp, CmpOp, ColRef, Scalar};
+use cse_storage::Value;
+use std::collections::HashMap;
+
+/// Maps global column ids to row positions for one operator's output.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    pos: HashMap<ColRef, usize>,
+}
+
+impl Layout {
+    pub fn new(cols: &[ColRef]) -> Self {
+        Layout {
+            pos: cols.iter().enumerate().map(|(i, c)| (*c, i)).collect(),
+        }
+    }
+
+    pub fn position(&self, c: ColRef) -> Option<usize> {
+        self.pos.get(&c).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+}
+
+/// Evaluate a scalar expression over one row.
+pub fn eval(s: &Scalar, layout: &Layout, row: &[Value]) -> Value {
+    match s {
+        Scalar::Col(c) => match layout.position(*c) {
+            Some(i) => row[i].clone(),
+            None => Value::Null,
+        },
+        Scalar::Lit(v) => v.clone(),
+        Scalar::Cmp(op, a, b) => {
+            let (va, vb) = (eval(a, layout, row), eval(b, layout, row));
+            match va.sql_cmp(&vb) {
+                None => Value::Null,
+                Some(ord) => Value::Bool(match op {
+                    CmpOp::Eq => ord.is_eq(),
+                    CmpOp::Ne => ord.is_ne(),
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                }),
+            }
+        }
+        Scalar::And(parts) => {
+            // Three-valued AND: false dominates, then null.
+            let mut saw_null = false;
+            for p in parts {
+                match eval(p, layout, row) {
+                    Value::Bool(false) => return Value::Bool(false),
+                    Value::Bool(true) => {}
+                    _ => saw_null = true,
+                }
+            }
+            if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(true)
+            }
+        }
+        Scalar::Or(parts) => {
+            let mut saw_null = false;
+            for p in parts {
+                match eval(p, layout, row) {
+                    Value::Bool(true) => return Value::Bool(true),
+                    Value::Bool(false) => {}
+                    _ => saw_null = true,
+                }
+            }
+            if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(false)
+            }
+        }
+        Scalar::Not(inner) => match eval(inner, layout, row) {
+            Value::Bool(b) => Value::Bool(!b),
+            _ => Value::Null,
+        },
+        Scalar::Arith(op, a, b) => {
+            let (va, vb) = (eval(a, layout, row), eval(b, layout, row));
+            arith(*op, &va, &vb)
+        }
+        Scalar::IsNull(inner) => Value::Bool(eval(inner, layout, row).is_null()),
+    }
+}
+
+fn arith(op: ArithOp, a: &Value, b: &Value) -> Value {
+    if a.is_null() || b.is_null() {
+        return Value::Null;
+    }
+    // Integer arithmetic stays integral except division.
+    if let (Value::Int(x), Value::Int(y)) = (a, b) {
+        return match op {
+            ArithOp::Add => Value::Int(x + y),
+            ArithOp::Sub => Value::Int(x - y),
+            ArithOp::Mul => Value::Int(x * y),
+            ArithOp::Div => {
+                if *y == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*x as f64 / *y as f64)
+                }
+            }
+        };
+    }
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => match op {
+            ArithOp::Add => Value::Float(x + y),
+            ArithOp::Sub => Value::Float(x - y),
+            ArithOp::Mul => Value::Float(x * y),
+            ArithOp::Div => {
+                if y == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Float(x / y)
+                }
+            }
+        },
+        _ => Value::Null,
+    }
+}
+
+/// Does the predicate accept this row (SQL semantics: NULL rejects)?
+pub fn accepts(pred: &Scalar, layout: &Layout, row: &[Value]) -> bool {
+    matches!(eval(pred, layout, row), Value::Bool(true))
+}
+
+/// Running state of one aggregate.
+#[derive(Debug, Clone)]
+pub struct AggState {
+    func: AggFunc,
+    sum_f: f64,
+    sum_i: i64,
+    int_only: bool,
+    count: i64,
+    extreme: Option<Value>,
+    saw_value: bool,
+}
+
+impl AggState {
+    pub fn new(func: AggFunc) -> Self {
+        AggState {
+            func,
+            sum_f: 0.0,
+            sum_i: 0,
+            int_only: true,
+            count: 0,
+            extreme: None,
+            saw_value: false,
+        }
+    }
+
+    pub fn update(&mut self, v: &Value) {
+        match self.func {
+            AggFunc::CountStar => self.count += 1,
+            AggFunc::Count => {
+                if !v.is_null() {
+                    self.count += 1;
+                }
+            }
+            AggFunc::Sum => {
+                if v.is_null() {
+                    return;
+                }
+                self.saw_value = true;
+                match v {
+                    Value::Int(i) => {
+                        self.sum_i += i;
+                        self.sum_f += *i as f64;
+                    }
+                    _ => {
+                        self.int_only = false;
+                        if let Some(f) = v.as_f64() {
+                            self.sum_f += f;
+                        }
+                    }
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if v.is_null() {
+                    return;
+                }
+                self.saw_value = true;
+                let better = match &self.extreme {
+                    None => true,
+                    Some(cur) => {
+                        let ord = v.total_cmp(cur);
+                        match self.func {
+                            AggFunc::Min => ord.is_lt(),
+                            _ => ord.is_gt(),
+                        }
+                    }
+                };
+                if better {
+                    self.extreme = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count | AggFunc::CountStar => Value::Int(self.count),
+            AggFunc::Sum => {
+                if !self.saw_value {
+                    Value::Null
+                } else if self.int_only {
+                    Value::Int(self.sum_i)
+                } else {
+                    Value::Float(self.sum_f)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => self.extreme.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Evaluate the argument of an aggregate for one row (CountStar has none).
+pub fn agg_input(a: &AggExpr, layout: &Layout, row: &[Value]) -> Value {
+    match &a.arg {
+        Some(arg) => eval(arg, layout, row),
+        None => Value::Int(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_algebra::RelId;
+
+    fn layout2() -> Layout {
+        Layout::new(&[ColRef::new(RelId(0), 0), ColRef::new(RelId(0), 1)])
+    }
+
+    #[test]
+    fn col_and_cmp() {
+        let l = layout2();
+        let row = vec![Value::Int(5), Value::Int(9)];
+        let p = Scalar::cmp(CmpOp::Lt, Scalar::col(RelId(0), 0), Scalar::col(RelId(0), 1));
+        assert!(accepts(&p, &l, &row));
+        let q = Scalar::eq(Scalar::col(RelId(0), 0), Scalar::int(5));
+        assert!(accepts(&q, &l, &row));
+    }
+
+    #[test]
+    fn null_rejects() {
+        let l = layout2();
+        let row = vec![Value::Null, Value::Int(9)];
+        let p = Scalar::cmp(CmpOp::Lt, Scalar::col(RelId(0), 0), Scalar::int(10));
+        assert!(!accepts(&p, &l, &row));
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let l = layout2();
+        let row = vec![Value::Null, Value::Int(9)];
+        let isnull = Scalar::cmp(CmpOp::Eq, Scalar::col(RelId(0), 0), Scalar::int(1));
+        let true_p = Scalar::cmp(CmpOp::Lt, Scalar::col(RelId(0), 1), Scalar::int(10));
+        // unknown AND true = unknown
+        assert_eq!(
+            eval(&Scalar::and([isnull.clone(), true_p.clone()]), &l, &row),
+            Value::Null
+        );
+        // unknown OR true = true
+        assert_eq!(
+            eval(&Scalar::or([isnull, true_p]), &l, &row),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let l = Layout::default();
+        assert_eq!(
+            eval(
+                &Scalar::Arith(
+                    ArithOp::Add,
+                    Box::new(Scalar::int(2)),
+                    Box::new(Scalar::int(3))
+                ),
+                &l,
+                &[]
+            ),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval(
+                &Scalar::Arith(
+                    ArithOp::Div,
+                    Box::new(Scalar::int(7)),
+                    Box::new(Scalar::int(2))
+                ),
+                &l,
+                &[]
+            ),
+            Value::Float(3.5)
+        );
+        assert_eq!(
+            eval(
+                &Scalar::Arith(
+                    ArithOp::Div,
+                    Box::new(Scalar::int(7)),
+                    Box::new(Scalar::int(0))
+                ),
+                &l,
+                &[]
+            ),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn agg_sum_and_count() {
+        let mut sum = AggState::new(AggFunc::Sum);
+        let mut cnt = AggState::new(AggFunc::Count);
+        for v in [Value::Int(1), Value::Null, Value::Int(4)] {
+            sum.update(&v);
+            cnt.update(&v);
+        }
+        assert_eq!(sum.finish(), Value::Int(5));
+        assert_eq!(cnt.finish(), Value::Int(2));
+    }
+
+    #[test]
+    fn agg_min_max_empty() {
+        let mut mn = AggState::new(AggFunc::Min);
+        assert_eq!(mn.finish(), Value::Null);
+        mn.update(&Value::Int(3));
+        mn.update(&Value::Int(-2));
+        assert_eq!(mn.finish(), Value::Int(-2));
+        let mut mx = AggState::new(AggFunc::Max);
+        mx.update(&Value::Float(1.5));
+        mx.update(&Value::Float(7.25));
+        assert_eq!(mx.finish(), Value::Float(7.25));
+    }
+
+    #[test]
+    fn sum_mixed_promotes_to_float() {
+        let mut sum = AggState::new(AggFunc::Sum);
+        sum.update(&Value::Int(1));
+        sum.update(&Value::Float(0.5));
+        assert_eq!(sum.finish(), Value::Float(1.5));
+    }
+}

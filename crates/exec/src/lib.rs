@@ -1,0 +1,11 @@
+//! # cse-exec
+//!
+//! Physical-plan interpreter: row-at-a-time operators (scans, hash/NL
+//! joins, hash aggregation, sort), spool work tables computed once and
+//! shared across consumers, and execution metrics.
+
+pub mod engine;
+pub mod eval;
+
+pub use engine::{Engine, ExecMetrics, ExecOutput, ResultSet};
+pub use eval::{accepts, eval, AggState, Layout};

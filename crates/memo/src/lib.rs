@@ -1,0 +1,15 @@
+//! # cse-memo
+//!
+//! Cascades-style memo: groups of logically equivalent expressions stored
+//! as a DAG (paper §2.1), transformation-rule exploration, and incremental
+//! table-signature computation (paper §3).
+
+pub mod explore;
+pub mod memo;
+pub mod op;
+pub mod signature;
+
+pub use explore::{explore, ExploreConfig};
+pub use memo::{Group, LogicalProps, Memo};
+pub use op::{GroupExpr, GroupExprId, GroupId, Op};
+pub use signature::{compute_signature, TableSignature};

@@ -1,0 +1,512 @@
+//! The memo: a DAG of groups of logically-equivalent expressions
+//! (Goldstein/Graefe's Cascades structure, paper §2.1).
+
+use crate::op::{GroupExpr, GroupExprId, GroupId, Op};
+use crate::signature::{compute_signature, TableSignature};
+use cse_algebra::{
+    AggExpr, BlockId, ColRef, LogicalPlan, PlanContext, RelSet,
+};
+use std::collections::HashMap;
+
+/// Logical properties shared by all expressions of a group.
+#[derive(Debug, Clone)]
+pub struct LogicalProps {
+    /// Base/delta table instances below this group.
+    pub rels: RelSet,
+    /// The query block, when all rels agree (None for Batch and for groups
+    /// spanning blocks, e.g. CSE definitions joined into several queries).
+    pub block: Option<BlockId>,
+    /// Table signature (paper §3); `None` when the group is not SPJG.
+    pub signature: Option<TableSignature>,
+    /// Globally-identified columns the group exposes.
+    pub output_cols: Vec<ColRef>,
+}
+
+/// A set of logically equivalent expressions.
+#[derive(Debug, Clone)]
+pub struct Group {
+    pub id: GroupId,
+    /// Expressions in insertion order; the first is the originally
+    /// inserted shape (used for acyclic tree extraction).
+    pub exprs: Vec<GroupExprId>,
+    pub props: LogicalProps,
+    /// Group expressions (in other groups) referencing this group.
+    pub parents: Vec<GroupExprId>,
+}
+
+/// The memo structure.
+#[derive(Debug)]
+pub struct Memo {
+    /// Table-instance registry; mutable because exploration (eager
+    /// aggregation) allocates new synthetic output rels.
+    pub ctx: PlanContext,
+    groups: Vec<Group>,
+    gexprs: Vec<GroupExpr>,
+    gexpr_group: Vec<GroupId>,
+    dedup: HashMap<String, GroupExprId>,
+    /// Deterministic synthetic-out allocation for exploration-created
+    /// partial aggregates: (child group, keys, aggs) -> out rel.
+    agg_out_cache: HashMap<String, cse_algebra::RelId>,
+    root: Option<GroupId>,
+}
+
+impl Memo {
+    pub fn new(ctx: PlanContext) -> Self {
+        Memo {
+            ctx,
+            groups: Vec::new(),
+            gexprs: Vec::new(),
+            gexpr_group: Vec::new(),
+            dedup: HashMap::new(),
+            agg_out_cache: HashMap::new(),
+            root: None,
+        }
+    }
+
+    pub fn root(&self) -> GroupId {
+        self.root.expect("no plan inserted")
+    }
+
+    pub fn set_root(&mut self, g: GroupId) {
+        self.root = Some(g);
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn num_gexprs(&self) -> usize {
+        self.gexprs.len()
+    }
+
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.0 as usize]
+    }
+
+    pub fn groups(&self) -> impl Iterator<Item = &Group> {
+        self.groups.iter()
+    }
+
+    pub fn gexpr(&self, id: GroupExprId) -> &GroupExpr {
+        &self.gexprs[id.0 as usize]
+    }
+
+    pub fn group_of(&self, id: GroupExprId) -> GroupId {
+        self.gexpr_group[id.0 as usize]
+    }
+
+    /// Insert a group expression. If an identical expression exists, the
+    /// existing (id, group) is returned. Otherwise it is appended to
+    /// `target` (when given) or to a freshly created group.
+    /// Returns (gexpr id, group id, was_new).
+    pub fn add_gexpr(
+        &mut self,
+        e: GroupExpr,
+        target: Option<GroupId>,
+    ) -> (GroupExprId, GroupId, bool) {
+        let key = e.dedup_key();
+        if let Some(&id) = self.dedup.get(&key) {
+            return (id, self.gexpr_group[id.0 as usize], false);
+        }
+        let gid = match target {
+            Some(g) => g,
+            None => self.new_group_for(&e),
+        };
+        let id = GroupExprId(self.gexprs.len() as u32);
+        for &c in &e.children {
+            self.groups[c.0 as usize].parents.push(id);
+        }
+        self.gexprs.push(e);
+        self.gexpr_group.push(gid);
+        self.groups[gid.0 as usize].exprs.push(id);
+        self.dedup.insert(key, id);
+        (id, gid, true)
+    }
+
+    fn new_group_for(&mut self, e: &GroupExpr) -> GroupId {
+        let props = self.derive_props(e);
+        let id = GroupId(self.groups.len() as u32);
+        self.groups.push(Group {
+            id,
+            exprs: Vec::new(),
+            props,
+            parents: Vec::new(),
+        });
+        id
+    }
+
+    fn derive_props(&self, e: &GroupExpr) -> LogicalProps {
+        let child_props: Vec<&LogicalProps> = e
+            .children
+            .iter()
+            .map(|c| &self.groups[c.0 as usize].props)
+            .collect();
+        let rels = match &e.op {
+            Op::Get { rel } => RelSet::single(*rel),
+            _ => child_props
+                .iter()
+                .fold(RelSet::EMPTY, |acc, p| acc.union(p.rels)),
+        };
+        let block = match &e.op {
+            Op::Get { rel } => Some(self.ctx.rel(*rel).block),
+            Op::Batch => None,
+            _ => {
+                let blocks: Vec<Option<BlockId>> =
+                    child_props.iter().map(|p| p.block).collect();
+                if blocks.iter().all(|b| *b == blocks[0]) {
+                    blocks.first().copied().flatten()
+                } else {
+                    None
+                }
+            }
+        };
+        let child_sigs: Vec<Option<&TableSignature>> = child_props
+            .iter()
+            .map(|p| p.signature.as_ref())
+            .collect();
+        let signature = compute_signature(&self.ctx, &e.op, &child_sigs);
+        let output_cols = self.derive_output_cols(e, &child_props);
+        LogicalProps {
+            rels,
+            block,
+            signature,
+            output_cols,
+        }
+    }
+
+    fn derive_output_cols(&self, e: &GroupExpr, child_props: &[&LogicalProps]) -> Vec<ColRef> {
+        match &e.op {
+            Op::Get { rel } => {
+                let n = self.ctx.rel(*rel).schema.len();
+                (0..n).map(|i| ColRef::new(*rel, i as u16)).collect()
+            }
+            Op::Filter { .. } | Op::Sort { .. } => child_props
+                .first()
+                .map(|p| p.output_cols.clone())
+                .unwrap_or_default(),
+            Op::Join { .. } => {
+                let mut cols: Vec<ColRef> = child_props
+                    .iter()
+                    .flat_map(|p| p.output_cols.iter().copied())
+                    .collect();
+                cols.sort();
+                cols.dedup();
+                cols
+            }
+            Op::Aggregate { keys, aggs, out } => {
+                let mut cols = keys.clone();
+                cols.extend((0..aggs.len()).map(|i| ColRef::new(*out, i as u16)));
+                cols
+            }
+            Op::Project { .. } | Op::Batch => Vec::new(),
+        }
+    }
+
+    /// Insert a whole logical plan bottom-up with full deduplication;
+    /// returns the root group. Identical subexpressions across statements
+    /// land in the same group automatically.
+    pub fn insert_plan(&mut self, plan: &LogicalPlan) -> GroupId {
+        let gid = self.insert_rec(plan);
+        if self.root.is_none() {
+            self.root = Some(gid);
+        }
+        gid
+    }
+
+    fn insert_rec(&mut self, plan: &LogicalPlan) -> GroupId {
+        let (op, children) = match plan {
+            LogicalPlan::Get { rel } => (Op::Get { rel: *rel }, vec![]),
+            LogicalPlan::Filter { input, pred } => (
+                Op::Filter {
+                    pred: pred.normalize(),
+                },
+                vec![self.insert_rec(input)],
+            ),
+            LogicalPlan::Join { left, right, pred } => {
+                let l = self.insert_rec(left);
+                let r = self.insert_rec(right);
+                (
+                    Op::Join {
+                        pred: pred.normalize(),
+                    },
+                    vec![l, r],
+                )
+            }
+            LogicalPlan::Aggregate {
+                input,
+                keys,
+                aggs,
+                out,
+            } => (
+                Op::Aggregate {
+                    keys: keys.clone(),
+                    aggs: aggs.iter().map(AggExpr::normalize).collect(),
+                    out: *out,
+                },
+                vec![self.insert_rec(input)],
+            ),
+            LogicalPlan::Project { input, exprs } => (
+                Op::Project {
+                    exprs: exprs.clone(),
+                },
+                vec![self.insert_rec(input)],
+            ),
+            LogicalPlan::Sort { input, keys } => (
+                Op::Sort { keys: keys.clone() },
+                vec![self.insert_rec(input)],
+            ),
+            LogicalPlan::Batch { children } => {
+                let kids: Vec<GroupId> = children.iter().map(|c| self.insert_rec(c)).collect();
+                (Op::Batch, kids)
+            }
+        };
+        let (_, gid, _) = self.add_gexpr(GroupExpr::new(op, children), None);
+        gid
+    }
+
+    /// Deterministic synthetic-out rel for an exploration-created partial
+    /// aggregate, so re-running a rule reuses the same rel (keeps dedup
+    /// sound).
+    pub fn agg_out_for(
+        &mut self,
+        child: GroupId,
+        keys: &[ColRef],
+        aggs: &[AggExpr],
+        block: Option<BlockId>,
+    ) -> cse_algebra::RelId {
+        let key = format!("{child:?}|{keys:?}|{aggs:?}");
+        self.agg_out_for_key(key, aggs, block)
+    }
+
+    /// Like [`Memo::agg_out_for`] but with a caller-provided cache key —
+    /// used by covering-subexpression construction so repeated (trial)
+    /// constructions of the same aggregate shape reuse one synthetic rel
+    /// instead of exhausting the instance budget.
+    pub fn agg_out_for_key(
+        &mut self,
+        key: String,
+        aggs: &[AggExpr],
+        block: Option<BlockId>,
+    ) -> cse_algebra::RelId {
+        if let Some(&r) = self.agg_out_cache.get(&key) {
+            return r;
+        }
+        let types: Vec<cse_storage::DataType> =
+            aggs.iter().map(|a| self.ctx.agg_type(a)).collect();
+        let blk = block.unwrap_or_else(|| self.ctx.new_block());
+        let r = self.ctx.add_agg_output(&types, blk);
+        self.agg_out_cache.insert(key, r);
+        r
+    }
+
+    /// Extract the originally-inserted operator tree of a group (first
+    /// expression, recursively). Acyclic because first expressions mirror
+    /// the inserted plan shapes.
+    pub fn extract_first_tree(&self, g: GroupId) -> LogicalPlan {
+        let e = self.gexpr(self.group(g).exprs[0]);
+        self.tree_of(e)
+    }
+
+    fn tree_of(&self, e: &GroupExpr) -> LogicalPlan {
+        let mut children: Vec<LogicalPlan> = e
+            .children
+            .iter()
+            .map(|c| self.extract_first_tree(*c))
+            .collect();
+        match &e.op {
+            Op::Get { rel } => LogicalPlan::Get { rel: *rel },
+            Op::Filter { pred } => LogicalPlan::Filter {
+                input: Box::new(children.remove(0)),
+                pred: pred.clone(),
+            },
+            Op::Join { pred } => {
+                let right = Box::new(children.remove(1));
+                LogicalPlan::Join {
+                    left: Box::new(children.remove(0)),
+                    right,
+                    pred: pred.clone(),
+                }
+            }
+            Op::Aggregate { keys, aggs, out } => LogicalPlan::Aggregate {
+                input: Box::new(children.remove(0)),
+                keys: keys.clone(),
+                aggs: aggs.clone(),
+                out: *out,
+            },
+            Op::Project { exprs } => LogicalPlan::Project {
+                input: Box::new(children.remove(0)),
+                exprs: exprs.clone(),
+            },
+            Op::Sort { keys } => LogicalPlan::Sort {
+                input: Box::new(children.remove(0)),
+                keys: keys.clone(),
+            },
+            Op::Batch => LogicalPlan::Batch { children },
+        }
+    }
+
+    /// All groups that are descendants of `g` (including `g`), following
+    /// every expression of every group.
+    pub fn descendants(&self, g: GroupId) -> Vec<GroupId> {
+        let mut seen = vec![false; self.groups.len()];
+        let mut stack = vec![g];
+        let mut out = Vec::new();
+        while let Some(cur) = stack.pop() {
+            if seen[cur.0 as usize] {
+                continue;
+            }
+            seen[cur.0 as usize] = true;
+            out.push(cur);
+            for &eid in &self.group(cur).exprs {
+                for &c in &self.gexpr(eid).children {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is `desc` a descendant group of `anc` (or equal)?
+    pub fn is_descendant(&self, desc: GroupId, anc: GroupId) -> bool {
+        self.descendants(anc).contains(&desc)
+    }
+
+    /// Debug rendering of the whole memo.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for g in &self.groups {
+            let _ = writeln!(
+                s,
+                "{} rels={} sig={} ({} exprs)",
+                g.id,
+                g.props.rels,
+                g.props
+                    .signature
+                    .as_ref()
+                    .map(|x| x.to_string())
+                    .unwrap_or_else(|| "∅".into()),
+                g.exprs.len()
+            );
+            for &eid in &g.exprs {
+                let e = self.gexpr(eid);
+                let kids: Vec<String> = e.children.iter().map(|c| c.to_string()).collect();
+                let _ = writeln!(s, "  {} [{}]", e.op.name(), kids.join(","));
+            }
+        }
+        s
+    }
+}
+
+/// Convenience: the signature of a group, if any.
+impl Memo {
+    pub fn signature_of(&self, g: GroupId) -> Option<&TableSignature> {
+        self.group(g).props.signature.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_algebra::Scalar;
+    use cse_storage::{DataType, Schema};
+    use std::sync::Arc;
+
+    fn setup3() -> (PlanContext, Vec<cse_algebra::RelId>) {
+        let mut ctx = PlanContext::new();
+        let b = ctx.new_block();
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("v", DataType::Float),
+        ]));
+        let rels = ["aa", "bb", "cc"]
+            .iter()
+            .map(|t| ctx.add_base_rel(*t, *t, schema.clone(), b))
+            .collect();
+        (ctx, rels)
+    }
+
+    fn join_plan(rels: &[cse_algebra::RelId]) -> LogicalPlan {
+        LogicalPlan::get(rels[0])
+            .join(
+                LogicalPlan::get(rels[1]),
+                Scalar::eq(Scalar::col(rels[0], 0), Scalar::col(rels[1], 0)),
+            )
+            .join(
+                LogicalPlan::get(rels[2]),
+                Scalar::eq(Scalar::col(rels[1], 0), Scalar::col(rels[2], 0)),
+            )
+    }
+
+    #[test]
+    fn insert_dedups_shared_subtrees() {
+        let (ctx, rels) = setup3();
+        let mut memo = Memo::new(ctx);
+        let p = join_plan(&rels);
+        let g1 = memo.insert_plan(&p);
+        let before = memo.num_gexprs();
+        let g2 = memo.insert_plan(&p);
+        assert_eq!(g1, g2);
+        assert_eq!(memo.num_gexprs(), before);
+    }
+
+    #[test]
+    fn group_props() {
+        let (ctx, rels) = setup3();
+        let mut memo = Memo::new(ctx);
+        let g = memo.insert_plan(&join_plan(&rels));
+        let props = &memo.group(g).props;
+        assert_eq!(props.rels.len(), 3);
+        let sig = props.signature.as_ref().unwrap();
+        assert!(!sig.grouped);
+        assert_eq!(sig.tables, vec!["aa", "bb", "cc"]);
+        assert_eq!(props.output_cols.len(), 6);
+    }
+
+    #[test]
+    fn extract_first_tree_roundtrip() {
+        let (ctx, rels) = setup3();
+        let mut memo = Memo::new(ctx);
+        let p = join_plan(&rels);
+        let g = memo.insert_plan(&p);
+        let t = memo.extract_first_tree(g);
+        // Same normal form.
+        let n1 = cse_algebra::SpjgNormal::from_plan(&p).unwrap();
+        let n2 = cse_algebra::SpjgNormal::from_plan(&t).unwrap();
+        assert_eq!(n1.spj, n2.spj);
+    }
+
+    #[test]
+    fn descendants_include_leaves() {
+        let (ctx, rels) = setup3();
+        let mut memo = Memo::new(ctx);
+        let g = memo.insert_plan(&join_plan(&rels));
+        let d = memo.descendants(g);
+        assert_eq!(d.len(), 5); // 3 gets + 2 joins
+        assert!(memo.is_descendant(d[d.len() - 1], g));
+    }
+
+    #[test]
+    fn batch_groups_have_no_signature() {
+        let (ctx, rels) = setup3();
+        let mut memo = Memo::new(ctx);
+        let b = LogicalPlan::Batch {
+            children: vec![join_plan(&rels)],
+        };
+        let g = memo.insert_plan(&b);
+        assert!(memo.signature_of(g).is_none());
+    }
+
+    #[test]
+    fn parents_tracked() {
+        let (ctx, rels) = setup3();
+        let mut memo = Memo::new(ctx);
+        memo.insert_plan(&join_plan(&rels));
+        // aa's Get group is referenced by one join expr.
+        let get_group = memo
+            .groups()
+            .find(|g| g.props.rels == RelSet::single(rels[0]) && g.props.signature.is_some())
+            .unwrap();
+        assert_eq!(get_group.parents.len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Logical operators as stored in the memo, and group expressions.
+
+use cse_algebra::{AggExpr, ColRef, RelId, Scalar, SortOrder};
+use std::fmt;
+
+/// A memo-resident logical operator. Children are group references held by
+/// the enclosing [`GroupExpr`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Base-table (or delta-table) instance scan.
+    Get { rel: RelId },
+    /// Row filter (1 child).
+    Filter { pred: Scalar },
+    /// Inner join (2 children); `pred` is TRUE for a cross join.
+    Join { pred: Scalar },
+    /// Group-by + aggregation (1 child). `out` is the synthetic rel of the
+    /// aggregate outputs; alternative aggregate expressions in the same
+    /// group (e.g. eager-aggregation rewrites) share the same `out`.
+    Aggregate {
+        keys: Vec<ColRef>,
+        aggs: Vec<AggExpr>,
+        out: RelId,
+    },
+    /// Final named projection (1 child).
+    Project { exprs: Vec<(String, Scalar)> },
+    /// Result ordering (1 child).
+    Sort { keys: Vec<(Scalar, SortOrder)> },
+    /// Dummy root tying batch statements together (n children).
+    Batch,
+}
+
+impl Op {
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Get { .. } => 0,
+            Op::Filter { .. }
+            | Op::Aggregate { .. }
+            | Op::Project { .. }
+            | Op::Sort { .. } => 1,
+            Op::Join { .. } => 2,
+            Op::Batch => usize::MAX, // variable
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Get { .. } => "Get",
+            Op::Filter { .. } => "Filter",
+            Op::Join { .. } => "Join",
+            Op::Aggregate { .. } => "Aggregate",
+            Op::Project { .. } => "Project",
+            Op::Sort { .. } => "Sort",
+            Op::Batch => "Batch",
+        }
+    }
+}
+
+/// Identifier of a group in the memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// Identifier of a group expression in the memo arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupExprId(pub u32);
+
+/// A single operator referencing child groups: the memo's unit of sharing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupExpr {
+    pub op: Op,
+    pub children: Vec<GroupId>,
+}
+
+impl GroupExpr {
+    pub fn new(op: Op, children: Vec<GroupId>) -> Self {
+        GroupExpr { op, children }
+    }
+
+    /// Stable dedup key. `Op` contains f64 literals (via `Value`), which
+    /// have `PartialEq` but not `Eq`/`Hash`; keying on the debug rendering
+    /// of the normalized payload sidesteps that while remaining
+    /// deterministic.
+    pub fn dedup_key(&self) -> String {
+        format!("{:?}|{:?}", self.op, self.children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_algebra::RelId;
+
+    #[test]
+    fn arity() {
+        assert_eq!(Op::Get { rel: RelId(0) }.arity(), 0);
+        assert_eq!(
+            Op::Join {
+                pred: Scalar::true_()
+            }
+            .arity(),
+            2
+        );
+    }
+
+    #[test]
+    fn dedup_key_distinguishes_children() {
+        let a = GroupExpr::new(
+            Op::Join {
+                pred: Scalar::true_(),
+            },
+            vec![GroupId(0), GroupId(1)],
+        );
+        let b = GroupExpr::new(
+            Op::Join {
+                pred: Scalar::true_(),
+            },
+            vec![GroupId(1), GroupId(0)],
+        );
+        assert_ne!(a.dedup_key(), b.dedup_key());
+        let a2 = a.clone();
+        assert_eq!(a.dedup_key(), a2.dedup_key());
+    }
+}

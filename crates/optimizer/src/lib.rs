@@ -1,0 +1,18 @@
+//! # cse-optimizer
+//!
+//! Cost-based physical optimization over the memo: implementation rules
+//! (scans, hash/NL joins, hash aggregation, index range scans), enabled-CSE
+//! sets as required properties, least-common-ancestor spool costing, and
+//! full-plan assembly with transitive (stacked) spool collection.
+
+pub mod dot;
+pub mod optimizer;
+pub mod physical;
+pub mod rows;
+pub mod substitute;
+
+pub use dot::to_dot;
+pub use optimizer::{bit, CseMask, IndexInfo, Optimizer, OptimizerConfig, PlanChoice};
+pub use physical::{CseId, FullPlan, PhysicalPlan, ReAgg, SpoolDef};
+pub use rows::GroupRows;
+pub use substitute::{CseCandidate, Substitute, SubstituteReAgg};

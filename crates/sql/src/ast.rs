@@ -1,0 +1,92 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+/// Binary operators in the AST (comparisons and arithmetic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Aggregate function names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    Sum,
+    Count,
+    Min,
+    Max,
+    Avg,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `qualifier.column` or bare `column`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    IsNull(Box<Expr>, /*negated=*/ bool),
+    Between {
+        expr: Box<Expr>,
+        lo: Box<Expr>,
+        hi: Box<Expr>,
+        negated: bool,
+    },
+    /// `SUM(x)`, `COUNT(*)`, ...
+    Agg {
+        func: AggName,
+        arg: Option<Box<Expr>>, // None = COUNT(*)
+    },
+    /// Uncorrelated scalar subquery.
+    Subquery(Box<SelectStmt>),
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// expression with optional alias
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table reference in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    pub select: Vec<SelectItem>,
+    pub from: Vec<FromItem>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<(Expr, /*desc=*/ bool)>,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    /// `CREATE MATERIALIZED VIEW name AS SELECT ...`
+    CreateMaterializedView { name: String, query: SelectStmt },
+}

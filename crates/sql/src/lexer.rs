@@ -1,0 +1,291 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// SQL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Keywords are uppercased identifiers from the reserved list.
+    Keyword(String),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Semi => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "AS", "AND", "OR", "NOT",
+    "SUM", "COUNT", "MIN", "MAX", "AVG", "ASC", "DESC", "IS", "NULL", "BETWEEN", "CREATE",
+    "MATERIALIZED", "VIEW", "DISTINCT",
+];
+
+/// Tokenize SQL text. Returns an error message with position on bad input.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(format!("unterminated string literal at byte {i}"));
+                    }
+                    if bytes[j] == b'\'' {
+                        // doubled quote = escaped quote
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(bytes[j] as char);
+                    j += 1;
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut seen_dot = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !seen_dot))
+                {
+                    if bytes[i] == b'.' {
+                        // Don't eat "1." in "1.x" (no such syntax here, but safe).
+                        if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() {
+                            break;
+                        }
+                        seen_dot = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if seen_dot {
+                    out.push(Token::Float(
+                        text.parse().map_err(|e| format!("bad float {text}: {e}"))?,
+                    ));
+                } else {
+                    out.push(Token::Int(
+                        text.parse().map_err(|e| format!("bad int {text}: {e}"))?,
+                    ));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == 'Δ' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] >= 0x80)
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    out.push(Token::Keyword(upper));
+                } else {
+                    out.push(Token::Ident(word.to_string()));
+                }
+            }
+            c if (c as u32) >= 0x80 => {
+                // Unicode identifier start (delta tables: Δcustomer+ is
+                // registered programmatically, not parsed; but accept the
+                // bytes as part of identifiers).
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] >= 0x80)
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => return Err(format!("unexpected character '{other}' at byte {i}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let toks = tokenize("select a, b from t where a < 10").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Int(10)));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = tokenize("'1996-07-01' 'it''s'").unwrap();
+        assert_eq!(toks[0], Token::Str("1996-07-01".into()));
+        assert_eq!(toks[1], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("3.5 42").unwrap();
+        assert_eq!(toks[0], Token::Float(3.5));
+        assert_eq!(toks[1], Token::Int(42));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("<= >= <> != = < >").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+                Token::Ne,
+                Token::Eq,
+                Token::Lt,
+                Token::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("select -- comment\n a").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("SeLeCt SUM").unwrap();
+        assert_eq!(toks[0], Token::Keyword("SELECT".into()));
+        assert_eq!(toks[1], Token::Keyword("SUM".into()));
+    }
+}

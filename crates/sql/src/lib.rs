@@ -1,0 +1,16 @@
+//! # cse-sql
+//!
+//! SQL front end for the supported subset: lexer, recursive-descent
+//! parser, and lowering into logical plans over globally-identified
+//! columns. Batches share one plan context so similar subexpressions in
+//! different statements can be detected and covered.
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{AggName, BinOp, Expr, FromItem, SelectItem, SelectStmt, Statement};
+pub use lexer::{tokenize, Token};
+pub use lower::{lower_batch_sql, SqlLowerer};
+pub use parser::{parse_batch, parse_one};

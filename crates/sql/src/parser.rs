@@ -1,0 +1,484 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a semicolon-separated batch of statements.
+pub fn parse_batch(sql: &str) -> Result<Vec<Statement>, String> {
+    let mut p = Parser {
+        toks: tokenize(sql)?,
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        if p.eat(&Token::Semi) {
+            continue;
+        }
+        out.push(p.statement()?);
+    }
+    if out.is_empty() {
+        return Err("empty batch".into());
+    }
+    Ok(out)
+}
+
+/// Parse exactly one statement.
+pub fn parse_one(sql: &str) -> Result<Statement, String> {
+    let stmts = parse_batch(sql)?;
+    if stmts.len() != 1 {
+        return Err(format!("expected one statement, got {}", stmts.len()));
+    }
+    Ok(stmts.into_iter().next().expect("len checked"))
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, String> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), String> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {t}, found {}",
+                self.peek().map(|x| x.to_string()).unwrap_or("EOF".into())
+            ))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), String> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {kw}, found {}",
+                self.peek().map(|x| x.to_string()).unwrap_or("EOF".into())
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, String> {
+        if self.eat_kw("CREATE") {
+            self.expect_kw("MATERIALIZED")?;
+            self.expect_kw("VIEW")?;
+            let name = self.ident()?;
+            self.expect_kw("AS")?;
+            let query = self.select_stmt()?;
+            return Ok(Statement::CreateMaterializedView { name, query });
+        }
+        Ok(Statement::Select(self.select_stmt()?))
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, String> {
+        self.expect_kw("SELECT")?;
+        let mut select = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                select.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else if let Some(Token::Ident(_)) = self.peek() {
+                    // bare alias
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                select.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident()?;
+            let alias = if self.eat_kw("AS") {
+                Some(self.ident()?)
+            } else if let Some(Token::Ident(_)) = self.peek() {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            from.push(FromItem { table, alias });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(SelectStmt {
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+        })
+    }
+
+    /// expr := or_expr
+    fn expr(&mut self) -> Result<Expr, String> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, String> {
+        if self.eat_kw("NOT") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, String> {
+        let lhs = self.add_expr()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull(Box::new(lhs), negated));
+        }
+        // [NOT] BETWEEN a AND b
+        let negated = if matches!(self.peek(), Some(Token::Keyword(k)) if k == "NOT") {
+            // lookahead for BETWEEN
+            if matches!(self.toks.get(self.pos + 1), Some(Token::Keyword(k)) if k == "BETWEEN") {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("BETWEEN") {
+            let lo = self.add_expr()?;
+            self.expect_kw("AND")?;
+            let hi = self.add_expr()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, String> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(match inner {
+                Expr::Int(i) => Expr::Int(-i),
+                Expr::Float(f) => Expr::Float(-f),
+                other => Expr::Binary(BinOp::Sub, Box::new(Expr::Int(0)), Box::new(other)),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, String> {
+        match self.next()? {
+            Token::Int(i) => Ok(Expr::Int(i)),
+            Token::Float(f) => Ok(Expr::Float(f)),
+            Token::Str(s) => Ok(Expr::Str(s)),
+            Token::LParen => {
+                // Scalar subquery or parenthesized expression.
+                if matches!(self.peek(), Some(Token::Keyword(k)) if k == "SELECT") {
+                    let sub = self.select_stmt()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Subquery(Box::new(sub)));
+                }
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Keyword(k)
+                if matches!(k.as_str(), "SUM" | "COUNT" | "MIN" | "MAX" | "AVG") =>
+            {
+                self.expect(&Token::LParen)?;
+                let func = match k.as_str() {
+                    "SUM" => AggName::Sum,
+                    "COUNT" => AggName::Count,
+                    "MIN" => AggName::Min,
+                    "MAX" => AggName::Max,
+                    _ => AggName::Avg,
+                };
+                if func == AggName::Count && self.eat(&Token::Star) {
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Agg { func, arg: None });
+                }
+                // DISTINCT is recognized but unsupported.
+                if self.eat_kw("DISTINCT") {
+                    return Err("DISTINCT aggregates are not supported".into());
+                }
+                let arg = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Agg {
+                    func,
+                    arg: Some(Box::new(arg)),
+                })
+            }
+            Token::Keyword(k) if k == "NULL" => Err("bare NULL literal not supported".into()),
+            Token::Ident(first) => {
+                if self.eat(&Token::Dot) {
+                    let col = self.ident()?;
+                    Ok(Expr::Column {
+                        qualifier: Some(first),
+                        name: col,
+                    })
+                } else {
+                    Ok(Expr::Column {
+                        qualifier: None,
+                        name: first,
+                    })
+                }
+            }
+            other => Err(format!("unexpected token {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_q1() {
+        let sql = "select c_nationkey, c_mktsegment, sum(l_extendedprice) as le, \
+                   sum(l_quantity) as lq \
+                   from customer, orders, lineitem \
+                   where c_custkey = o_custkey and o_orderkey = l_orderkey \
+                   and o_orderdate < '1996-07-01' \
+                   and c_nationkey > 0 and c_nationkey < 20 \
+                   group by c_nationkey, c_mktsegment";
+        let stmt = parse_one(sql).unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!("not a select")
+        };
+        assert_eq!(s.select.len(), 4);
+        assert_eq!(s.from.len(), 3);
+        assert_eq!(s.group_by.len(), 2);
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn parses_batches() {
+        let stmts = parse_batch("select a from t; select b from u;").unwrap();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn parses_scalar_subquery() {
+        let sql = "select c_nationkey, sum(l_discount) as totaldisc \
+                   from customer, orders, lineitem \
+                   where c_custkey = o_custkey \
+                   group by c_nationkey \
+                   having sum(l_discount) > (select sum(l_discount) / 25 from lineitem) \
+                   order by totaldisc desc";
+        let stmt = parse_one(sql).unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!()
+        };
+        assert!(matches!(
+            s.having,
+            Some(Expr::Binary(BinOp::Gt, _, _))
+        ));
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].1);
+    }
+
+    #[test]
+    fn parses_star_and_aliases() {
+        let stmt = parse_one("select * from customer c, orders o where c.c_custkey = o.o_custkey")
+            .unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!()
+        };
+        assert_eq!(s.select, vec![SelectItem::Star]);
+        assert_eq!(s.from[0].alias.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn parses_count_star_and_avg() {
+        let stmt = parse_one("select count(*), avg(x) from t").unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!()
+        };
+        assert_eq!(s.select.len(), 2);
+    }
+
+    #[test]
+    fn parses_between() {
+        let stmt = parse_one("select a from t where a between 1 and 5").unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!()
+        };
+        assert!(matches!(s.where_clause, Some(Expr::Between { .. })));
+    }
+
+    #[test]
+    fn parses_create_materialized_view() {
+        let stmt = parse_one("create materialized view v1 as select a from t").unwrap();
+        assert!(matches!(
+            stmt,
+            Statement::CreateMaterializedView { ref name, .. } if name == "v1"
+        ));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let stmt = parse_one("select a from t where a < 1 + 2 * 3 and b = 4 or c = 5").unwrap();
+        let Statement::Select(s) = stmt else {
+            panic!()
+        };
+        // (a < 7-ish AND b=4) OR c=5 — top must be OR.
+        assert!(matches!(s.where_clause, Some(Expr::Or(_, _))));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_one("selec a from t").is_err());
+        assert!(parse_one("select from t").is_err());
+        assert!(parse_batch("").is_err());
+    }
+}

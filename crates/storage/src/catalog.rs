@@ -1,0 +1,243 @@
+//! The catalog: tables, statistics, indexes and materialized views.
+
+use crate::error::StorageError;
+use crate::index::{BTreeIndex, HashIndex};
+use crate::stats::TableStats;
+use crate::table::Table;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A registered materialized view: its name doubles as a table in the
+/// catalog, plus the SQL text of its definition (the maintenance planner
+/// re-parses the definition to build maintenance expressions).
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    pub name: String,
+    pub definition_sql: String,
+}
+
+/// One registered table together with its statistics and indexes.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    pub table: Arc<Table>,
+    pub stats: Arc<TableStats>,
+    pub hash_indexes: Vec<Arc<HashIndex>>,
+    pub btree_indexes: Vec<Arc<BTreeIndex>>,
+}
+
+/// Name-to-table registry shared by the planner, optimizer and executor.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    entries: HashMap<String, CatalogEntry>,
+    views: HashMap<String, MaterializedView>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table, computing its statistics with a full scan.
+    pub fn register_table(&mut self, table: Table) -> Result<(), StorageError> {
+        self.register_table_with_stats(Arc::new(TableStats::analyze(&table)), table)
+    }
+
+    /// Register a table with precomputed statistics (used by the TPC-H
+    /// loader, which knows the stats as it generates).
+    pub fn register_table_with_stats(
+        &mut self,
+        stats: Arc<TableStats>,
+        table: Table,
+    ) -> Result<(), StorageError> {
+        let key = table.name().to_ascii_lowercase();
+        if self.entries.contains_key(&key) {
+            return Err(StorageError::DuplicateTable(key));
+        }
+        self.entries.insert(
+            key,
+            CatalogEntry {
+                table: Arc::new(table),
+                stats,
+                hash_indexes: Vec::new(),
+                btree_indexes: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Replace a table's contents (used by maintenance and by tests). The
+    /// statistics are recomputed.
+    pub fn replace_table(&mut self, table: Table) {
+        let key = table.name().to_ascii_lowercase();
+        let stats = Arc::new(TableStats::analyze(&table));
+        let (h, b) = match self.entries.remove(&key) {
+            Some(e) => (e.hash_indexes, e.btree_indexes),
+            None => (Vec::new(), Vec::new()),
+        };
+        // Indexes referencing the old contents are dropped; callers rebuild
+        // the ones they need.
+        let _ = (h, b);
+        self.entries.insert(
+            key,
+            CatalogEntry {
+                table: Arc::new(table),
+                stats,
+                hash_indexes: Vec::new(),
+                btree_indexes: Vec::new(),
+            },
+        );
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Option<CatalogEntry> {
+        self.entries.remove(&name.to_ascii_lowercase())
+    }
+
+    pub fn get(&self, name: &str) -> Result<&CatalogEntry, StorageError> {
+        self.entries
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    pub fn table(&self, name: &str) -> Result<Arc<Table>, StorageError> {
+        Ok(self.get(name)?.table.clone())
+    }
+
+    pub fn stats(&self, name: &str) -> Result<Arc<TableStats>, StorageError> {
+        Ok(self.get(name)?.stats.clone())
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(&name.to_ascii_lowercase())
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Build and attach a B-tree index on `column` of table `name`.
+    pub fn create_btree_index(&mut self, name: &str, column: &str) -> Result<(), StorageError> {
+        let key = name.to_ascii_lowercase();
+        let entry = self
+            .entries
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        let col = entry.table.schema().index_of(column).ok_or_else(|| {
+            StorageError::UnknownColumn {
+                table: name.to_string(),
+                column: column.to_string(),
+            }
+        })?;
+        let idx = BTreeIndex::build(&entry.table, col);
+        entry.btree_indexes.push(Arc::new(idx));
+        Ok(())
+    }
+
+    /// Build and attach a hash index on `column` of table `name`.
+    pub fn create_hash_index(&mut self, name: &str, column: &str) -> Result<(), StorageError> {
+        let key = name.to_ascii_lowercase();
+        let entry = self
+            .entries
+            .get_mut(&key)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        let col = entry.table.schema().index_of(column).ok_or_else(|| {
+            StorageError::UnknownColumn {
+                table: name.to_string(),
+                column: column.to_string(),
+            }
+        })?;
+        let idx = HashIndex::build(&entry.table, col);
+        entry.hash_indexes.push(Arc::new(idx));
+        Ok(())
+    }
+
+    /// Register a materialized view. The view's *contents* must be
+    /// registered separately as a table of the same name.
+    pub fn register_view(&mut self, view: MaterializedView) {
+        self.views.insert(view.name.to_ascii_lowercase(), view);
+    }
+
+    pub fn view(&self, name: &str) -> Option<&MaterializedView> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+
+    pub fn views(&self) -> impl Iterator<Item = &MaterializedView> {
+        self.views.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::row;
+    use crate::value::{DataType, Value};
+
+    fn t(name: &str) -> Table {
+        let mut t = Table::new(name, Schema::from_pairs(&[("a", DataType::Int)]));
+        t.push(row(vec![Value::Int(7)])).unwrap();
+        t
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register_table(t("Foo")).unwrap();
+        assert!(c.contains("foo"));
+        assert!(c.contains("FOO"));
+        assert_eq!(c.table("foo").unwrap().row_count(), 1);
+        assert_eq!(c.stats("foo").unwrap().row_count, 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut c = Catalog::new();
+        c.register_table(t("foo")).unwrap();
+        assert!(matches!(
+            c.register_table(t("FOO")),
+            Err(StorageError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_table() {
+        let c = Catalog::new();
+        assert!(matches!(
+            c.table("nope"),
+            Err(StorageError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn index_creation() {
+        let mut c = Catalog::new();
+        c.register_table(t("foo")).unwrap();
+        c.create_btree_index("foo", "a").unwrap();
+        c.create_hash_index("foo", "a").unwrap();
+        let e = c.get("foo").unwrap();
+        assert_eq!(e.btree_indexes.len(), 1);
+        assert_eq!(e.hash_indexes.len(), 1);
+        assert!(c.create_btree_index("foo", "zzz").is_err());
+    }
+
+    #[test]
+    fn views() {
+        let mut c = Catalog::new();
+        c.register_view(MaterializedView {
+            name: "v1".into(),
+            definition_sql: "select 1".into(),
+        });
+        assert!(c.view("V1").is_some());
+        assert_eq!(c.views().count(), 1);
+    }
+
+    #[test]
+    fn replace_table_recomputes_stats() {
+        let mut c = Catalog::new();
+        c.register_table(t("foo")).unwrap();
+        let mut t2 = Table::new("foo", Schema::from_pairs(&[("a", DataType::Int)]));
+        t2.push(row(vec![Value::Int(1)])).unwrap();
+        t2.push(row(vec![Value::Int(2)])).unwrap();
+        c.replace_table(t2);
+        assert_eq!(c.stats("foo").unwrap().row_count, 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Delta tables for materialized-view maintenance (paper §6.4).
+//!
+//! When a base table is updated, the inserted/deleted tuples are captured in
+//! an internal work table — the *delta table* — which then drives
+//! maintenance for every affected view. The paper treats delta tables as
+//! special tables when generating table signatures; here a delta is just a
+//! [`Table`] named `Δtable` plus the action column, and the catalog knows
+//! which base table it shadows.
+
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+use std::sync::Arc;
+
+/// Kind of change captured by a delta row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaAction {
+    Insert,
+    Delete,
+}
+
+/// A captured set of changes against one base table.
+///
+/// The experiments in §6.4 update the `customer` table with inserts, so the
+/// common case is an insert-only delta; deletes are carried for
+/// completeness (maintenance treats them as negative multiplicities).
+#[derive(Debug, Clone)]
+pub struct DeltaTable {
+    /// Name of the base table this delta applies to.
+    pub base: String,
+    /// Inserted rows (same schema as the base table).
+    pub inserts: Table,
+    /// Deleted rows.
+    pub deletes: Table,
+}
+
+impl DeltaTable {
+    /// Create an empty delta for a base table with the given schema.
+    pub fn new(base: impl Into<String>, schema: &Schema) -> Self {
+        let base = base.into();
+        DeltaTable {
+            inserts: Table::new(format!("Δ{base}+"), schema.clone()),
+            deletes: Table::new(format!("Δ{base}-"), schema.clone()),
+            base,
+        }
+    }
+
+    pub fn record(&mut self, action: DeltaAction, row: Row) {
+        match action {
+            DeltaAction::Insert => self.inserts.extend([row]),
+            DeltaAction::Delete => self.deletes.extend([row]),
+        }
+    }
+
+    pub fn insert_count(&self) -> usize {
+        self.inserts.row_count()
+    }
+
+    pub fn delete_count(&self) -> usize {
+        self.deletes.row_count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.insert_count() == 0 && self.delete_count() == 0
+    }
+
+    /// The delta's insert side as a shareable table named like the paper's
+    /// internal work table, for registration in a catalog.
+    pub fn insert_table(&self) -> Arc<Table> {
+        Arc::new(self.inserts.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::row;
+    use crate::value::{DataType, Value};
+
+    #[test]
+    fn record_and_count() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let mut d = DeltaTable::new("customer", &schema);
+        assert!(d.is_empty());
+        d.record(DeltaAction::Insert, row(vec![Value::Int(1)]));
+        d.record(DeltaAction::Insert, row(vec![Value::Int(2)]));
+        d.record(DeltaAction::Delete, row(vec![Value::Int(9)]));
+        assert_eq!(d.insert_count(), 2);
+        assert_eq!(d.delete_count(), 1);
+        assert!(!d.is_empty());
+        assert_eq!(d.insert_table().name(), "Δcustomer+");
+    }
+}

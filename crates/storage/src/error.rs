@@ -1,0 +1,42 @@
+//! Storage-layer error type.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A row's arity did not match the table schema.
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
+    /// Lookup of an unknown table.
+    UnknownTable(String),
+    /// Lookup of an unknown column.
+    UnknownColumn { table: String, column: String },
+    /// A table with this name already exists.
+    DuplicateTable(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "row arity mismatch for table '{table}': expected {expected} values, got {got}"
+            ),
+            StorageError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            StorageError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

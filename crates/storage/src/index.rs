@@ -1,0 +1,114 @@
+//! Secondary indexes.
+//!
+//! Two flavours: an equality [`HashIndex`] and an ordered [`BTreeIndex`]
+//! supporting range scans (e.g. TPC-H's clustered index on `o_orderdate`
+//! that makes the paper's Example 7 consumer cheap). Indexes map key values
+//! to row positions in the owning table.
+
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// Equality index: value -> row ids.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    pub column: usize,
+    map: HashMap<Value, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Build over the given column of `table`.
+    pub fn build(table: &Table, column: usize) -> Self {
+        let mut map: HashMap<Value, Vec<u32>> = HashMap::with_capacity(table.row_count());
+        for (i, r) in table.scan().enumerate() {
+            map.entry(r[column].clone()).or_default().push(i as u32);
+        }
+        HashIndex { column, map }
+    }
+
+    pub fn lookup(&self, key: &Value) -> &[u32] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Ordered index: supports point and range lookups.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex {
+    pub column: usize,
+    map: BTreeMap<Value, Vec<u32>>,
+}
+
+impl BTreeIndex {
+    pub fn build(table: &Table, column: usize) -> Self {
+        let mut map: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
+        for (i, r) in table.scan().enumerate() {
+            map.entry(r[column].clone()).or_default().push(i as u32);
+        }
+        BTreeIndex { column, map }
+    }
+
+    pub fn lookup(&self, key: &Value) -> &[u32] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Row ids whose key lies within the given bounds.
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> impl Iterator<Item = u32> + '_ {
+        self.map
+            .range::<Value, _>((lo, hi))
+            .flat_map(|(_, ids)| ids.iter().copied())
+    }
+
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::row;
+    use crate::value::DataType;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t", Schema::from_pairs(&[("k", DataType::Int)]));
+        for v in [5i64, 3, 5, 8, 1] {
+            t.push(row(vec![Value::Int(v)])).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn hash_index_lookup() {
+        let t = sample();
+        let idx = HashIndex::build(&t, 0);
+        assert_eq!(idx.lookup(&Value::Int(5)), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::Int(42)), &[] as &[u32]);
+        assert_eq!(idx.distinct_keys(), 4);
+    }
+
+    #[test]
+    fn btree_index_range() {
+        let t = sample();
+        let idx = BTreeIndex::build(&t, 0);
+        let got: Vec<u32> = idx
+            .range(
+                Bound::Included(&Value::Int(3)),
+                Bound::Excluded(&Value::Int(8)),
+            )
+            .collect();
+        assert_eq!(got, vec![1, 0, 2]); // key 3 then key 5 (rows 0 and 2)
+    }
+
+    #[test]
+    fn btree_point_lookup() {
+        let t = sample();
+        let idx = BTreeIndex::build(&t, 0);
+        assert_eq!(idx.lookup(&Value::Int(1)), &[4]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cse-storage
+//!
+//! In-memory storage substrate for the similar-subexpression reproduction:
+//! typed values, schemas, row tables, statistics, secondary indexes, delta
+//! tables for view maintenance, and a catalog tying them together.
+//!
+//! This crate plays the role of SQL Server's storage engine in the paper's
+//! experiments: base tables hold the TPC-H data, spool operators
+//! materialize covering subexpressions into work tables ([`Table`] values
+//! created at runtime), and updates captured in [`DeltaTable`]s drive
+//! materialized-view maintenance (§6.4 of the paper).
+
+pub mod catalog;
+pub mod dates;
+pub mod delta;
+pub mod error;
+pub mod index;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use catalog::{Catalog, CatalogEntry, MaterializedView};
+pub use delta::{DeltaAction, DeltaTable};
+pub use error::StorageError;
+pub use index::{BTreeIndex, HashIndex};
+pub use schema::{ColumnDef, Schema, SchemaRef};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{row, Row, Table};
+pub use value::{DataType, Value};

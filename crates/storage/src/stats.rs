@@ -1,0 +1,180 @@
+//! Table and column statistics used by the cardinality estimator.
+//!
+//! Statistics are computed by a single scan over a loaded table: row count,
+//! and per column the min/max, an approximate distinct count and the average
+//! width. Distinct counts are exact for the table sizes used here (a hash
+//! set per column); for very large tables a sampling cut-over keeps the cost
+//! bounded.
+
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashSet;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    /// Approximate number of distinct non-null values.
+    pub distinct: u64,
+    pub null_count: u64,
+    /// Average value width in bytes.
+    pub avg_width: f64,
+}
+
+impl ColumnStats {
+    /// Statistics of an empty column.
+    pub fn empty() -> Self {
+        ColumnStats {
+            min: None,
+            max: None,
+            distinct: 0,
+            null_count: 0,
+            avg_width: 8.0,
+        }
+    }
+
+    /// Numeric range (max - min) if both bounds are numeric.
+    pub fn numeric_range(&self) -> Option<f64> {
+        let lo = self.min.as_ref()?.as_f64()?;
+        let hi = self.max.as_ref()?.as_f64()?;
+        Some((hi - lo).max(0.0))
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub row_count: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Stats that assume nothing: used when a table was registered without
+    /// analysis. One row avoids divide-by-zero in the estimator.
+    pub fn unknown(num_columns: usize) -> Self {
+        TableStats {
+            row_count: 1,
+            columns: vec![ColumnStats::empty(); num_columns],
+        }
+    }
+
+    /// Compute statistics with a full scan of `table`.
+    pub fn analyze(table: &Table) -> Self {
+        let ncols = table.schema().len();
+        let nrows = table.row_count();
+        // Exact distinct counting is fine up to a few million rows; above
+        // that, sample deterministically.
+        let sample_every = if nrows > 4_000_000 { 7 } else { 1 };
+        let mut mins: Vec<Option<Value>> = vec![None; ncols];
+        let mut maxs: Vec<Option<Value>> = vec![None; ncols];
+        let mut sets: Vec<HashSet<Value>> = (0..ncols).map(|_| HashSet::new()).collect();
+        let mut nulls = vec![0u64; ncols];
+        let mut widths = vec![0u64; ncols];
+        let mut sampled = 0u64;
+
+        for (i, row) in table.scan().enumerate() {
+            let in_sample = i % sample_every == 0;
+            if in_sample {
+                sampled += 1;
+            }
+            for (c, v) in row.iter().enumerate() {
+                if v.is_null() {
+                    nulls[c] += 1;
+                    continue;
+                }
+                if !in_sample {
+                    continue;
+                }
+                widths[c] += v.width() as u64;
+                match &mins[c] {
+                    Some(m) if m.total_cmp(v) != std::cmp::Ordering::Greater => {}
+                    _ => mins[c] = Some(v.clone()),
+                }
+                match &maxs[c] {
+                    Some(m) if m.total_cmp(v) != std::cmp::Ordering::Less => {}
+                    _ => maxs[c] = Some(v.clone()),
+                }
+                sets[c].insert(v.clone());
+            }
+        }
+
+        let scale = if sampled == 0 {
+            1.0
+        } else {
+            nrows as f64 / sampled as f64
+        };
+        let columns = (0..ncols)
+            .map(|c| ColumnStats {
+                min: mins[c].take(),
+                max: maxs[c].take(),
+                distinct: ((sets[c].len() as f64 * scale).round() as u64)
+                    .min(nrows as u64)
+                    .max(if nrows > 0 { 1 } else { 0 }),
+                null_count: nulls[c],
+                avg_width: if sampled > 0 && !sets[c].is_empty() {
+                    widths[c] as f64 / sampled as f64
+                } else {
+                    8.0
+                },
+            })
+            .collect();
+
+        TableStats {
+            row_count: nrows as u64,
+            columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::table::row;
+    use crate::value::DataType;
+
+    fn table_with_ints(vals: &[i64]) -> Table {
+        let mut t = Table::new("t", Schema::from_pairs(&[("a", DataType::Int)]));
+        for v in vals {
+            t.push(row(vec![Value::Int(*v)])).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn analyze_basic() {
+        let t = table_with_ints(&[1, 2, 2, 3, 3, 3]);
+        let s = TableStats::analyze(&t);
+        assert_eq!(s.row_count, 6);
+        assert_eq!(s.columns[0].distinct, 3);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(3)));
+        assert_eq!(s.columns[0].null_count, 0);
+    }
+
+    #[test]
+    fn analyze_counts_nulls() {
+        let mut t = Table::new("t", Schema::from_pairs(&[("a", DataType::Int)]));
+        t.push(row(vec![Value::Null])).unwrap();
+        t.push(row(vec![Value::Int(9)])).unwrap();
+        let s = TableStats::analyze(&t);
+        assert_eq!(s.columns[0].null_count, 1);
+        assert_eq!(s.columns[0].distinct, 1);
+    }
+
+    #[test]
+    fn numeric_range() {
+        let t = table_with_ints(&[10, 30]);
+        let s = TableStats::analyze(&t);
+        assert_eq!(s.columns[0].numeric_range(), Some(20.0));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = table_with_ints(&[]);
+        let s = TableStats::analyze(&t);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.columns[0].distinct, 0);
+    }
+}

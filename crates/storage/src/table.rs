@@ -1,0 +1,132 @@
+//! In-memory row-oriented tables and work tables.
+
+use crate::error::StorageError;
+use crate::schema::{Schema, SchemaRef};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// A materialized row. Boxed slice keeps the handle at two words.
+pub type Row = Arc<[Value]>;
+
+/// Build a row from values.
+pub fn row(values: Vec<Value>) -> Row {
+    Arc::from(values.into_boxed_slice())
+}
+
+/// An immutable-after-load, in-memory table. Base tables, spool work tables
+/// and materialized-view contents all use this representation.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: SchemaRef,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema: Arc::new(schema),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn with_rows(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> Self {
+        Table {
+            name: name.into(),
+            schema: Arc::new(schema),
+            rows,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Append a row, checking arity (type checks are the loader's job).
+    pub fn push(&mut self, r: Row) -> Result<(), StorageError> {
+        if r.len() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.schema.len(),
+                got: r.len(),
+            });
+        }
+        self.rows.push(r);
+        Ok(())
+    }
+
+    /// Append many rows without per-row arity checks (bulk load fast path);
+    /// arity is debug-asserted.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) {
+        for r in rows {
+            debug_assert_eq!(r.len(), self.schema.len());
+            self.rows.push(r);
+        }
+    }
+
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Sequential scan iterator.
+    pub fn scan(&self) -> impl Iterator<Item = &Row> + '_ {
+        self.rows.iter()
+    }
+
+    /// Total bytes of row payload, used to report work-table sizes.
+    pub fn byte_size(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::width).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]),
+        );
+        t.push(row(vec![Value::Int(1), Value::str("x")])).unwrap();
+        t.push(row(vec![Value::Int(2), Value::str("y")])).unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_scan() {
+        let t = sample();
+        assert_eq!(t.row_count(), 2);
+        let vals: Vec<i64> = t.scan().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2]);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = sample();
+        let err = t.push(row(vec![Value::Int(1)])).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn byte_size_positive() {
+        assert!(sample().byte_size() > 0);
+    }
+}

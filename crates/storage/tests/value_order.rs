@@ -1,0 +1,74 @@
+//! Property tests for `Value`'s total order and hash — the contracts hash
+//! joins, group-bys and sorts rely on.
+
+use cse_storage::Value;
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        (-40000i32..40000).prop_map(Value::Date),
+        "[a-z]{0,8}".prop_map(Value::str),
+    ]
+}
+
+fn h(v: &Value) -> u64 {
+    let mut s = DefaultHasher::new();
+    v.hash(&mut s);
+    s.finish()
+}
+
+proptest! {
+    #[test]
+    fn total_order_is_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn total_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| x.total_cmp(y));
+        prop_assert!(v[0].total_cmp(&v[1]) != Ordering::Greater);
+        prop_assert!(v[1].total_cmp(&v[2]) != Ordering::Greater);
+        prop_assert!(v[0].total_cmp(&v[2]) != Ordering::Greater);
+    }
+
+    #[test]
+    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b), "{} == {} but hashes differ", a, b);
+        }
+    }
+
+    #[test]
+    fn sql_cmp_agrees_with_total_order_without_nulls(a in arb_value(), b in arb_value()) {
+        // Where SQL comparison is defined and same-class, it must agree
+        // with the total order (numerics cross-compare in both).
+        if let Some(ord) = a.sql_cmp(&b) {
+            // Strings/bools/dates compare within class; numerics across.
+            let same_class = matches!(
+                (&a, &b),
+                (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+                    | (Value::Str(_), Value::Str(_))
+                    | (Value::Bool(_), Value::Bool(_))
+                    | (Value::Date(_), Value::Date(_))
+            );
+            if same_class {
+                prop_assert_eq!(ord, a.total_cmp(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn width_is_positive(a in arb_value()) {
+        prop_assert!(a.width() >= 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Text pools for string-valued columns.
+//!
+//! Low-cardinality columns draw from the exact dbgen domains (segments,
+//! priorities, ship modes, part types, ...). Free-text comments draw from a
+//! pregenerated pool of phrases so that string allocation is shared via
+//! `Arc<str>` clones.
+
+use crate::rng::SplitMix64;
+use std::sync::Arc;
+
+pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+pub const PRIORITIES: &[&str] = &[
+    "1-URGENT",
+    "2-HIGH",
+    "3-MEDIUM",
+    "4-NOT SPECIFIED",
+    "5-LOW",
+];
+
+pub const SHIP_MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+pub const SHIP_INSTRUCT: &[&str] = &[
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+pub const RETURN_FLAGS: &[&str] = &["R", "A", "N"];
+pub const LINE_STATUS: &[&str] = &["O", "F"];
+pub const ORDER_STATUS: &[&str] = &["O", "F", "P"];
+
+pub const TYPE_SYLL_1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLL_2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_SYLL_3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+pub const CONTAINERS_1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
+pub const CONTAINERS_2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+pub const NATIONS: &[(&str, i64)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+const WORDS: &[&str] = &[
+    "furious", "silent", "careful", "pending", "express", "regular", "final", "special",
+    "ironic", "bold", "quick", "even", "blithe", "daring", "dogged", "unusual", "packages",
+    "deposits", "accounts", "requests", "instructions", "theodolites", "pinto", "beans",
+    "foxes", "ideas", "platelets", "asymptotes", "courts", "dolphins", "excuses",
+];
+
+/// A shared pool of pregenerated comment strings.
+#[derive(Debug, Clone)]
+pub struct CommentPool {
+    pool: Vec<Arc<str>>,
+}
+
+impl CommentPool {
+    /// Build a pool of `size` comments with lengths ~20-60 characters.
+    pub fn new(seed: u64, size: usize) -> Self {
+        let mut rng = SplitMix64::derive(seed, "comments");
+        let mut pool = Vec::with_capacity(size);
+        for _ in 0..size {
+            let words = rng.int_range(3, 8) as usize;
+            let mut s = String::with_capacity(48);
+            for w in 0..words {
+                if w > 0 {
+                    s.push(' ');
+                }
+                s.push_str(rng.pick::<&str>(WORDS));
+            }
+            pool.push(Arc::from(s.as_str()));
+        }
+        CommentPool { pool }
+    }
+
+    pub fn pick(&self, rng: &mut SplitMix64) -> Arc<str> {
+        self.pool[(rng.next_u64() % self.pool.len() as u64) as usize].clone()
+    }
+}
+
+/// dbgen-style synthetic phone number for a nation key.
+pub fn phone(rng: &mut SplitMix64, nationkey: i64) -> String {
+    format!(
+        "{}-{}-{}-{}",
+        10 + nationkey,
+        rng.int_range(100, 999),
+        rng.int_range(100, 999),
+        rng.int_range(1000, 9999)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nations_match_tpch() {
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        // All region keys in range.
+        assert!(NATIONS.iter().all(|(_, r)| (0..5).contains(r)));
+    }
+
+    #[test]
+    fn comment_pool_is_deterministic() {
+        let a = CommentPool::new(1, 16);
+        let b = CommentPool::new(1, 16);
+        let mut ra = SplitMix64::new(5);
+        let mut rb = SplitMix64::new(5);
+        for _ in 0..32 {
+            assert_eq!(a.pick(&mut ra), b.pick(&mut rb));
+        }
+    }
+
+    #[test]
+    fn phone_shape() {
+        let mut r = SplitMix64::new(3);
+        let p = phone(&mut r, 7);
+        assert!(p.starts_with("17-"));
+        assert_eq!(p.split('-').count(), 4);
+    }
+}

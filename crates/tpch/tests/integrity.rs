@@ -1,0 +1,117 @@
+//! Referential-integrity and distribution checks across the generated
+//! TPC-H tables — the properties the experiments' cardinality estimates
+//! depend on.
+
+use cse_tpch::{generate_table, TpchConfig, TpchTable};
+use std::collections::HashSet;
+
+fn cfg() -> TpchConfig {
+    TpchConfig {
+        scale: 0.002,
+        seed: 7,
+    }
+}
+
+fn key_set(table: TpchTable, col: usize) -> HashSet<i64> {
+    generate_table(&cfg(), table)
+        .scan()
+        .map(|r| r[col].as_i64().unwrap())
+        .collect()
+}
+
+#[test]
+fn orders_reference_existing_customers() {
+    let customers = key_set(TpchTable::Customer, 0);
+    let orders = generate_table(&cfg(), TpchTable::Orders);
+    for r in orders.scan() {
+        assert!(customers.contains(&r[1].as_i64().unwrap()));
+    }
+}
+
+#[test]
+fn lineitems_reference_existing_parts_and_suppliers() {
+    let parts = key_set(TpchTable::Part, 0);
+    let suppliers = key_set(TpchTable::Supplier, 0);
+    let lineitem = generate_table(&cfg(), TpchTable::Lineitem);
+    for r in lineitem.scan() {
+        assert!(parts.contains(&r[1].as_i64().unwrap()), "dangling l_partkey");
+        assert!(
+            suppliers.contains(&r[2].as_i64().unwrap()),
+            "dangling l_suppkey"
+        );
+    }
+}
+
+#[test]
+fn partsupp_references_parts_and_suppliers() {
+    let parts = key_set(TpchTable::Part, 0);
+    let suppliers = key_set(TpchTable::Supplier, 0);
+    let ps = generate_table(&cfg(), TpchTable::PartSupp);
+    assert_eq!(ps.row_count(), parts.len() * 4, "4 suppliers per part");
+    for r in ps.scan() {
+        assert!(parts.contains(&r[0].as_i64().unwrap()));
+        assert!(suppliers.contains(&r[1].as_i64().unwrap()));
+    }
+    // (partkey, suppkey) pairs are unique.
+    let pairs: HashSet<(i64, i64)> = ps
+        .scan()
+        .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+        .collect();
+    assert_eq!(pairs.len(), ps.row_count());
+}
+
+#[test]
+fn nations_cover_all_regions() {
+    let nation = generate_table(&cfg(), TpchTable::Nation);
+    let regions: HashSet<i64> = nation.scan().map(|r| r[2].as_i64().unwrap()).collect();
+    assert_eq!(regions.len(), 5);
+}
+
+#[test]
+fn primary_keys_are_dense_and_unique() {
+    for (table, expect) in [
+        (TpchTable::Customer, 300usize),
+        (TpchTable::Orders, 3000),
+        (TpchTable::Part, 400),
+        (TpchTable::Supplier, 20),
+    ] {
+        let t = generate_table(&cfg(), table);
+        assert_eq!(t.row_count(), expect, "{}", table.name());
+        let keys = key_set(table, 0);
+        assert_eq!(keys.len(), expect, "{} keys not unique", table.name());
+        assert_eq!(*keys.iter().min().unwrap(), 1);
+        assert_eq!(*keys.iter().max().unwrap() as usize, expect);
+    }
+}
+
+#[test]
+fn customer_nationkeys_roughly_uniform() {
+    let c = generate_table(&cfg(), TpchTable::Customer);
+    let mut counts = [0usize; 25];
+    for r in c.scan() {
+        counts[r[3].as_i64().unwrap() as usize] += 1;
+    }
+    let expected = c.row_count() as f64 / 25.0;
+    for (nk, n) in counts.iter().enumerate() {
+        assert!(
+            (*n as f64) < expected * 3.0 + 5.0,
+            "nation {nk} over-represented: {n}"
+        );
+    }
+}
+
+#[test]
+fn money_columns_within_domain() {
+    let o = generate_table(&cfg(), TpchTable::Orders);
+    for r in o.scan() {
+        let p = r[3].as_f64().unwrap();
+        assert!((850.0..=450_000.0).contains(&p));
+    }
+    let l = generate_table(&cfg(), TpchTable::Lineitem);
+    for r in l.scan().take(1000) {
+        let disc = r[6].as_f64().unwrap();
+        assert!((0.0..=0.10).contains(&disc));
+        let tax = r[7].as_f64().unwrap();
+        assert!((0.0..=0.08).contains(&tax));
+    }
+}

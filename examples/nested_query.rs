@@ -1,0 +1,26 @@
+//! The paper's §6.3 nested-query experiment: a decision-support query whose
+//! HAVING clause contains a scalar subquery over the same
+//! customer ⋈ orders ⋈ lineitem aggregate as the main block.
+//!
+//! Run with: `cargo run --release --example nested_query`
+
+use cse_bench::{experiments, print_table, workloads};
+use similar_subexpr::prelude::*;
+
+fn main() {
+    let catalog = experiments::catalog(0.005);
+
+    println!("query:\n{}\n", workloads::NESTED);
+    let outcomes = experiments::table3(&catalog);
+    print_table("Nested query — paper Table 3", &outcomes);
+
+    // Show the shared subexpression the optimizer extracted.
+    let optimized = optimize_sql(&catalog, workloads::NESTED, &CseConfig::default()).unwrap();
+    for (id, spool) in &optimized.plan.spools {
+        println!(
+            "\ncovering subexpression {id} (computed once, used by main block and subquery):"
+        );
+        println!("{}", spool.plan.render());
+    }
+    println!("final plan:\n{}", optimized.plan.root.render());
+}

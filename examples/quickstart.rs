@@ -1,0 +1,62 @@
+//! Quickstart: optimize and execute a two-query batch that shares a join,
+//! and inspect what the optimizer did.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use similar_subexpr::prelude::*;
+
+fn main() {
+    // 1. Data: an in-memory TPC-H instance (deterministic generator).
+    let catalog = generate_catalog(&TpchConfig::new(0.002));
+
+    // 2. A batch of two similar queries: same customer ⋈ orders ⋈ lineitem
+    //    join, different predicates and grouping.
+    let sql = "
+        select c_nationkey, sum(l_extendedprice) as revenue
+        from customer, orders, lineitem
+        where c_custkey = o_custkey and o_orderkey = l_orderkey
+          and o_orderdate < '1996-07-01'
+          and c_nationkey < 20
+        group by c_nationkey;
+
+        select c_nationkey, c_mktsegment, sum(l_quantity) as volume
+        from customer, orders, lineitem
+        where c_custkey = o_custkey and o_orderkey = l_orderkey
+          and o_orderdate < '1996-07-01'
+          and c_nationkey < 15
+        group by c_nationkey, c_mktsegment;
+    ";
+
+    // 3. Optimize with covering-subexpression detection enabled.
+    let optimized = optimize_sql(&catalog, sql, &CseConfig::default()).expect("optimize");
+
+    println!("baseline (no sharing) estimated cost: {:.1}", optimized.report.baseline_cost);
+    println!("final plan estimated cost:            {:.1}", optimized.report.final_cost);
+    println!("candidate CSEs considered:            {}", optimized.report.candidates.len());
+    println!("covering subexpressions in the plan:  {}", optimized.plan.spools.len());
+    for c in &optimized.report.candidates {
+        println!(
+            "  candidate {}: tables={:?} grouped={} consumers={} (≈{:.0} rows)",
+            c.id, c.tables, c.grouped, c.consumers, c.est_rows
+        );
+    }
+
+    // 4. The physical plan: the spool is computed once, read per consumer.
+    println!("\nfinal plan:\n{}", optimized.plan.root.render());
+    for (id, spool) in &optimized.plan.spools {
+        println!("spool {id} definition:\n{}", spool.plan.render());
+    }
+
+    // 5. Execute. The engine materializes each spool exactly once.
+    let engine = Engine::new(&catalog, &optimized.ctx);
+    let out = engine.execute(&optimized.plan).expect("execute");
+    for (i, rs) in out.results.iter().enumerate() {
+        println!(
+            "query {} -> {} rows ({:?})",
+            i + 1,
+            rs.rows.len(),
+            rs.columns
+        );
+    }
+    println!("spool reads: {:?}", out.metrics.spool_reads);
+}

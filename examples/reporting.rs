@@ -1,0 +1,85 @@
+//! A report-generation workload (the motivation of the paper's §1:
+//! "data analysis applications frequently require a batch of queries"):
+//! a six-panel revenue dashboard whose panels all revolve around the same
+//! customer ⋈ orders ⋈ lineitem core, submitted as one batch.
+//!
+//! Run with: `cargo run --release --example reporting`
+
+use similar_subexpr::optimizer::to_dot;
+use similar_subexpr::prelude::*;
+
+const DASHBOARD: &str = "
+-- panel 1: revenue by nation
+select c_nationkey, sum(l_extendedprice) as revenue
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1997-01-01'
+group by c_nationkey;
+
+-- panel 2: revenue by market segment
+select c_mktsegment, sum(l_extendedprice) as revenue
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1997-01-01'
+group by c_mktsegment;
+
+-- panel 3: volume by nation and segment
+select c_nationkey, c_mktsegment, sum(l_quantity) as volume
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1997-01-01'
+group by c_nationkey, c_mktsegment;
+
+-- panel 4: discounts by nation, focus region
+select c_nationkey, sum(l_discount) as disc
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1997-01-01'
+  and c_nationkey < 10
+group by c_nationkey;
+
+-- panel 5: order counts per nation
+select c_nationkey, count(*) as orders_cnt
+from customer, orders, lineitem
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and o_orderdate < '1997-01-01'
+group by c_nationkey;
+
+-- panel 6: regional rollup
+select n_regionkey, sum(l_extendedprice) as revenue
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey and o_orderkey = l_orderkey
+  and c_nationkey = n_nationkey
+  and o_orderdate < '1997-01-01'
+group by n_regionkey;
+";
+
+fn main() {
+    let catalog = generate_catalog(&TpchConfig::new(0.005));
+    let session = Session::new(catalog);
+
+    let plan = session.plan(DASHBOARD).expect("optimize");
+    println!(
+        "six dashboard panels: estimated cost {:.0} shared vs {:.0} unshared ({:.2}x)",
+        plan.report.final_cost,
+        plan.report.baseline_cost,
+        plan.report.baseline_cost / plan.report.final_cost
+    );
+    println!(
+        "{} candidate covering subexpression(s); {} spool(s) in the final plan",
+        plan.report.candidates.len(),
+        plan.plan.spools.len()
+    );
+
+    let out = session.query(DASHBOARD).expect("run dashboard");
+    for (i, rs) in out.results.iter().enumerate() {
+        println!("panel {}: {} rows", i + 1, rs.rows.len());
+    }
+    println!("spool reads: {:?}", out.metrics.spool_reads);
+
+    // Write the sharing structure as Graphviz for inspection:
+    //   dot -Tsvg dashboard.dot > dashboard.svg
+    let dot = to_dot(&plan.plan);
+    std::fs::write("target/dashboard.dot", &dot).expect("write dot");
+    println!("plan graph written to target/dashboard.dot ({} bytes)", dot.len());
+}

@@ -1,0 +1,31 @@
+//! The paper's §6.5 scaleup analysis (Figure 8): batches of 2..10 similar
+//! queries. Cost benefit grows with the batch size; optimization time
+//! stays linear with heuristic pruning.
+//!
+//! Run with: `cargo run --release --example scaleup [-- <scale>]`
+
+use cse_bench::experiments;
+
+fn main() {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.003);
+    let catalog = experiments::catalog(sf);
+    println!(
+        "{:>3} {:>12} {:>12} {:>7} {:>12} {:>12} {:>8}",
+        "n", "cost NoCSE", "cost CSE", "ratio", "opt NoCSE", "opt CSE", "#cands"
+    );
+    for p in experiments::fig8(&catalog, &[2, 3, 4, 5, 6, 7, 8, 9, 10]) {
+        println!(
+            "{:>3} {:>12.0} {:>12.0} {:>6.2}x {:>10.2}ms {:>10.2}ms {:>8}",
+            p.n,
+            p.no_cse.est_cost,
+            p.cse.est_cost,
+            p.no_cse.est_cost / p.cse.est_cost,
+            p.no_cse.opt_time.as_secs_f64() * 1e3,
+            p.cse.opt_time.as_secs_f64() * 1e3,
+            p.cse.candidates,
+        );
+    }
+}

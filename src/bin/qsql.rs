@@ -1,0 +1,162 @@
+//! `qsql` — a small interactive shell over the similar-subexpression
+//! engine, preloaded with a TPC-H instance.
+//!
+//! ```text
+//! cargo run --release --bin qsql [-- --sf 0.01]
+//!
+//! qsql> select c_mktsegment, count(*) as n from customer group by c_mktsegment;
+//! qsql> :explain select ... ;
+//! qsql> :tables
+//! qsql> :quit
+//! ```
+//!
+//! Statements may span lines; a trailing `;` submits. A batch of several
+//! `;`-separated statements is optimized *together*, so similar
+//! subexpressions across them are detected and shared — try pasting the
+//! README's two-query batch.
+
+use similar_subexpr::prelude::*;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut sf = 0.01f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--sf" {
+            sf = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--sf expects a number");
+        }
+    }
+    eprintln!("loading TPC-H at SF={sf} ...");
+    let session = Session::new(generate_catalog(&TpchConfig::new(sf)));
+    eprintln!("ready. end statements with ';', :help for commands.");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with(':') {
+            if !command(&session, trimmed) {
+                break;
+            }
+            prompt(&buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if trimmed.ends_with(';') {
+            run(&session, buffer.trim());
+            buffer.clear();
+        }
+        prompt(&buffer);
+    }
+}
+
+fn prompt(buffer: &str) {
+    if buffer.is_empty() {
+        print!("qsql> ");
+    } else {
+        print!("  ..> ");
+    }
+    let _ = std::io::stdout().flush();
+}
+
+/// Returns false to quit.
+fn command(session: &Session, cmd: &str) -> bool {
+    let (head, rest) = match cmd.split_once(' ') {
+        Some((h, r)) => (h, r.trim()),
+        None => (cmd, ""),
+    };
+    match head {
+        ":quit" | ":q" | ":exit" => return false,
+        ":help" => {
+            println!(
+                ":explain <sql>;   show the chosen plan and spools\n\
+                 :tables           list catalog tables\n\
+                 :quit             leave"
+            );
+        }
+        ":tables" => {
+            let mut names: Vec<&str> = session.catalog().table_names().collect();
+            names.sort();
+            for n in names {
+                let t = session.catalog().table(n).expect("listed table");
+                println!("{n}: {} rows {}", t.row_count(), t.schema());
+            }
+        }
+        ":explain" => match session.explain(rest.trim_end_matches(';')) {
+            Ok(s) => println!("{s}"),
+            Err(e) => eprintln!("{e}"),
+        },
+        other => eprintln!("unknown command {other}; try :help"),
+    }
+    true
+}
+
+fn run(session: &Session, sql: &str) {
+    let started = std::time::Instant::now();
+    match session.query(sql) {
+        Ok(out) => {
+            for rs in &out.results {
+                println!("{}", render(rs));
+            }
+            let spools = out.metrics.spool_reads.len();
+            println!(
+                "-- {} statement(s) in {:?}; est. cost {:.1} (baseline {:.1}); {} shared spool(s)",
+                out.results.len(),
+                started.elapsed(),
+                out.report.final_cost,
+                out.report.baseline_cost,
+                spools
+            );
+        }
+        Err(e) => eprintln!("{e}"),
+    }
+}
+
+/// Fixed-width text table, capped at 40 rows.
+fn render(rs: &ResultSet) -> String {
+    const MAX_ROWS: usize = 40;
+    let mut widths: Vec<usize> = rs.columns.iter().map(|c| c.len()).collect();
+    let shown = rs.rows.iter().take(MAX_ROWS);
+    let cells: Vec<Vec<String>> = shown
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &cells {
+        for (i, c) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let header: Vec<String> = rs
+        .columns
+        .iter()
+        .zip(&widths)
+        .map(|(c, w)| format!("{c:<w$}"))
+        .collect();
+    out.push_str(&header.join(" | "));
+    out.push('\n');
+    out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    for row in &cells {
+        out.push('\n');
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        out.push_str(&line.join(" | "));
+    }
+    if rs.rows.len() > MAX_ROWS {
+        out.push_str(&format!("\n... ({} rows total)", rs.rows.len()));
+    }
+    out
+}

@@ -1,0 +1,213 @@
+//! High-level session API: the entry point a downstream application uses.
+//!
+//! A [`Session`] owns a catalog and an optimizer configuration and exposes
+//! one-call query execution, plan explanation, and materialized-view
+//! management — all driving the covering-subexpression pipeline
+//! underneath.
+
+use cse_core::{CseConfig, CseReport, MaintenanceReport, Optimized};
+use cse_exec::{Engine, ExecMetrics, ResultSet};
+use cse_storage::{Catalog, Row, Table};
+use std::fmt;
+
+/// Errors surfaced by the session API.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// Parsing, binding or optimization failed.
+    Planning(String),
+    /// Plan execution failed.
+    Execution(String),
+    /// Catalog manipulation failed.
+    Catalog(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Planning(m) => write!(f, "planning error: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Catalog(m) => write!(f, "catalog error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result of running a batch: one result set per statement plus what the
+/// optimizer and executor did.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    pub results: Vec<ResultSet>,
+    pub report: CseReport,
+    pub metrics: ExecMetrics,
+}
+
+/// A catalog plus configuration; the main entry point of the library.
+pub struct Session {
+    catalog: Catalog,
+    config: CseConfig,
+}
+
+impl Session {
+    /// Session over an existing catalog with default configuration
+    /// (CSE detection on, heuristics on).
+    pub fn new(catalog: Catalog) -> Self {
+        Session {
+            catalog,
+            config: CseConfig::default(),
+        }
+    }
+
+    /// Session with an explicit configuration.
+    pub fn with_config(catalog: Catalog, config: CseConfig) -> Self {
+        Session { catalog, config }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    pub fn config(&self) -> &CseConfig {
+        &self.config
+    }
+
+    pub fn set_config(&mut self, config: CseConfig) {
+        self.config = config;
+    }
+
+    /// Register a table (computing statistics).
+    pub fn register_table(&mut self, table: Table) -> Result<(), Error> {
+        self.catalog
+            .register_table(table)
+            .map_err(|e| Error::Catalog(e.to_string()))
+    }
+
+    /// Optimize a SQL batch without executing it.
+    pub fn plan(&self, sql: &str) -> Result<Optimized, Error> {
+        cse_core::optimize_sql(&self.catalog, sql, &self.config).map_err(Error::Planning)
+    }
+
+    /// Optimize and execute a SQL batch (statements separated by `;`).
+    pub fn query(&self, sql: &str) -> Result<BatchOutcome, Error> {
+        let optimized = self.plan(sql)?;
+        let engine = Engine::new(&self.catalog, &optimized.ctx);
+        let out = engine.execute(&optimized.plan).map_err(Error::Execution)?;
+        Ok(BatchOutcome {
+            results: out.results,
+            report: optimized.report,
+            metrics: out.metrics,
+        })
+    }
+
+    /// Human-readable explanation: chosen plan, spool definitions, and the
+    /// optimizer's report.
+    pub fn explain(&self, sql: &str) -> Result<String, Error> {
+        use std::fmt::Write as _;
+        let optimized = self.plan(sql)?;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "estimated cost: {:.1} (baseline without sharing: {:.1})",
+            optimized.report.final_cost, optimized.report.baseline_cost
+        );
+        let _ = writeln!(
+            s,
+            "candidate CSEs: {} ({} CSE optimizations)",
+            optimized.report.candidates.len(),
+            optimized.report.cse_optimizations
+        );
+        for c in &optimized.report.candidates {
+            let _ = writeln!(
+                s,
+                "  {}: tables={:?} grouped={} consumers={} ≈{:.0} rows",
+                c.id, c.tables, c.grouped, c.consumers, c.est_rows
+            );
+        }
+        let _ = writeln!(s, "plan:\n{}", optimized.plan.root.render());
+        for (id, spool) in &optimized.plan.spools {
+            let _ = writeln!(s, "spool {id} (computed once):\n{}", spool.plan.render());
+        }
+        Ok(s)
+    }
+
+    /// Create a materialized view from its defining SELECT.
+    pub fn create_materialized_view(&mut self, name: &str, select: &str) -> Result<(), Error> {
+        cse_core::create_materialized_view(&mut self.catalog, name, select, &self.config)
+            .map_err(Error::Catalog)
+    }
+
+    /// Insert rows into a base table, incrementally maintaining every
+    /// affected materialized view (the maintenance batch shares covering
+    /// subexpressions).
+    pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<MaintenanceReport, Error> {
+        cse_core::maintain_insert(&mut self.catalog, table, rows, &self.config)
+            .map_err(Error::Catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_storage::{row, DataType, Schema, Value};
+
+    fn session() -> Session {
+        let mut t = Table::new(
+            "t",
+            Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]),
+        );
+        for i in 0..10 {
+            t.push(row(vec![Value::Int(i % 3), Value::Int(i)])).unwrap();
+        }
+        let mut s = Session::new(Catalog::new());
+        s.register_table(t).unwrap();
+        s
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let s = session();
+        let out = s.query("select k, sum(v) as total from t group by k").unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].rows.len(), 3);
+    }
+
+    #[test]
+    fn explain_mentions_cost() {
+        let s = session();
+        let e = s.explain("select k from t where v < 5").unwrap();
+        assert!(e.contains("estimated cost"));
+        assert!(e.contains("plan:"));
+    }
+
+    #[test]
+    fn planning_errors_are_typed() {
+        let s = session();
+        match s.query("select nope from t") {
+            Err(Error::Planning(m)) => assert!(m.contains("nope")),
+            other => panic!("expected planning error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn view_lifecycle() {
+        let mut s = session();
+        s.create_materialized_view("v_sum", "select k, sum(v) as total from t group by k")
+            .unwrap();
+        assert_eq!(s.catalog().table("v_sum").unwrap().row_count(), 3);
+        let report = s
+            .insert("t", vec![row(vec![Value::Int(1), Value::Int(100)])])
+            .unwrap();
+        assert_eq!(report.views, vec!["v_sum".to_string()]);
+        // Group k=1 total was 1+4+7=12, now 112.
+        let v = s.catalog().table("v_sum").unwrap();
+        let row_k1 = v
+            .scan()
+            .find(|r| r[0] == Value::Int(1))
+            .expect("group 1 present");
+        assert_eq!(row_k1[1], Value::Int(112));
+    }
+}

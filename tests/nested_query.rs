@@ -1,0 +1,62 @@
+//! §6.3 end-to-end: the nested query whose HAVING subquery shares the
+//! customer ⋈ orders ⋈ lineitem aggregate with the outer block.
+
+use cse_bench::workloads;
+use similar_subexpr::prelude::*;
+
+fn catalog() -> Catalog {
+    generate_catalog(&TpchConfig::new(0.002))
+}
+
+fn run(catalog: &Catalog, cfg: &CseConfig) -> (Optimized, ExecOutput) {
+    let o = optimize_sql(catalog, workloads::NESTED, cfg).expect("optimize");
+    let engine = Engine::new(catalog, &o.ctx);
+    let out = engine.execute(&o.plan).expect("execute");
+    (o, out)
+}
+
+#[test]
+fn nested_query_shares_subexpression() {
+    let catalog = catalog();
+    let (opt, out) = run(&catalog, &CseConfig::default());
+    assert_eq!(out.results.len(), 1);
+    // The main block and the subquery must read one shared spool.
+    assert_eq!(opt.plan.spools.len(), 1, "report: {:?}", opt.report);
+    let reads: u32 = out.metrics.spool_reads.values().map(|&n| n as u32).sum();
+    assert!(reads >= 2, "spool must serve main block and subquery: {:?}", out.metrics);
+}
+
+#[test]
+fn nested_query_results_match_baseline() {
+    let catalog = catalog();
+    let (_, base) = run(&catalog, &CseConfig::no_cse());
+    let (_, shared) = run(&catalog, &CseConfig::default());
+    assert!(base.results[0].approx_eq(&shared.results[0], 1e-9));
+    // HAVING must actually filter: fewer rows than the 25 nations.
+    assert!(base.results[0].rows.len() < 25);
+    assert!(!base.results[0].rows.is_empty());
+}
+
+#[test]
+fn nested_query_order_by_desc_is_respected() {
+    let catalog = catalog();
+    let (_, out) = run(&catalog, &CseConfig::default());
+    let rs = &out.results[0];
+    let disc_idx = rs.columns.iter().position(|c| c == "totaldisc").unwrap();
+    let vals: Vec<f64> = rs.rows.iter().map(|r| r[disc_idx].as_f64().unwrap()).collect();
+    for w in vals.windows(2) {
+        assert!(w[0] >= w[1], "totaldisc not descending: {vals:?}");
+    }
+}
+
+#[test]
+fn nested_query_cost_improves_about_2x() {
+    let catalog = catalog();
+    let (no, _) = run(&catalog, &CseConfig::no_cse());
+    let (yes, _) = run(&catalog, &CseConfig::default());
+    let ratio = no.plan.cost / yes.plan.cost;
+    assert!(
+        ratio > 1.4,
+        "expected ≈2x improvement (paper Table 3), got {ratio:.2}x"
+    );
+}

@@ -1,0 +1,92 @@
+//! Plan-shape assertions for the flagship workloads: which operators the
+//! chosen plans contain, how the spool is structured. These pin down the
+//! optimizer's observable decisions (not exact costs, which move with the
+//! cost model).
+
+use cse_bench::workloads;
+use similar_subexpr::optimizer::{to_dot, PhysicalPlan};
+use similar_subexpr::prelude::*;
+
+fn optimize(sql: &str) -> Optimized {
+    let catalog = generate_catalog(&TpchConfig::new(0.002));
+    optimize_sql(&catalog, sql, &CseConfig::default()).unwrap()
+}
+
+fn count_ops(p: &PhysicalPlan, name: &str) -> usize {
+    let mut n = 0;
+    p.visit(&mut |x| {
+        if x.name() == name {
+            n += 1;
+        }
+    });
+    n
+}
+
+#[test]
+fn table1_plan_reads_one_grouped_spool_three_times() {
+    let o = optimize(&workloads::table1_batch());
+    assert_eq!(o.plan.spools.len(), 1);
+    let (id, spool) = o.plan.spools.iter().next().unwrap();
+    // The covering subexpression is an aggregate over the 3-way join.
+    assert!(count_ops(&spool.plan, "HashAggregate") >= 1);
+    assert!(count_ops(&spool.plan, "HashJoin") >= 2);
+    assert_eq!(o.plan.root.cse_reads().get(id), Some(&3));
+    // Every consumer re-aggregates or filters on top of the spool.
+    let mut reads_with_postprocessing = 0;
+    o.plan.root.visit(&mut |p| {
+        if let PhysicalPlan::CseRead { filter, reagg, .. } = p {
+            if filter.is_some() || reagg.is_some() {
+                reads_with_postprocessing += 1;
+            }
+        }
+    });
+    assert!(
+        reads_with_postprocessing >= 2,
+        "consumers with narrower predicates/group-bys must compensate"
+    );
+}
+
+#[test]
+fn spool_layout_matches_definition_output() {
+    let o = optimize(&workloads::table1_batch());
+    for (id, spool) in &o.plan.spools {
+        let def_cols = spool.plan.layout();
+        for c in &spool.layout {
+            assert!(
+                def_cols.contains(c),
+                "spool {id} column {c} not produced by its definition"
+            );
+        }
+    }
+}
+
+#[test]
+fn no_nl_joins_in_flagship_plans() {
+    // All flagship joins are equijoins; nested loops would indicate a
+    // key-splitting regression. (Scalar-subquery cross joins are the one
+    // legitimate NlJoin: single-row inner.)
+    let o = optimize(&workloads::table1_batch());
+    assert_eq!(count_ops(&o.plan.root, "NlJoin"), 0);
+    for spool in o.plan.spools.values() {
+        assert_eq!(count_ops(&spool.plan, "NlJoin"), 0);
+    }
+}
+
+#[test]
+fn dot_export_of_real_plan_is_well_formed() {
+    let o = optimize(&workloads::table1_batch());
+    let dot = to_dot(&o.plan);
+    assert!(dot.contains("cluster_spool_"));
+    assert!(dot.contains("cluster_stmt_2"), "three statements expected");
+    assert_eq!(dot.matches("digraph").count(), 1);
+    // Each CseRead gets a dashed edge from the spool anchor.
+    assert!(dot.matches("style=dashed").count() >= 3);
+}
+
+#[test]
+fn nested_query_plan_has_scalar_cross_join() {
+    let o = optimize(workloads::NESTED);
+    // The HAVING subquery joins above the aggregate via a single-row
+    // cross join (an NlJoin with TRUE predicate).
+    assert!(count_ops(&o.plan.root, "NlJoin") >= 1);
+}

@@ -1,0 +1,274 @@
+//! Property-based tests over the core invariants:
+//!
+//! - scalar normalization preserves evaluation semantics and is idempotent;
+//! - proven implications hold on every concrete row;
+//! - covering predicates constructed from branch predicates are implied by
+//!   every branch and hold on every row any branch accepts;
+//! - `RelSet` behaves like a set of integers;
+//! - three-valued logic laws.
+
+use proptest::prelude::*;
+use similar_subexpr::algebra::{
+    column_ranges, implies, CmpOp, ColRef, RelId, RelSet, Scalar,
+};
+use similar_subexpr::core::simplify_covering;
+use similar_subexpr::exec::{eval, Layout};
+use similar_subexpr::storage::Value;
+
+const NCOLS: u16 = 4;
+
+fn layout() -> Layout {
+    let cols: Vec<ColRef> = (0..NCOLS).map(|i| ColRef::new(RelId(0), i)).collect();
+    Layout::new(&cols)
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (-20i64..20).prop_map(Value::Int),
+        1 => Just(Value::Null),
+        2 => (-20i64..20).prop_map(|i| Value::Float(i as f64 / 2.0)),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(arb_value(), NCOLS as usize)
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Random predicates over columns of rel 0 and small integer literals.
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    let leaf = prop_oneof![
+        ((0..NCOLS), arb_cmp_op(), -10i64..10).prop_map(|(c, op, v)| Scalar::cmp(
+            op,
+            Scalar::col(RelId(0), c),
+            Scalar::int(v)
+        )),
+        ((0..NCOLS), (0..NCOLS)).prop_map(|(a, b)| Scalar::eq(
+            Scalar::col(RelId(0), a),
+            Scalar::col(RelId(0), b)
+        )),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Scalar::and),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Scalar::or),
+            inner.prop_map(|p| Scalar::Not(Box::new(p))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn normalize_preserves_evaluation(p in arb_scalar(), row in arb_row()) {
+        let l = layout();
+        let before = eval(&p, &l, &row);
+        let after = eval(&p.normalize(), &l, &row);
+        prop_assert_eq!(before, after, "normalization changed semantics of {}", p);
+    }
+
+    #[test]
+    fn normalize_is_idempotent(p in arb_scalar()) {
+        let n1 = p.normalize();
+        let n2 = n1.normalize();
+        prop_assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn implication_is_sound(p in arb_scalar(), q in arb_scalar(), rows in proptest::collection::vec(arb_row(), 1..24)) {
+        // If the checker proves p ⇒ q, then every row accepting p accepts q.
+        if implies(&p, &q) {
+            let l = layout();
+            for row in &rows {
+                if eval(&p, &l, row) == Value::Bool(true) {
+                    prop_assert_eq!(
+                        eval(&q, &l, row), Value::Bool(true),
+                        "claimed {} implies {} but row {:?} violates it", p, q, row
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covering_accepts_every_branch_row(
+        branches in proptest::collection::vec(arb_scalar(), 1..4),
+        rows in proptest::collection::vec(arb_row(), 1..24),
+    ) {
+        // simplify_covering produces a weakening of the OR of the branches:
+        // any row accepted by some branch must be accepted by the covering.
+        let normalized: Vec<Scalar> = branches.iter().map(Scalar::normalize).collect();
+        let covering = simplify_covering(&normalized);
+        let l = layout();
+        for row in &rows {
+            let any_branch = normalized
+                .iter()
+                .any(|b| eval(b, &l, row) == Value::Bool(true));
+            if any_branch {
+                prop_assert_eq!(
+                    eval(&covering, &l, row), Value::Bool(true),
+                    "covering {} rejects a row a branch accepts", covering
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn column_ranges_are_sound(p in arb_scalar(), row in arb_row()) {
+        // Any row satisfying p lies inside every extracted interval.
+        let l = layout();
+        if eval(&p, &l, &row) != Value::Bool(true) {
+            return Ok(());
+        }
+        for (col, iv) in column_ranges(&p) {
+            let v = &row[col.col as usize];
+            if v.is_null() {
+                continue;
+            }
+            if let Some((lo, inc)) = &iv.lo {
+                let ord = v.total_cmp(lo);
+                prop_assert!(if *inc { ord.is_ge() } else { ord.is_gt() },
+                    "range lo violated for {} by {:?}", p, row);
+            }
+            if let Some((hi, inc)) = &iv.hi {
+                let ord = v.total_cmp(hi);
+                prop_assert!(if *inc { ord.is_le() } else { ord.is_lt() },
+                    "range hi violated for {} by {:?}", p, row);
+            }
+        }
+    }
+
+    #[test]
+    fn relset_models_integer_set(ids in proptest::collection::btree_set(0u32..256, 0..20),
+                                 other in proptest::collection::btree_set(0u32..256, 0..20)) {
+        let a = RelSet::from_iter(ids.iter().map(|&i| RelId(i)));
+        let b = RelSet::from_iter(other.iter().map(|&i| RelId(i)));
+        prop_assert_eq!(a.len(), ids.len());
+        let union: std::collections::BTreeSet<u32> = ids.union(&other).copied().collect();
+        let inter: std::collections::BTreeSet<u32> = ids.intersection(&other).copied().collect();
+        let diff: std::collections::BTreeSet<u32> = ids.difference(&other).copied().collect();
+        prop_assert_eq!(a.union(b).iter().map(|r| r.0).collect::<Vec<_>>(),
+                        union.into_iter().collect::<Vec<_>>());
+        prop_assert_eq!(a.intersect(b).iter().map(|r| r.0).collect::<Vec<_>>(),
+                        inter.into_iter().collect::<Vec<_>>());
+        prop_assert_eq!(a.difference(b).iter().map(|r| r.0).collect::<Vec<_>>(),
+                        diff.into_iter().collect::<Vec<_>>());
+        prop_assert_eq!(a.is_subset(b), ids.is_subset(&other));
+    }
+
+    #[test]
+    fn three_valued_de_morgan(p in arb_scalar(), q in arb_scalar(), row in arb_row()) {
+        // NOT (p AND q) ≡ (NOT p) OR (NOT q) under 3VL.
+        let l = layout();
+        let lhs = eval(&Scalar::Not(Box::new(Scalar::and([p.clone(), q.clone()]))), &l, &row);
+        let rhs = eval(
+            &Scalar::or([Scalar::Not(Box::new(p)), Scalar::Not(Box::new(q))]),
+            &l,
+            &row,
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn date_roundtrip(days in -200_000i32..200_000) {
+        let (y, m, d) = similar_subexpr::storage::dates::from_days(days);
+        prop_assert_eq!(similar_subexpr::storage::dates::to_days(y, m, d), Some(days));
+    }
+}
+
+/// Reference implementation of grouped aggregation used to cross-check the
+/// engine's HashAggregate.
+mod agg_reference {
+    use proptest::prelude::*;
+    use similar_subexpr::algebra::{AggExpr, ColRef, LogicalPlan, PlanContext, Scalar};
+    use similar_subexpr::exec::Engine;
+    use similar_subexpr::optimizer::{FullPlan, PhysicalPlan};
+    use similar_subexpr::storage::{row, Catalog, DataType, Schema, Table, Value};
+    use std::collections::BTreeMap;
+
+    fn run_engine(data: &[(i64, i64)]) -> Vec<(i64, i64, i64)> {
+        let mut t = Table::new(
+            "t",
+            Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]),
+        );
+        for (k, v) in data {
+            t.push(row(vec![Value::Int(*k), Value::Int(*v)])).unwrap();
+        }
+        let mut cat = Catalog::new();
+        cat.register_table(t).unwrap();
+        let mut ctx = PlanContext::new();
+        let b = ctx.new_block();
+        let rel = ctx.add_base_rel("t", "t", cat.table("t").unwrap().schema().clone(), b);
+        let out = ctx.add_agg_output(&[DataType::Int, DataType::Int], b);
+        let _ = LogicalPlan::get(rel); // silence unused-import style concerns
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(PhysicalPlan::TableScan {
+                rel,
+                filter: None,
+                layout: vec![ColRef::new(rel, 0), ColRef::new(rel, 1)],
+            }),
+            keys: vec![ColRef::new(rel, 0)],
+            aggs: vec![
+                AggExpr::sum(Scalar::col(rel, 1)),
+                AggExpr::count_star(),
+            ],
+            out,
+            layout: vec![
+                ColRef::new(rel, 0),
+                ColRef::new(out, 0),
+                ColRef::new(out, 1),
+            ],
+        };
+        let engine = Engine::new(&cat, &ctx);
+        let full = FullPlan {
+            root: plan,
+            spools: BTreeMap::new(),
+            cost: 0.0,
+        };
+        let mut rows: Vec<(i64, i64, i64)> = engine
+            .execute(&full)
+            .unwrap()
+            .results
+            .remove(0)
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r[0].as_i64().unwrap(),
+                    r[1].as_i64().unwrap(),
+                    r[2].as_i64().unwrap(),
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    fn reference(data: &[(i64, i64)]) -> Vec<(i64, i64, i64)> {
+        let mut groups: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+        for (k, v) in data {
+            let e = groups.entry(*k).or_insert((0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        groups.into_iter().map(|(k, (s, n))| (k, s, n)).collect()
+    }
+
+    proptest! {
+        #[test]
+        fn hash_aggregate_matches_reference(
+            data in proptest::collection::vec((-5i64..5, -100i64..100), 0..200)
+        ) {
+            prop_assert_eq!(run_engine(&data), reference(&data));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! §6.4 end-to-end: maintained materialized views must equal views
+//! recomputed from scratch, and the maintenance batch must share the
+//! common delta ⋈ orders ⋈ lineitem work.
+
+use cse_bench::{experiments, workloads};
+use similar_subexpr::prelude::*;
+
+fn sorted_rows(t: &Table) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = t.rows().iter().map(|r| r.to_vec()).collect();
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let o = x.total_cmp(y);
+            if !o.is_eq() {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+fn rows_approx_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(ra, rb)| {
+            ra.iter().zip(rb.iter()).all(|(x, y)| match (x.as_f64(), y.as_f64()) {
+                (Some(fx), Some(fy)) => {
+                    (fx - fy).abs() <= 1e-6 * fx.abs().max(fy.abs()).max(1.0)
+                }
+                _ => x == y,
+            })
+        })
+}
+
+#[test]
+fn maintained_views_match_recomputation() {
+    let cfg = CseConfig::default();
+    let mut catalog = generate_catalog(&TpchConfig::new(0.002));
+    for (name, def) in workloads::maintenance_views() {
+        create_materialized_view(&mut catalog, name, &def, &cfg).unwrap();
+    }
+    let inserts = experiments::new_customers(&catalog, 150);
+    let report = maintain_insert(&mut catalog, "customer", inserts, &cfg).unwrap();
+    assert_eq!(report.views.len(), 3);
+    assert_eq!(report.delta_rows, 150);
+
+    // Recompute each view from the (already updated) base tables and
+    // compare with the incrementally maintained contents.
+    for (name, def) in workloads::maintenance_views() {
+        let o = optimize_sql(&catalog, &def, &CseConfig::no_cse()).unwrap();
+        let engine = Engine::new(&catalog, &o.ctx);
+        let fresh = engine.execute(&o.plan).unwrap().results.remove(0);
+        let mut fresh_rows: Vec<Vec<Value>> =
+            fresh.rows.iter().map(|r| r.to_vec()).collect();
+        fresh_rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let o = x.total_cmp(y);
+                if !o.is_eq() {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let maintained = sorted_rows(&catalog.table(name).unwrap());
+        assert!(
+            rows_approx_eq(&maintained, &fresh_rows),
+            "view {name} diverged after incremental maintenance \
+             ({} maintained rows vs {} recomputed)",
+            maintained.len(),
+            fresh_rows.len()
+        );
+    }
+}
+
+#[test]
+fn maintenance_batch_detects_sharing() {
+    let cfg = CseConfig::default();
+    let mut catalog = generate_catalog(&TpchConfig::new(0.002));
+    for (name, def) in workloads::maintenance_views() {
+        create_materialized_view(&mut catalog, name, &def, &cfg).unwrap();
+    }
+    let inserts = experiments::new_customers(&catalog, 150);
+    let report = maintain_insert(&mut catalog, "customer", inserts, &cfg).unwrap();
+    assert!(
+        !report.cse.candidates.is_empty(),
+        "the three maintenance queries share delta⋈orders⋈lineitem: {:?}",
+        report.cse
+    );
+    assert!(report.cse.final_cost < report.cse.baseline_cost);
+}
+
+#[test]
+fn maintenance_cost_factor_matches_paper_shape() {
+    // Paper: maintenance time reduced by about 3x. Compare estimated costs
+    // of the maintenance batch (robust against wall-clock noise).
+    let (no, yes) = experiments::view_maintenance(0.002, 150);
+    assert_eq!(no.views, 3);
+    assert_eq!(yes.views, 3);
+    assert!(yes.candidates >= 1);
+}
+
+#[test]
+fn unaffected_views_are_skipped() {
+    let cfg = CseConfig::default();
+    let mut catalog = generate_catalog(&TpchConfig::new(0.001));
+    create_materialized_view(
+        &mut catalog,
+        "mv_parts",
+        "select p_brand, count(*) as n from part group by p_brand",
+        &cfg,
+    )
+    .unwrap();
+    let before = sorted_rows(&catalog.table("mv_parts").unwrap());
+    let inserts = experiments::new_customers(&catalog, 10);
+    let report = maintain_insert(&mut catalog, "customer", inserts, &cfg).unwrap();
+    assert!(report.views.is_empty(), "part view must not be touched");
+    let after = sorted_rows(&catalog.table("mv_parts").unwrap());
+    assert_eq!(before, after);
+}
+
+#[test]
+fn rejects_non_self_maintainable_views() {
+    let cfg = CseConfig::default();
+    let mut catalog = generate_catalog(&TpchConfig::new(0.001));
+    let err = create_materialized_view(
+        &mut catalog,
+        "mv_avg",
+        "select c_nationkey, avg(c_acctbal) as a from customer group by c_nationkey",
+        &cfg,
+    )
+    .unwrap_err();
+    assert!(err.contains("AVG"), "unexpected error: {err}");
+}
