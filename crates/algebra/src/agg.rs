@@ -96,10 +96,7 @@ impl AggExpr {
     }
 
     /// Rewrite the argument's column references.
-    pub fn rewrite_cols(
-        &self,
-        map: &impl Fn(crate::ids::ColRef) -> Scalar,
-    ) -> AggExpr {
+    pub fn rewrite_cols(&self, map: &impl Fn(crate::ids::ColRef) -> Scalar) -> AggExpr {
         AggExpr {
             func: self.func,
             arg: self.arg.as_ref().map(|a| a.rewrite_cols(map)),
@@ -141,7 +138,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(AggExpr::sum(Scalar::col(RelId(0), 3)).to_string(), "SUM(r0.3)");
+        assert_eq!(
+            AggExpr::sum(Scalar::col(RelId(0), 3)).to_string(),
+            "SUM(r0.3)"
+        );
         assert_eq!(AggExpr::count_star().to_string(), "COUNT(*)");
     }
 }

@@ -153,9 +153,11 @@ impl PlanContext {
         match s {
             Scalar::Col(c) => self.col_type(*c),
             Scalar::Lit(v) => v.data_type().unwrap_or(DataType::Int),
-            Scalar::Cmp(..) | Scalar::And(_) | Scalar::Or(_) | Scalar::Not(_) | Scalar::IsNull(_) => {
-                DataType::Bool
-            }
+            Scalar::Cmp(..)
+            | Scalar::And(_)
+            | Scalar::Or(_)
+            | Scalar::Not(_)
+            | Scalar::IsNull(_) => DataType::Bool,
             Scalar::Arith(_, a, b) => {
                 let (ta, tb) = (self.scalar_type(a), self.scalar_type(b));
                 if ta == DataType::Float || tb == DataType::Float {

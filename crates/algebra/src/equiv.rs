@@ -58,7 +58,10 @@ impl EquivClasses {
 
     /// Are two columns known equal?
     pub fn are_equal(&self, a: ColRef, b: ColRef) -> bool {
-        a == b || (self.parent.contains_key(&a) && self.parent.contains_key(&b) && self.find(a) == self.find(b))
+        a == b
+            || (self.parent.contains_key(&a)
+                && self.parent.contains_key(&b)
+                && self.find(a) == self.find(b))
     }
 
     /// The classes with at least two members, as sorted column sets.
@@ -87,10 +90,7 @@ impl EquivClasses {
 /// Intersect two collections of classes "in the natural way: for every pair
 /// of sets, one from C1 and one from C2, output their intersection" (paper
 /// Example 2). Intersections with fewer than two columns are dropped.
-pub fn intersect_classes(
-    a: &[BTreeSet<ColRef>],
-    b: &[BTreeSet<ColRef>],
-) -> Vec<BTreeSet<ColRef>> {
+pub fn intersect_classes(a: &[BTreeSet<ColRef>], b: &[BTreeSet<ColRef>]) -> Vec<BTreeSet<ColRef>> {
     let mut out: Vec<BTreeSet<ColRef>> = Vec::new();
     for ca in a {
         for cb in b {

@@ -123,10 +123,7 @@ impl RelSet {
     }
 
     pub fn is_subset(&self, other: RelSet) -> bool {
-        self.0
-            .iter()
-            .zip(other.0.iter())
-            .all(|(a, b)| a & !b == 0)
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a & !b == 0)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -138,7 +135,9 @@ impl RelSet {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = RelId> + '_ {
-        (0..MAX_RELS).filter(|i| self.contains(RelId(*i))).map(RelId)
+        (0..MAX_RELS)
+            .filter(|i| self.contains(RelId(*i)))
+            .map(RelId)
     }
 }
 
@@ -176,7 +175,10 @@ mod tests {
     fn relset_algebra() {
         let a = RelSet::from_iter([RelId(1), RelId(2)]);
         let b = RelSet::from_iter([RelId(2), RelId(3)]);
-        assert_eq!(a.union(b), RelSet::from_iter([RelId(1), RelId(2), RelId(3)]));
+        assert_eq!(
+            a.union(b),
+            RelSet::from_iter([RelId(1), RelId(2), RelId(3)])
+        );
         assert_eq!(a.intersect(b), RelSet::single(RelId(2)));
         assert_eq!(a.difference(b), RelSet::single(RelId(1)));
         assert!(RelSet::single(RelId(2)).is_subset(a));

@@ -27,13 +27,11 @@ impl Interval {
     fn tighten_lo(&mut self, v: Value, inclusive: bool) {
         let better = match &self.lo {
             None => true,
-            Some((cur, cur_inc)) => {
-                match v.total_cmp(cur) {
-                    std::cmp::Ordering::Greater => true,
-                    std::cmp::Ordering::Equal => *cur_inc && !inclusive,
-                    std::cmp::Ordering::Less => false,
-                }
-            }
+            Some((cur, cur_inc)) => match v.total_cmp(cur) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => *cur_inc && !inclusive,
+                std::cmp::Ordering::Less => false,
+            },
         };
         if better {
             self.lo = Some((v, inclusive));
@@ -43,13 +41,11 @@ impl Interval {
     fn tighten_hi(&mut self, v: Value, inclusive: bool) {
         let better = match &self.hi {
             None => true,
-            Some((cur, cur_inc)) => {
-                match v.total_cmp(cur) {
-                    std::cmp::Ordering::Less => true,
-                    std::cmp::Ordering::Equal => *cur_inc && !inclusive,
-                    std::cmp::Ordering::Greater => false,
-                }
-            }
+            Some((cur, cur_inc)) => match v.total_cmp(cur) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => *cur_inc && !inclusive,
+                std::cmp::Ordering::Greater => false,
+            },
         };
         if better {
             self.hi = Some((v, inclusive));

@@ -32,10 +32,7 @@ pub fn is_connected(rels: RelSet, classes: &[BTreeSet<ColRef>]) -> bool {
     let index_of = |r: RelId| nodes.iter().position(|&n| n == r);
     for class in classes {
         // Each class connects all rels it touches (a clique).
-        let touched: Vec<usize> = class
-            .iter()
-            .filter_map(|c| index_of(c.rel))
-            .collect();
+        let touched: Vec<usize> = class.iter().filter_map(|c| index_of(c.rel)).collect();
         for w in touched.windows(2) {
             let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
             if a != b {

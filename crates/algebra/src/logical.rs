@@ -120,7 +120,9 @@ impl LogicalPlan {
                 cols.extend(right.output_cols(ctx));
                 cols
             }
-            LogicalPlan::Aggregate { keys, aggs, out, .. } => {
+            LogicalPlan::Aggregate {
+                keys, aggs, out, ..
+            } => {
                 let mut cols = keys.clone();
                 cols.extend((0..aggs.len()).map(|i| ColRef::new(*out, i as u16)));
                 cols
@@ -188,7 +190,9 @@ impl LogicalPlan {
                     for (_, e) in exprs {
                         for c in e.columns() {
                             if !below.contains(&c) {
-                                return Err(format!("projection references unavailable column {c}"));
+                                return Err(format!(
+                                    "projection references unavailable column {c}"
+                                ));
                             }
                         }
                     }

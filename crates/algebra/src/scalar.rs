@@ -213,9 +213,7 @@ impl Scalar {
         match self {
             Scalar::Col(c) => map(*c),
             Scalar::Lit(v) => Scalar::Lit(v.clone()),
-            Scalar::Cmp(op, a, b) => {
-                Scalar::cmp(*op, a.rewrite_cols(map), b.rewrite_cols(map))
-            }
+            Scalar::Cmp(op, a, b) => Scalar::cmp(*op, a.rewrite_cols(map), b.rewrite_cols(map)),
             Scalar::And(v) => Scalar::And(v.iter().map(|p| p.rewrite_cols(map)).collect()),
             Scalar::Or(v) => Scalar::Or(v.iter().map(|p| p.rewrite_cols(map)).collect()),
             Scalar::Not(a) => Scalar::Not(Box::new(a.rewrite_cols(map))),
@@ -390,7 +388,10 @@ mod tests {
             c(0, 0),
             Scalar::int(1),
         )))));
-        assert_eq!(p.normalize(), Scalar::eq(c(0, 0), Scalar::int(1)).normalize());
+        assert_eq!(
+            p.normalize(),
+            Scalar::eq(c(0, 0), Scalar::int(1)).normalize()
+        );
     }
 
     #[test]
@@ -414,7 +415,10 @@ mod tests {
 
     #[test]
     fn columns_and_rels() {
-        let p = Scalar::and([Scalar::eq(c(0, 1), c(3, 2)), Scalar::eq(c(0, 0), Scalar::int(1))]);
+        let p = Scalar::and([
+            Scalar::eq(c(0, 1), c(3, 2)),
+            Scalar::eq(c(0, 0), Scalar::int(1)),
+        ]);
         assert_eq!(p.columns().len(), 3);
         assert_eq!(p.rels(), RelSet::from_iter([RelId(0), RelId(3)]));
     }
@@ -426,7 +430,9 @@ mod tests {
             p.as_col_eq_col(),
             Some((ColRef::new(RelId(0), 1), ColRef::new(RelId(1), 2)))
         );
-        assert!(Scalar::eq(c(0, 1), Scalar::int(5)).as_col_eq_col().is_none());
+        assert!(Scalar::eq(c(0, 1), Scalar::int(5))
+            .as_col_eq_col()
+            .is_none());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p cse-bench --bin report [-- <experiment>] [--sf <f>]`
 //! where `<experiment>` is one of `table1 table2 table3 table4 fig8
-//! viewmaint overhead all` (default `all`).
+//! viewmaint overhead verify all` (default `all`).
 
 use cse_bench::{experiments, print_table};
 
@@ -27,7 +27,10 @@ fn main() {
 
     let run_all = which == "all";
     if run_all || which == "table1" {
-        print_table("Table 1: query batch (Q1, Q2, Q3)", &experiments::table1(&catalog));
+        print_table(
+            "Table 1: query batch (Q1, Q2, Q3)",
+            &experiments::table1(&catalog),
+        );
     }
     if run_all || which == "table2" {
         print_table(
@@ -39,14 +42,24 @@ fn main() {
         print_table("Table 3: nested query", &experiments::table3(&catalog));
     }
     if run_all || which == "table4" {
-        print_table("Table 4: complex joins (8 tables)", &experiments::table4(&catalog));
+        print_table(
+            "Table 4: complex joins (8 tables)",
+            &experiments::table4(&catalog),
+        );
     }
     if run_all || which == "fig8" {
         println!("\n=== Figure 8: scaleup (batch size 2..10) ===");
         println!(
             "{:>3} {:>14} {:>14} {:>14} {:>12} {:>12} {:>12} {:>6} {:>6}",
-            "n", "cost NoCSE", "cost CSE", "cost CSE-noH", "opt NoCSE", "opt CSE",
-            "opt CSE-noH", "#cand", "#candH"
+            "n",
+            "cost NoCSE",
+            "cost CSE",
+            "cost CSE-noH",
+            "opt NoCSE",
+            "opt CSE",
+            "opt CSE-noH",
+            "#cand",
+            "#candH"
         );
         for p in experiments::fig8(&catalog, &[2, 3, 4, 5, 6, 7, 8, 9, 10]) {
             println!(
@@ -89,5 +102,19 @@ fn main() {
             on.opt_time.as_secs_f64() * 1e3,
             on.candidates
         );
+    }
+    if run_all || which == "verify" {
+        println!("\n=== cse-verify: invariant audit over every workload ===");
+        println!(
+            "{:<18} {:<16} {:>10} {:>12}",
+            "workload", "config", "candidates", "diagnostics"
+        );
+        for v in experiments::verify_all(&catalog) {
+            println!(
+                "{:<18} {:<16} {:>10} {:>12}",
+                v.workload, v.config, v.candidates, v.diagnostics
+            );
+        }
+        println!("all workloads passed verification (errors would have aborted).");
     }
 }

@@ -86,39 +86,40 @@ pub struct MaintenanceOutcome {
 /// without CSEs. Returns (no-CSE, with-CSE) outcomes; correctness is
 /// verified by comparing the refreshed view contents.
 pub fn view_maintenance(sf: f64, insert_count: usize) -> (MaintenanceOutcome, MaintenanceOutcome) {
-    let run = |cfg: &CseConfig, name: &'static str| -> (MaintenanceOutcome, Vec<Vec<cse_storage::Row>>) {
-        let mut catalog = catalog(sf);
-        for (vname, def) in workloads::maintenance_views() {
-            create_materialized_view(&mut catalog, vname, &def, cfg).expect("create view");
-        }
-        let inserts = new_customers(&catalog, insert_count);
-        let report = maintain_insert(&mut catalog, "customer", inserts, cfg).expect("maintain");
-        let contents: Vec<Vec<Row>> = workloads::maintenance_views()
-            .iter()
-            .map(|(vname, _)| {
-                let mut rows = catalog.table(vname).unwrap().rows().to_vec();
-                rows.sort_by(|a, b| {
-                    for (x, y) in a.iter().zip(b.iter()) {
-                        let o = x.total_cmp(y);
-                        if !o.is_eq() {
-                            return o;
+    let run =
+        |cfg: &CseConfig, name: &'static str| -> (MaintenanceOutcome, Vec<Vec<cse_storage::Row>>) {
+            let mut catalog = catalog(sf);
+            for (vname, def) in workloads::maintenance_views() {
+                create_materialized_view(&mut catalog, vname, &def, cfg).expect("create view");
+            }
+            let inserts = new_customers(&catalog, insert_count);
+            let report = maintain_insert(&mut catalog, "customer", inserts, cfg).expect("maintain");
+            let contents: Vec<Vec<Row>> = workloads::maintenance_views()
+                .iter()
+                .map(|(vname, _)| {
+                    let mut rows = catalog.table(vname).unwrap().rows().to_vec();
+                    rows.sort_by(|a, b| {
+                        for (x, y) in a.iter().zip(b.iter()) {
+                            let o = x.total_cmp(y);
+                            if !o.is_eq() {
+                                return o;
+                            }
                         }
-                    }
-                    std::cmp::Ordering::Equal
-                });
-                rows
-            })
-            .collect();
-        (
-            MaintenanceOutcome {
-                config: name,
-                maintain_time: report.total_time,
-                candidates: report.cse.candidates.len(),
-                views: report.views.len(),
-            },
-            contents,
-        )
-    };
+                        std::cmp::Ordering::Equal
+                    });
+                    rows
+                })
+                .collect();
+            (
+                MaintenanceOutcome {
+                    config: name,
+                    maintain_time: report.total_time,
+                    candidates: report.cse.candidates.len(),
+                    views: report.views.len(),
+                },
+                contents,
+            )
+        };
     let (no, c_no) = run(&CseConfig::no_cse(), "No CSE");
     let (yes, c_yes) = run(&CseConfig::default(), "Using CSEs");
     // Refreshed contents must agree (FP tolerance on sums).
@@ -162,6 +163,68 @@ pub fn overhead(catalog: &Catalog) -> (RunOutcome, RunOutcome) {
     let sql = workloads::no_sharing_batch();
     let off = harness::run(catalog, &sql, "No CSE", &CseConfig::no_cse());
     let on = harness::run(catalog, &sql, "Using CSEs", &CseConfig::default());
-    assert_eq!(on.candidates, 0, "no-sharing batch must yield no candidates");
+    assert_eq!(
+        on.candidates, 0,
+        "no-sharing batch must yield no candidates"
+    );
     (off, on)
+}
+
+/// One row of the verification report: workload name, candidate count and
+/// the diagnostics the `cse-verify` passes produced (always zero unless an
+/// invariant regressed — errors abort optimization outright).
+#[derive(Debug)]
+pub struct VerifyOutcome {
+    pub workload: &'static str,
+    pub config: &'static str,
+    pub candidates: usize,
+    pub diagnostics: usize,
+}
+
+/// Run every paper workload with the `cse-verify` passes forced on (they
+/// default off in release builds) under both CSE configurations, and
+/// report the diagnostics. Panics if any workload fails verification.
+pub fn verify_all(catalog: &Catalog) -> Vec<VerifyOutcome> {
+    let workloads: [(&'static str, String); 5] = [
+        ("table1 batch", workloads::table1_batch()),
+        ("table2 batch", workloads::table2_batch()),
+        ("nested query", workloads::NESTED.to_string()),
+        ("complex joins", workloads::complex_join_batch()),
+        ("no-sharing batch", workloads::no_sharing_batch()),
+    ];
+    let configs: [(&'static str, CseConfig); 2] = [
+        (
+            "Using CSEs",
+            CseConfig {
+                verify: true,
+                ..CseConfig::default()
+            },
+        ),
+        (
+            "no heuristics",
+            CseConfig {
+                verify: true,
+                ..CseConfig::no_heuristics()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, sql) in &workloads {
+        for (cname, cfg) in &configs {
+            let optimized = cse_core::optimize_sql(catalog, sql, cfg)
+                .unwrap_or_else(|e| panic!("{name} [{cname}] failed verification: {e}"));
+            rows.push(VerifyOutcome {
+                workload: name,
+                config: cname,
+                candidates: optimized.report.candidates.len(),
+                diagnostics: optimized
+                    .report
+                    .verification
+                    .as_ref()
+                    .map(|v| v.diagnostics.len())
+                    .unwrap_or(0),
+            });
+        }
+    }
+    rows
 }

@@ -2,7 +2,8 @@
 //! report binary and the integration tests.
 
 /// Example 1 / §6.1, Q1: per-(nation, segment) revenue summary.
-pub const Q1: &str = "select c_nationkey, c_mktsegment, sum(l_extendedprice) as le, sum(l_quantity) as lq \
+pub const Q1: &str =
+    "select c_nationkey, c_mktsegment, sum(l_extendedprice) as le, sum(l_quantity) as lq \
  from customer, orders, lineitem \
  where c_custkey = o_custkey and o_orderkey = l_orderkey \
    and o_orderdate < '1996-07-01' \
@@ -65,8 +66,13 @@ pub fn scaleup_batch(n: usize) -> String {
     for i in 0..n {
         let lo = i % 5;
         let hi = 20 + (i % 5);
-        let date = ["1995-01-01", "1995-07-01", "1996-01-01", "1996-07-01", "1997-01-01"]
-            [i % 5];
+        let date = [
+            "1995-01-01",
+            "1995-07-01",
+            "1996-01-01",
+            "1996-07-01",
+            "1997-01-01",
+        ][i % 5];
         let q = match i % 3 {
             0 => format!(
                 "select c_nationkey, sum(l_extendedprice) as le \

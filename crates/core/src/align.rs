@@ -28,11 +28,7 @@ impl Alignment {
 
     /// Align `consumer` rels onto `anchor` rels. Both lists must reference
     /// the same multiset of table names. Returns `None` on mismatch.
-    pub fn new(
-        ctx: &PlanContext,
-        anchor: &[RelId],
-        consumer: &[RelId],
-    ) -> Option<Alignment> {
+    pub fn new(ctx: &PlanContext, anchor: &[RelId], consumer: &[RelId]) -> Option<Alignment> {
         if anchor.len() != consumer.len() {
             return None;
         }
@@ -76,8 +72,7 @@ impl Alignment {
     pub fn normal_form(&self, n: &SpjgNormal) -> SpjgNormal {
         let mut rels: Vec<RelId> = n.spj.rels.iter().map(|r| self.rel(*r)).collect();
         rels.sort();
-        let mut conjuncts: Vec<Scalar> =
-            n.spj.conjuncts.iter().map(|c| self.scalar(c)).collect();
+        let mut conjuncts: Vec<Scalar> = n.spj.conjuncts.iter().map(|c| self.scalar(c)).collect();
         conjuncts.sort();
         conjuncts.dedup();
         SpjgNormal {

@@ -69,14 +69,16 @@ impl CostBounds {
     pub fn upper(&self, g: GroupId) -> f64 {
         self.costs.get(&g).copied().unwrap_or(0.0)
     }
+
+    /// Iterate the recorded per-group costs (used by the costing audit in
+    /// `cse-verify` to diff bounds against freshly recomputed winners).
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, f64)> + '_ {
+        self.costs.iter().map(|(&g, &c)| (g, c))
+    }
 }
 
 /// Estimate a constructed CSE's work-table cardinality and width.
-pub fn estimate_cse(
-    memo: &Memo,
-    stats: &StatsCatalog,
-    cse: &ConstructedCse,
-) -> (f64, f64) {
+pub fn estimate_cse(memo: &Memo, stats: &StatsCatalog, cse: &ConstructedCse) -> (f64, f64) {
     let card = Cardinality::new(&memo.ctx, stats);
     let sel = Selectivity::new(&memo.ctx, stats);
     let rels = &cse.members[0].normal.spj.rels;
@@ -216,15 +218,9 @@ pub fn create_candidates(
                     Some(t) => t,
                     None => continue,
                 };
-                let trial = cost_candidate(
-                    memo,
-                    stats,
-                    model,
-                    bounds,
-                    signature.clone(),
-                    trial,
-                );
-                let delta = merge_benefit(memo, stats, model, bounds, required, &current, m, &trial);
+                let trial = cost_candidate(memo, stats, model, bounds, signature.clone(), trial);
+                let delta =
+                    merge_benefit(memo, stats, model, bounds, required, &current, m, &trial);
                 if delta > 0.0 && best.as_ref().map(|(_, d, _)| delta > *d).unwrap_or(true) {
                     best = Some((i, delta, trial));
                 }
@@ -326,11 +322,7 @@ pub fn h4_prune_contained(
 
 /// Definition 4.2: child's tables ⊆ parent's tables (multiset) and every
 /// child consumer is a memo descendant of some parent consumer.
-pub fn is_contained(
-    mgr: &CseManager,
-    child: &CostedCandidate,
-    parent: &CostedCandidate,
-) -> bool {
+pub fn is_contained(mgr: &CseManager, child: &CostedCandidate, parent: &CostedCandidate) -> bool {
     if !child.signature.tables_subset_of(&parent.signature) {
         return false;
     }

@@ -204,8 +204,7 @@ pub fn simplify_covering(simplified: &[Scalar]) -> Scalar {
     if simplified.iter().any(|s| s.is_true()) {
         return Scalar::true_();
     }
-    let branch_conjuncts: Vec<Vec<Scalar>> =
-        simplified.iter().map(|s| s.conjuncts()).collect();
+    let branch_conjuncts: Vec<Vec<Scalar>> = simplified.iter().map(|s| s.conjuncts()).collect();
     // Factor common conjuncts.
     let mut common: Vec<Scalar> = branch_conjuncts[0].clone();
     for b in &branch_conjuncts[1..] {
@@ -213,12 +212,7 @@ pub fn simplify_covering(simplified: &[Scalar]) -> Scalar {
     }
     let residual_branches: Vec<Vec<Scalar>> = branch_conjuncts
         .iter()
-        .map(|b| {
-            b.iter()
-                .filter(|c| !common.contains(c))
-                .cloned()
-                .collect()
-        })
+        .map(|b| b.iter().filter(|c| !common.contains(c)).cloned().collect())
         .collect();
 
     let mut top_conjuncts = common;

@@ -126,11 +126,7 @@ pub fn choose_best(
             }
             let plan = opt.optimize_full(root, chosen_mask | mask);
             optimizations += 1;
-            let used: CseMask = plan
-                .spools
-                .keys()
-                .fold(0, |m, id| m | bit(*id))
-                & mask;
+            let used: CseMask = plan.spools.keys().fold(0, |m, id| m | bit(*id)) & mask;
             // Proposition 5.6: the returned plan is also the answer for
             // exactly its used set.
             skip.insert(used);
@@ -195,9 +191,9 @@ fn independent_part(
         if enabled & bit(a) == 0 {
             continue;
         }
-        let indep = ids.iter().all(|&b| {
-            b == a || enabled & bit(b) == 0 || !competing(mgr, lca_of(a), lca_of(b))
-        });
+        let indep = ids
+            .iter()
+            .all(|&b| b == a || enabled & bit(b) == 0 || !competing(mgr, lca_of(a), lca_of(b)));
         if indep {
             t |= bit(a);
         }

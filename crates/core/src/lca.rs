@@ -36,11 +36,7 @@ pub fn least_common_ancestor(mgr: &CseManager, consumers: &[GroupId]) -> Option<
 
 /// Are two candidates competing (Definition 5.2)? Their LCAs lie on one
 /// ancestor path. Missing LCAs are conservatively treated as competing.
-pub fn competing(
-    mgr: &CseManager,
-    lca_a: Option<GroupId>,
-    lca_b: Option<GroupId>,
-) -> bool {
+pub fn competing(mgr: &CseManager, lca_a: Option<GroupId>, lca_b: Option<GroupId>) -> bool {
     match (lca_a, lca_b) {
         (Some(a), Some(b)) => {
             a == b || mgr.ancestors_of(a).contains(&b) || mgr.ancestors_of(b).contains(&a)

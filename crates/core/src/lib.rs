@@ -14,6 +14,10 @@
 //! - [`pipeline`]: the end-to-end optimizer entry points;
 //! - [`maintenance`]: materialized-view maintenance over the pipeline.
 
+// Fallible paths must surface `Result`s, not panic; tests may unwrap.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod align;
 pub mod candidates;
 pub mod compat;
@@ -34,6 +38,8 @@ pub use enumerate::{choose_best, EnumOutcome};
 pub use lca::{competing, least_common_ancestor};
 pub use maintenance::{create_materialized_view, maintain_insert, MaintenanceReport};
 pub use manager::CseManager;
-pub use pipeline::{optimize_plan, optimize_sql, CandidateSummary, CseConfig, CseReport, Optimized};
+pub use pipeline::{
+    optimize_plan, optimize_sql, CandidateSummary, CseConfig, CseReport, Optimized,
+};
 pub use required::{compute_required, RequiredCols};
 pub use view_match::build_substitute;

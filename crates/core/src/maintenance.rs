@@ -177,7 +177,7 @@ fn merge_plan_of(select: &cse_sql::SelectStmt) -> Result<Vec<MergeKind>, String>
                     AggName::Max => MergeKind::Max,
                     AggName::Avg => {
                         return Err(
-                            "AVG is not self-maintainable; define SUM and COUNT columns".into(),
+                            "AVG is not self-maintainable; define SUM and COUNT columns".into()
                         )
                     }
                 }),

@@ -178,9 +178,7 @@ mod tests {
     fn single_table_signatures_excluded() {
         let memo = two_query_memo();
         let mgr = CseManager::build(&memo);
-        assert!(mgr
-            .signatures()
-            .all(|(s, _)| s.table_count() >= 2));
+        assert!(mgr.signatures().all(|(s, _)| s.table_count() >= 2));
     }
 
     #[test]

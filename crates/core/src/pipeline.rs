@@ -17,15 +17,16 @@ use crate::candidates::{
 use crate::enumerate::choose_best;
 use crate::lca::least_common_ancestor;
 use crate::manager::CseManager;
-use crate::required::{compute_required, RequiredCols};
+use crate::required::{compute_required, required_of, RequiredCols};
 use crate::view_match::build_substitute;
-use cse_algebra::{LogicalPlan, PlanContext};
+use cse_algebra::{ColRef, LogicalPlan, PlanContext};
 use cse_cost::{CostModel, StatsCatalog};
 use cse_memo::{explore, ExploreConfig, GroupId, Memo};
 use cse_optimizer::{
     CseCandidate, CseId, FullPlan, IndexInfo, Optimizer, OptimizerConfig, Substitute,
 };
 use cse_storage::Catalog;
+use cse_verify::{CandidateAudit, CostAudit, MemberAudit, Report as VerifyReport};
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
@@ -45,6 +46,10 @@ pub struct CseConfig {
     pub min_query_cost: f64,
     /// Detect CSEs over candidate definitions too (§5.5).
     pub stacked: bool,
+    /// Run the `cse-verify` invariant passes during optimization and fail
+    /// the query on any error-severity diagnostic. Defaults to on in debug
+    /// and test builds, off in release (the audits redo whole-memo work).
+    pub verify: bool,
 }
 
 impl Default for CseConfig {
@@ -58,6 +63,7 @@ impl Default for CseConfig {
             max_cse_optimizations: 64,
             min_query_cost: 0.0,
             stacked: true,
+            verify: cfg!(debug_assertions),
         }
     }
 }
@@ -114,6 +120,9 @@ pub struct CseReport {
     pub baseline_time: Duration,
     /// Wall-clock of the whole optimization including the CSE phase.
     pub total_time: Duration,
+    /// Diagnostics of the `cse-verify` passes (present iff
+    /// [`CseConfig::verify`] was set; clean when the query succeeded).
+    pub verification: Option<VerifyReport>,
 }
 
 /// Optimization output: executable plan, context for the executor, report.
@@ -124,11 +133,7 @@ pub struct Optimized {
 }
 
 /// Optimize a SQL batch end to end.
-pub fn optimize_sql(
-    catalog: &Catalog,
-    sql: &str,
-    cfg: &CseConfig,
-) -> Result<Optimized, String> {
+pub fn optimize_sql(catalog: &Catalog, sql: &str, cfg: &CseConfig) -> Result<Optimized, String> {
     let (ctx, plan) = cse_sql::lower_batch_sql(catalog, sql)?;
     optimize_plan(catalog, ctx, plan, cfg)
 }
@@ -155,6 +160,13 @@ pub fn optimize_plan(
     explore(&mut memo, &cfg.explore);
     stage!("insert+explore", t_start);
 
+    // Pass 1+2 of the verifier: provenance + signature audit over the
+    // explored query memo.
+    let mut vreport = VerifyReport::new();
+    if cfg.verify {
+        vreport.merge(cse_verify::verify_memo(&memo, &[root]));
+    }
+
     let stats = StatsCatalog::from_catalog(catalog);
     let indexes = IndexInfo::from_catalog(catalog);
 
@@ -180,28 +192,57 @@ pub fn optimize_plan(
     };
 
     if !cfg.enable_cse || baseline.cost < cfg.min_query_cost {
-        return Ok(Optimized {
-            plan: baseline,
-            ctx: memo.ctx.clone(),
+        return finish(
+            baseline,
+            memo.ctx.clone(),
             report,
-        });
+            cfg.verify,
+            vreport,
+            None,
+        );
     }
 
     // Step 2: detection + candidate generation (phase A).
     let t_gen = Instant::now();
-    let candidates = run_generation(&mut memo, &stats, &indexes, cfg, root, &BTreeSet::new());
+    let (candidates, bounds) =
+        run_generation(&mut memo, &stats, &indexes, cfg, root, &BTreeSet::new());
     stage!("generation", t_gen);
+
+    // Pass 5 setup: snapshot the claimed per-group bounds and recompute the
+    // winners on the *same* memo state (later exploration may legitimately
+    // find cheaper plans, which would make a fresh winner undercut a bound
+    // that was correct when recorded).
+    let mut cost_audit = CostAudit::default();
+    if cfg.verify {
+        cost_audit.bounds = bounds.iter().collect();
+        let mut opt = Optimizer::new(
+            &memo,
+            &stats,
+            cfg.cost_model.clone(),
+            cfg.optimizer.clone(),
+            indexes.clone(),
+        );
+        cost_audit.winners = cost_audit
+            .bounds
+            .iter()
+            .map(|&(g, _)| (g, opt.optimize_group(g, 0).cost))
+            .collect();
+    }
+
     {
         let mgr = CseManager::build(&memo);
         report.sharable_signatures = mgr.sharable_sets().len();
     }
     if candidates.is_empty() {
         report.total_time = t_start.elapsed();
-        return Ok(Optimized {
-            plan: baseline,
-            ctx: memo.ctx.clone(),
+        return finish(
+            baseline,
+            memo.ctx.clone(),
             report,
-        });
+            cfg.verify,
+            vreport,
+            Some(cost_audit),
+        );
     }
 
     // Register definitions in the memo for costing.
@@ -220,8 +261,7 @@ pub fn optimize_plan(
     // customer⋈orders⋈lineitem CSE's definition). The candidate set is
     // fixed at this point; only consumer sets are extended.
     if cfg.stacked {
-        let def_roots: BTreeSet<GroupId> =
-            registered.iter().map(|(_, d)| *d).collect();
+        let def_roots: BTreeSet<GroupId> = registered.iter().map(|(_, d)| *d).collect();
         let t_ext = Instant::now();
         extend_with_stacked_consumers(&memo, &mut registered, &def_roots);
         stage!("stacked-extension", t_ext);
@@ -246,19 +286,30 @@ pub fn optimize_plan(
     roots.extend(registered.iter().map(|(_, d)| *d));
     let required = compute_required(&memo, &roots);
 
+    // Pass 1+2 again over the grown memo: candidate definitions (and the
+    // exploration they triggered) must preserve the same invariants.
+    if cfg.verify {
+        vreport.merge(cse_verify::verify_memo(&memo, &roots));
+    }
+
     let mut cse_candidates: Vec<CseCandidate> = Vec::new();
     let mut substitutes: Vec<Substitute> = Vec::new();
     let mut lca_list: Vec<(CseId, Option<GroupId>)> = Vec::new();
+    let mut audits: Vec<CandidateAudit> = Vec::new();
     for (i, (c, def_root)) in registered.iter().enumerate() {
         let id = CseId(i as u32);
         let consumers: Vec<GroupId> = c.cse.members.iter().map(|m| m.group).collect();
         let lca = least_common_ancestor(&mgr, &consumers);
-        let mut matched = 0usize;
+        let mut member_matched = vec![false; c.cse.members.len()];
         for (mi, _) in c.cse.members.iter().enumerate() {
             if let Some(s) = build_substitute(&memo, id, &c.cse, mi, &required) {
                 substitutes.push(s);
-                matched += 1;
+                member_matched[mi] = true;
             }
+        }
+        let matched = member_matched.iter().filter(|&&m| m).count();
+        if cfg.verify {
+            audits.push(candidate_audit(id.0, c, &member_matched, &required));
         }
         if matched < 2 {
             // Not enough matchable consumers: candidate is useless.
@@ -286,13 +337,22 @@ pub fn optimize_plan(
         });
     }
 
+    // Passes 3+4 (+ candidate-level costing sanity) over every constructed
+    // candidate, matched or not.
+    if cfg.verify {
+        vreport.merge(cse_verify::verify_candidates(&audits));
+    }
+
     if cse_candidates.is_empty() {
         report.total_time = t_start.elapsed();
-        return Ok(Optimized {
-            plan: baseline,
-            ctx: memo.ctx.clone(),
+        return finish(
+            baseline,
+            memo.ctx.clone(),
             report,
-        });
+            cfg.verify,
+            vreport,
+            Some(cost_audit),
+        );
     }
 
     // Step 3: resume optimization with candidates enabled.
@@ -319,11 +379,103 @@ pub fn optimize_plan(
     report.spools_used = final_plan.spools.len();
     report.total_time = t_start.elapsed();
 
-    Ok(Optimized {
-        plan: final_plan,
-        ctx: memo.ctx.clone(),
+    finish(
+        final_plan,
+        memo.ctx.clone(),
         report,
-    })
+        cfg.verify,
+        vreport,
+        Some(cost_audit),
+    )
+}
+
+/// Terminate `optimize_plan`: run the end-to-end costing audit (pass 5),
+/// attach the verification report, and fail the query when any
+/// error-severity diagnostic fired.
+fn finish(
+    plan: FullPlan,
+    ctx: PlanContext,
+    mut report: CseReport,
+    verify: bool,
+    mut vreport: VerifyReport,
+    cost_audit: Option<CostAudit>,
+) -> Result<Optimized, String> {
+    if verify {
+        if let Some(mut audit) = cost_audit {
+            audit.baseline_cost = report.baseline_cost;
+            audit.final_cost = report.final_cost;
+            vreport.merge(cse_verify::verify_costs(&audit));
+        }
+        if vreport.error_count() > 0 {
+            return Err(format!(
+                "plan verification failed ({} error(s)):\n{}",
+                vreport.error_count(),
+                vreport.render()
+            ));
+        }
+        report.verification = Some(vreport);
+    }
+    Ok(Optimized { plan, ctx, report })
+}
+
+/// Adapt one costed candidate (plus the per-member view-matching outcome)
+/// into the self-contained audit record `cse-verify` consumes.
+fn candidate_audit(
+    id: u32,
+    c: &CostedCandidate,
+    member_matched: &[bool],
+    required: &RequiredCols,
+) -> CandidateAudit {
+    let rel_set = c.cse.members[0].normal.spj.rel_set();
+    let (keys, aggs) = match &c.cse.group {
+        Some((k, a, _)) => (Some(k.clone()), Some(a.clone())),
+        None => (None, None),
+    };
+    let members = c
+        .cse
+        .members
+        .iter()
+        .enumerate()
+        .map(|(mi, m)| {
+            // Required columns of the member's ancestors, mapped into
+            // anchor space and restricted to the CSE's base rels (a grouped
+            // member's synthetic agg-output columns are not served by the
+            // work table directly).
+            let req: BTreeSet<ColRef> = required_of(required, m.group)
+                .into_iter()
+                .map(|col| m.alignment.col(col))
+                .filter(|col| rel_set.contains(col.rel))
+                .collect();
+            let (mkeys, maggs) = match &m.normal.group {
+                Some(g) => (g.keys.clone(), g.aggs.clone()),
+                None => (Vec::new(), Vec::new()),
+            };
+            MemberAudit {
+                group: m.group,
+                classes: m.classes.clone(),
+                simplified: c.cse.simplified[mi].clone(),
+                keys: mkeys,
+                aggs: maggs,
+                required: req,
+                matched: member_matched[mi],
+            }
+        })
+        .collect();
+    CandidateAudit {
+        id,
+        rel_set,
+        output: c.cse.output.clone(),
+        covering: c.cse.covering.clone(),
+        join_conjuncts: c.cse.join_conjuncts.clone(),
+        keys,
+        aggs,
+        est_rows: c.est_rows,
+        est_width: c.est_width,
+        cw: c.cw,
+        cr: c.cr,
+        ce_lower: c.ce_lower,
+        members,
+    }
 }
 
 /// Add def-internal consumers to existing candidates (§5.5). A group
@@ -398,9 +550,8 @@ fn extend_with_stacked_consumers(
             let implied_by_join = |c: &cse_algebra::Scalar| -> bool {
                 c.as_col_eq_col()
                     .map(|(a, b)| {
-                        let jec = cse_algebra::EquivClasses::from_conjuncts(
-                            &cand.cse.join_conjuncts,
-                        );
+                        let jec =
+                            cse_algebra::EquivClasses::from_conjuncts(&cand.cse.join_conjuncts);
                         jec.are_equal(a, b)
                     })
                     .unwrap_or(false)
@@ -426,6 +577,9 @@ fn extend_with_stacked_consumers(
 }
 
 /// One round of detection + candidate generation over the current memo.
+/// Also returns the per-group cost bounds the candidates were generated
+/// against, so the costing audit (pass 5) can diff them against freshly
+/// recomputed winners.
 fn run_generation(
     memo: &mut Memo,
     stats: &StatsCatalog,
@@ -433,7 +587,7 @@ fn run_generation(
     cfg: &CseConfig,
     root: GroupId,
     exclude_consumers: &BTreeSet<GroupId>,
-) -> Vec<CostedCandidate> {
+) -> (Vec<CostedCandidate>, CostBounds) {
     // Cost bounds for every group (normal-phase history, §5.4/§4.3).
     let bounds = {
         let mut opt = Optimizer::new(
@@ -498,7 +652,7 @@ fn run_generation(
     if cfg.gen.heuristics {
         all = h4_prune_contained(&mgr, all, cfg.gen.beta);
     }
-    all
+    (all, bounds)
 }
 
 /// Convenience: recost a constructed CSE after memo changes (used by

@@ -60,13 +60,8 @@ pub fn compute_required(memo: &Memo, roots: &[GroupId]) -> RequiredCols {
                 Op::Batch => {}
             }
             for &c in &e.children {
-                let child_cols: BTreeSet<ColRef> = memo
-                    .group(c)
-                    .props
-                    .output_cols
-                    .iter()
-                    .copied()
-                    .collect();
+                let child_cols: BTreeSet<ColRef> =
+                    memo.group(c).props.output_cols.iter().copied().collect();
                 // Child must provide: pass-through requirements it can
                 // supply + the operator's own references into it.
                 let mut need: BTreeSet<ColRef> = req_g
@@ -125,10 +120,7 @@ mod tests {
             aggs: vec![AggExpr::sum(Scalar::col(s, 2))],
             out,
         }
-        .project(vec![(
-            "total".into(),
-            Scalar::col(out, 0),
-        )]);
+        .project(vec![("total".into(), Scalar::col(out, 0))]);
         let mut memo = Memo::new(ctx);
         let root = memo.insert_plan(&plan);
         (memo, root, r, s)
@@ -143,10 +135,7 @@ mod tests {
             .groups()
             .find(|g| {
                 g.props.rels.len() == 2
-                    && g.props
-                        .signature
-                        .as_ref()
-                        .is_some_and(|sig| !sig.grouped)
+                    && g.props.signature.as_ref().is_some_and(|sig| !sig.grouped)
             })
             .unwrap();
         let need = required_of(&req, join_group.id);

@@ -82,8 +82,8 @@ pub fn build_substitute(
             }
             // Identity fast path: same keys, no compensation — the spool
             // rows are already the consumer's groups.
-            let same_keys = mg.keys.len() == cse_keys.len()
-                && mg.keys.iter().all(|k| cse_keys.contains(k));
+            let same_keys =
+                mg.keys.len() == cse_keys.len() && mg.keys.iter().all(|k| cse_keys.contains(k));
             let consumer_out_cols = memo.group(member.group).props.output_cols.clone();
             if same_keys && filter.is_none() {
                 let output_map = consumer_out_cols
@@ -92,11 +92,8 @@ pub fn build_substitute(
                         let expr = if c.rel == mg.out {
                             // Aggregate output: same position in CSE aggs.
                             let a = &mg.aggs[c.col as usize];
-                            let idx = cse_aggs
-                                .iter()
-                                .position(|x| x == a)
-                                .expect("checked above")
-                                as u16;
+                            let idx =
+                                cse_aggs.iter().position(|x| x == a).expect("checked above") as u16;
                             Scalar::Col(ColRef::new(*cse_out, idx))
                         } else {
                             Scalar::Col(member.alignment.col(*c))
@@ -139,9 +136,7 @@ pub fn build_substitute(
         }
         (None, None) => {
             // SPJ over SPJ: filter + column remap.
-            let mut need: Vec<ColRef> = required_of(required, member.group)
-                .into_iter()
-                .collect();
+            let mut need: Vec<ColRef> = required_of(required, member.group).into_iter().collect();
             if need.is_empty() {
                 need = memo.group(member.group).props.output_cols.clone();
             }

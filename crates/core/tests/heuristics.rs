@@ -1,11 +1,11 @@
 //! Unit-level tests of the generation heuristics (§4.3) against synthetic
 //! catalogs where each heuristic's firing condition is controlled.
 
+use cse_algebra::{CmpOp, LogicalPlan, PlanContext, Scalar};
 use cse_core::candidates::{
     cost_candidate, h1_worthwhile, h4_prune_contained, shared_cost, CostBounds,
 };
 use cse_core::{compute_required, construct, prepare_consumers, CseManager};
-use cse_algebra::{CmpOp, LogicalPlan, PlanContext, Scalar};
 use cse_cost::{CostModel, StatsCatalog};
 use cse_memo::{explore, ExploreConfig, GroupId, Memo};
 use cse_storage::{row, Catalog, DataType, Schema, Table, Value};
@@ -22,7 +22,8 @@ fn catalog(n: i64) -> Catalog {
         Schema::from_pairs(&[("k", DataType::Int), ("w", DataType::Int)]),
     );
     for i in 0..n {
-        a.push(row(vec![Value::Int(i), Value::Int(i % 10)])).unwrap();
+        a.push(row(vec![Value::Int(i), Value::Int(i % 10)]))
+            .unwrap();
         b.push(row(vec![Value::Int(i), Value::Int(i % 7)])).unwrap();
     }
     let mut cat = Catalog::new();
@@ -67,10 +68,7 @@ fn memo_two_joins(catalog: &Catalog) -> (Memo, Vec<GroupId>) {
 
 #[test]
 fn h1_rejects_cheap_sets_and_accepts_expensive_ones() {
-    let bounds = CostBounds::new(HashMap::from([
-        (GroupId(1), 10.0),
-        (GroupId(2), 15.0),
-    ]));
+    let bounds = CostBounds::new(HashMap::from([(GroupId(1), 10.0), (GroupId(2), 15.0)]));
     // Query cost 1000, alpha 10%: 25 < 100 -> reject.
     assert!(!h1_worthwhile(
         &bounds,
@@ -79,7 +77,12 @@ fn h1_rejects_cheap_sets_and_accepts_expensive_ones() {
         0.10
     ));
     // Query cost 200: 25 >= 20 -> accept.
-    assert!(h1_worthwhile(&bounds, &[GroupId(1), GroupId(2)], 200.0, 0.10));
+    assert!(h1_worthwhile(
+        &bounds,
+        &[GroupId(1), GroupId(2)],
+        200.0,
+        0.10
+    ));
 }
 
 #[test]
@@ -103,7 +106,10 @@ fn shared_cost_includes_all_three_components() {
     assert_eq!(costed.ce_lower, 150.0);
     assert!(costed.cw > 0.0);
     assert!(costed.cr > 0.0);
-    assert!(costed.cr < costed.cw, "reading must be cheaper than writing");
+    assert!(
+        costed.cr < costed.cw,
+        "reading must be cheaper than writing"
+    );
     let sc = shared_cost(&costed);
     assert!(
         (sc - (costed.ce_lower + costed.cw + 2.0 * costed.cr)).abs() < 1e-9,

@@ -14,11 +14,7 @@ fn roundtrip(sql: &str) {
         panic!("rendered not a select");
     };
     // Rendering normalizes alias presence; compare re-rendered forms.
-    assert_eq!(
-        render_select(&s2),
-        rendered,
-        "second render must be stable"
-    );
+    assert_eq!(render_select(&s2), rendered, "second render must be stable");
     assert_eq!(s1.select.len(), s2.select.len());
     assert_eq!(s1.from.len(), s2.from.len());
     assert_eq!(s1.group_by.len(), s2.group_by.len());

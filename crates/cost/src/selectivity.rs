@@ -118,7 +118,8 @@ mod tests {
             Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]),
         );
         for i in 0..100 {
-            t.push(row(vec![Value::Int(i), Value::Int(i % 10)])).unwrap();
+            t.push(row(vec![Value::Int(i), Value::Int(i % 10)]))
+                .unwrap();
         }
         let mut cat = Catalog::new();
         cat.register_table(t).unwrap();

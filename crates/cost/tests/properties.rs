@@ -1,11 +1,15 @@
 //! Property tests: selectivities stay in [0,1], cost formulas are
 //! monotone and non-negative — the invariants the search relies on.
+//! Driven by the deterministic in-repo generator
+//! (`cse_storage::testkit::TestRng`).
 
 use cse_algebra::{CmpOp, PlanContext, RelId, Scalar};
 use cse_cost::{CostModel, Selectivity, StatsCatalog};
+use cse_storage::testkit::TestRng;
 use cse_storage::{row, Catalog, DataType, Schema, Table, Value};
-use proptest::prelude::*;
 use std::sync::Arc;
+
+const CASES: usize = 200;
 
 fn setup(n: i64) -> (PlanContext, StatsCatalog, RelId) {
     let mut t = Table::new(
@@ -13,11 +17,8 @@ fn setup(n: i64) -> (PlanContext, StatsCatalog, RelId) {
         Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float)]),
     );
     for i in 0..n {
-        t.push(row(vec![
-            Value::Int(i % 50),
-            Value::Float((i % 13) as f64),
-        ]))
-        .unwrap();
+        t.push(row(vec![Value::Int(i % 50), Value::Float((i % 13) as f64)]))
+            .unwrap();
     }
     let mut cat = Catalog::new();
     cat.register_table(t).unwrap();
@@ -32,62 +33,88 @@ fn setup(n: i64) -> (PlanContext, StatsCatalog, RelId) {
     (ctx, stats, r)
 }
 
-fn arb_pred(rel: RelId) -> impl Strategy<Value = Scalar> {
-    let leaf = ((0u16..2), -60i64..60, 0usize..6).prop_map(move |(c, v, op)| {
-        let op = [
+fn gen_pred(rng: &mut TestRng, rel: RelId, depth: usize) -> Scalar {
+    if depth == 0 || rng.chance(0.45) {
+        let ops = [
             CmpOp::Eq,
             CmpOp::Ne,
             CmpOp::Lt,
             CmpOp::Le,
             CmpOp::Gt,
             CmpOp::Ge,
-        ][op];
-        Scalar::cmp(op, Scalar::col(rel, c), Scalar::int(v))
-    });
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Scalar::and),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Scalar::or),
-            inner.prop_map(|p| Scalar::Not(Box::new(p))),
-        ]
-    })
+        ];
+        let c = rng.range_i64(0, 2) as u16;
+        let v = rng.range_i64(-60, 60);
+        Scalar::cmp(*rng.pick(&ops), Scalar::col(rel, c), Scalar::int(v))
+    } else {
+        match rng.range_usize(0, 3) {
+            0 => {
+                let n = rng.range_usize(1, 3);
+                Scalar::and(
+                    (0..n)
+                        .map(|_| gen_pred(rng, rel, depth - 1))
+                        .collect::<Vec<_>>(),
+                )
+            }
+            1 => {
+                let n = rng.range_usize(1, 3);
+                Scalar::or(
+                    (0..n)
+                        .map(|_| gen_pred(rng, rel, depth - 1))
+                        .collect::<Vec<_>>(),
+                )
+            }
+            _ => Scalar::Not(Box::new(gen_pred(rng, rel, depth - 1))),
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn selectivity_in_unit_interval(p in arb_pred(RelId(0))) {
-        let (ctx, stats, _) = setup(500);
+#[test]
+fn selectivity_in_unit_interval() {
+    let (ctx, stats, r) = setup(500);
+    let mut rng = TestRng::new(0x61);
+    for _ in 0..CASES {
+        let p = gen_pred(&mut rng, r, 3);
         let s = Selectivity::new(&ctx, &stats).of(&p);
-        prop_assert!((0.0..=1.0).contains(&s), "selectivity {s} for {p}");
+        assert!((0.0..=1.0).contains(&s), "selectivity {s} for {p}");
     }
+}
 
-    #[test]
-    fn conjunction_never_more_selective_than_parts(
-        p in arb_pred(RelId(0)),
-        q in arb_pred(RelId(0)),
-    ) {
-        let (ctx, stats, _) = setup(500);
-        let sel = Selectivity::new(&ctx, &stats);
+#[test]
+fn conjunction_never_more_selective_than_parts() {
+    let (ctx, stats, r) = setup(500);
+    let mut rng = TestRng::new(0x62);
+    let sel = Selectivity::new(&ctx, &stats);
+    for _ in 0..CASES {
+        let p = gen_pred(&mut rng, r, 3);
+        let q = gen_pred(&mut rng, r, 3);
         let sp = sel.of(&p);
         let spq = sel.of(&Scalar::and([p, q]));
-        prop_assert!(spq <= sp + 1e-9, "AND increased selectivity: {spq} > {sp}");
+        assert!(spq <= sp + 1e-9, "AND increased selectivity: {spq} > {sp}");
     }
+}
 
-    #[test]
-    fn disjunction_never_less_selective_than_parts(
-        p in arb_pred(RelId(0)),
-        q in arb_pred(RelId(0)),
-    ) {
-        let (ctx, stats, _) = setup(500);
-        let sel = Selectivity::new(&ctx, &stats);
+#[test]
+fn disjunction_never_less_selective_than_parts() {
+    let (ctx, stats, r) = setup(500);
+    let mut rng = TestRng::new(0x63);
+    let sel = Selectivity::new(&ctx, &stats);
+    for _ in 0..CASES {
+        let p = gen_pred(&mut rng, r, 3);
+        let q = gen_pred(&mut rng, r, 3);
         let sp = sel.of(&p);
         let spq = sel.of(&Scalar::or([p, q]));
-        prop_assert!(spq >= sp - 1e-9, "OR decreased selectivity: {spq} < {sp}");
+        assert!(spq >= sp - 1e-9, "OR decreased selectivity: {spq} < {sp}");
     }
+}
 
-    #[test]
-    fn costs_nonnegative_and_monotone(rows in 1.0f64..1e7, width in 1.0f64..512.0) {
-        let m = CostModel::default();
+#[test]
+fn costs_nonnegative_and_monotone() {
+    let m = CostModel::default();
+    let mut rng = TestRng::new(0x64);
+    for _ in 0..CASES {
+        let rows = rng.range_f64(1.0, 1e7);
+        let width = rng.range_f64(1.0, 512.0);
         for f in [
             m.scan(rows, width),
             m.filter(rows),
@@ -97,9 +124,9 @@ proptest! {
             m.spool_read(rows, width),
             m.sort(rows),
         ] {
-            prop_assert!(f >= 0.0 && f.is_finite());
+            assert!(f >= 0.0 && f.is_finite());
         }
-        prop_assert!(m.scan(rows * 2.0, width) >= m.scan(rows, width));
-        prop_assert!(m.spool_write(rows, width * 2.0) >= m.spool_write(rows, width));
+        assert!(m.scan(rows * 2.0, width) >= m.scan(rows, width));
+        assert!(m.spool_write(rows, width * 2.0) >= m.spool_write(rows, width));
     }
 }

@@ -4,6 +4,7 @@
 //! (on first read) and shared by every consumer, which is precisely the
 //! runtime behaviour the covering-subexpression optimization banks on.
 
+use crate::error::ExecError;
 use crate::eval::{accepts, agg_input, eval, AggState, Layout};
 use cse_algebra::{AggExpr, ColRef, PlanContext, SortOrder};
 use cse_optimizer::{CseId, FullPlan, PhysicalPlan};
@@ -45,15 +46,13 @@ impl ResultSet {
         a.rows.iter().zip(b.rows.iter()).all(|(ra, rb)| {
             ra.len() == rb.len()
                 && ra.iter().zip(rb.iter()).all(|(x, y)| match (x, y) {
-                    (Value::Float(_), _) | (_, Value::Float(_)) => {
-                        match (x.as_f64(), y.as_f64()) {
-                            (Some(fx), Some(fy)) => {
-                                let tol = rel_tol * fx.abs().max(fy.abs()).max(1.0);
-                                (fx - fy).abs() <= tol
-                            }
-                            _ => false,
+                    (Value::Float(_), _) | (_, Value::Float(_)) => match (x.as_f64(), y.as_f64()) {
+                        (Some(fx), Some(fy)) => {
+                            let tol = rel_tol * fx.abs().max(fy.abs()).max(1.0);
+                            (fx - fy).abs() <= tol
                         }
-                    }
+                        _ => false,
+                    },
                     _ => x == y,
                 })
         })
@@ -113,7 +112,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Execute a full plan; batch roots deliver one result set per child.
-    pub fn execute(&self, plan: &FullPlan) -> Result<ExecOutput, String> {
+    pub fn execute(&self, plan: &FullPlan) -> Result<ExecOutput, ExecError> {
         let mut st = RunState {
             plan,
             spools: HashMap::new(),
@@ -136,7 +135,7 @@ impl<'a> Engine<'a> {
     }
 
     /// Run one statement subtree and name its output columns.
-    fn deliver(&self, plan: &PhysicalPlan, st: &mut RunState<'_>) -> Result<ResultSet, String> {
+    fn deliver(&self, plan: &PhysicalPlan, st: &mut RunState<'_>) -> Result<ResultSet, ExecError> {
         match plan {
             PhysicalPlan::Project { input, exprs } => {
                 let chunk = self.run(input, st)?;
@@ -157,41 +156,40 @@ impl<'a> Engine<'a> {
                 // Sort above Project is not generated; Sort below Project is
                 // handled inside run(). A bare Sort root delivers positional
                 // columns.
-                let chunk = self.run(&PhysicalPlan::Sort {
-                    input: input.clone(),
-                    keys: keys.clone(),
-                }, st)?;
+                let chunk = self.run(
+                    &PhysicalPlan::Sort {
+                        input: input.clone(),
+                        keys: keys.clone(),
+                    },
+                    st,
+                )?;
                 Ok(ResultSet {
-                    columns: chunk
-                        .cols
-                        .iter()
-                        .map(|c| self.ctx.col_name(*c))
-                        .collect(),
+                    columns: chunk.cols.iter().map(|c| self.ctx.col_name(*c)).collect(),
                     rows: chunk.rows,
                 })
             }
             other => {
                 let chunk = self.run(other, st)?;
                 Ok(ResultSet {
-                    columns: chunk
-                        .cols
-                        .iter()
-                        .map(|c| self.ctx.col_name(*c))
-                        .collect(),
+                    columns: chunk.cols.iter().map(|c| self.ctx.col_name(*c)).collect(),
                     rows: chunk.rows,
                 })
             }
         }
     }
 
-    fn run(&self, plan: &PhysicalPlan, st: &mut RunState<'_>) -> Result<Chunk, String> {
+    fn run(&self, plan: &PhysicalPlan, st: &mut RunState<'_>) -> Result<Chunk, ExecError> {
         match plan {
-            PhysicalPlan::TableScan { rel, filter, layout } => {
+            PhysicalPlan::TableScan {
+                rel,
+                filter,
+                layout,
+            } => {
                 let info = self.ctx.rel(*rel);
                 let table = self
                     .catalog
                     .table(&info.name)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| ExecError::Storage(e.to_string()))?;
                 let lay = Layout::new(layout);
                 let mut rows = Vec::new();
                 st.metrics.base_rows_scanned += table.row_count();
@@ -214,7 +212,10 @@ impl<'a> Engine<'a> {
                 layout,
             } => {
                 let info = self.ctx.rel(*rel);
-                let entry = self.catalog.get(&info.name).map_err(|e| e.to_string())?;
+                let entry = self
+                    .catalog
+                    .get(&info.name)
+                    .map_err(|e| ExecError::Storage(e.to_string()))?;
                 let table = entry.table.clone();
                 let lay = Layout::new(layout);
                 let idx = entry
@@ -261,9 +262,9 @@ impl<'a> Engine<'a> {
                             };
                             lo_ok && hi_ok
                         };
-                        let pos = lay
-                            .position(*col)
-                            .ok_or("index column missing from layout")?;
+                        let pos = lay.position(*col).ok_or_else(|| {
+                            ExecError::MissingColumn(format!("index column {col}"))
+                        })?;
                         for r in table.scan() {
                             if !in_range(&r[pos]) {
                                 continue;
@@ -298,14 +299,22 @@ impl<'a> Engine<'a> {
             } => {
                 let lchunk = self.run(left, st)?;
                 let rchunk = self.run(right, st)?;
-                let lkeys: Vec<usize> = keys
-                    .iter()
-                    .map(|(a, _)| lchunk.layout.position(*a).ok_or("left key missing"))
-                    .collect::<Result<_, _>>()?;
-                let rkeys: Vec<usize> = keys
-                    .iter()
-                    .map(|(_, b)| rchunk.layout.position(*b).ok_or("right key missing"))
-                    .collect::<Result<_, _>>()?;
+                let lkeys: Vec<usize> =
+                    keys.iter()
+                        .map(|(a, _)| {
+                            lchunk.layout.position(*a).ok_or_else(|| {
+                                ExecError::MissingColumn(format!("left join key {a}"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                let rkeys: Vec<usize> =
+                    keys.iter()
+                        .map(|(_, b)| {
+                            rchunk.layout.position(*b).ok_or_else(|| {
+                                ExecError::MissingColumn(format!("right join key {b}"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
                 let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
                 for r in &lchunk.rows {
                     let k: Vec<Value> = lkeys.iter().map(|i| r[*i].clone()).collect();
@@ -395,7 +404,9 @@ impl<'a> Engine<'a> {
                 // Interior projection (rare): deliver positionally with
                 // synthetic cols — only valid at roots, guarded here.
                 let _ = (input, exprs);
-                Err("interior Project operators are not supported".into())
+                Err(ExecError::Unsupported(
+                    "interior Project operators are not supported",
+                ))
             }
             PhysicalPlan::CseRead {
                 cse,
@@ -406,7 +417,13 @@ impl<'a> Engine<'a> {
             } => {
                 self.ensure_spool(*cse, st)?;
                 *st.metrics.spool_reads.entry(*cse).or_insert(0) += 1;
-                let (spool_cols, spool_rows) = st.spools.get(cse).expect("spool computed").clone();
+                // `ensure_spool` just materialized it; report rather than
+                // panic if that invariant ever breaks.
+                let (spool_cols, spool_rows) = st
+                    .spools
+                    .get(cse)
+                    .ok_or(ExecError::MissingSpool(*cse))?
+                    .clone();
                 let spool_layout = Layout::new(&spool_cols);
                 let mut rows: Vec<Row> = spool_rows;
                 if let Some(p) = filter {
@@ -433,13 +450,15 @@ impl<'a> Engine<'a> {
                 }
                 Ok(Chunk::new(layout.clone(), out_rows))
             }
-            PhysicalPlan::Batch { .. } => Err("nested Batch operators are not supported".into()),
+            PhysicalPlan::Batch { .. } => Err(ExecError::Unsupported(
+                "nested Batch operators are not supported",
+            )),
         }
     }
 
     /// Compute a spool's work table once (recursively computes narrower
     /// stacked spools it reads).
-    fn ensure_spool(&self, cse: CseId, st: &mut RunState<'_>) -> Result<(), String> {
+    fn ensure_spool(&self, cse: CseId, st: &mut RunState<'_>) -> Result<(), ExecError> {
         if st.spools.contains_key(&cse) {
             return Ok(());
         }
@@ -447,7 +466,7 @@ impl<'a> Engine<'a> {
             .plan
             .spools
             .get(&cse)
-            .ok_or_else(|| format!("missing spool definition for {cse}"))?
+            .ok_or(ExecError::MissingSpool(cse))?
             .clone();
         let chunk = self.run(&def.plan, st)?;
         // Re-layout the definition output into the spool's column order.
@@ -458,18 +477,15 @@ impl<'a> Engine<'a> {
                 .layout
                 .iter()
                 .map(|c| {
-                    chunk
-                        .layout
-                        .position(*c)
-                        .ok_or_else(|| format!("spool column {c} missing from definition"))
+                    chunk.layout.position(*c).ok_or_else(|| {
+                        ExecError::MissingColumn(format!("spool column {c} in definition"))
+                    })
                 })
                 .collect::<Result<_, _>>()?;
             chunk
                 .rows
                 .iter()
-                .map(|r| {
-                    cse_storage::row(positions.iter().map(|i| r[*i].clone()).collect())
-                })
+                .map(|r| cse_storage::row(positions.iter().map(|i| r[*i].clone()).collect()))
                 .collect()
         };
         st.metrics.spool_rows.insert(cse, rows.len());
@@ -479,14 +495,14 @@ impl<'a> Engine<'a> {
 }
 
 /// Hash aggregation shared by HashAggregate and CseRead re-aggregation.
-fn aggregate(chunk: &Chunk, keys: &[ColRef], aggs: &[AggExpr]) -> Result<Vec<Row>, String> {
+fn aggregate(chunk: &Chunk, keys: &[ColRef], aggs: &[AggExpr]) -> Result<Vec<Row>, ExecError> {
     let key_pos: Vec<usize> = keys
         .iter()
         .map(|k| {
             chunk
                 .layout
                 .position(*k)
-                .ok_or_else(|| format!("group key {k} missing from layout"))
+                .ok_or_else(|| ExecError::MissingColumn(format!("group key {k}")))
         })
         .collect::<Result<_, _>>()?;
     let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();

@@ -1,0 +1,48 @@
+//! Structured errors for the interpreter.
+//!
+//! Execution used to report every failure as a bare `String` and panic on
+//! some broken-invariant paths (e.g. a spool read before its definition was
+//! computed). [`ExecError`] names each failure class, carries the spool id
+//! where relevant, and converts into the `String` errors the session layer
+//! threads around.
+
+use cse_optimizer::CseId;
+use std::fmt;
+
+/// What went wrong while interpreting a physical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The catalog rejected a table lookup (dropped or renamed since
+    /// planning).
+    Storage(String),
+    /// The plan contains an operator shape the interpreter does not handle
+    /// (interior `Project`, nested `Batch`).
+    Unsupported(&'static str),
+    /// A `CseRead` referenced a spool with no definition in the plan, or
+    /// the spool failed to materialize before its first read.
+    MissingSpool(CseId),
+    /// A column required by an operator is absent from its input layout —
+    /// always a planning bug.
+    MissingColumn(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(m) => write!(f, "storage error: {m}"),
+            ExecError::Unsupported(m) => write!(f, "unsupported plan shape: {m}"),
+            ExecError::MissingSpool(id) => write!(f, "missing spool definition for {id}"),
+            ExecError::MissingColumn(m) => write!(f, "column missing from layout: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The session and maintenance layers thread `Result<_, String>`; keep `?`
+/// working at those call sites.
+impl From<ExecError> for String {
+    fn from(e: ExecError) -> String {
+        e.to_string()
+    }
+}

@@ -247,7 +247,11 @@ mod tests {
     fn col_and_cmp() {
         let l = layout2();
         let row = vec![Value::Int(5), Value::Int(9)];
-        let p = Scalar::cmp(CmpOp::Lt, Scalar::col(RelId(0), 0), Scalar::col(RelId(0), 1));
+        let p = Scalar::cmp(
+            CmpOp::Lt,
+            Scalar::col(RelId(0), 0),
+            Scalar::col(RelId(0), 1),
+        );
         assert!(accepts(&p, &l, &row));
         let q = Scalar::eq(Scalar::col(RelId(0), 0), Scalar::int(5));
         assert!(accepts(&q, &l, &row));

@@ -5,7 +5,9 @@
 //! shared across consumers, and execution metrics.
 
 pub mod engine;
+pub mod error;
 pub mod eval;
 
 pub use engine::{Engine, ExecMetrics, ExecOutput, ResultSet};
+pub use error::ExecError;
 pub use eval::{accepts, eval, AggState, Layout};

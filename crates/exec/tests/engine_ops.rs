@@ -131,14 +131,21 @@ fn spool_computed_once_across_reads() {
         }),
         output_map: vec![
             (ColRef::new(l, 0), Scalar::Col(ColRef::new(l, 0))),
-            (ColRef::new(agg_out, 0), Scalar::Col(ColRef::new(agg_out, 0))),
+            (
+                ColRef::new(agg_out, 0),
+                Scalar::Col(ColRef::new(agg_out, 0)),
+            ),
         ],
         layout: vec![ColRef::new(l, 0), ColRef::new(agg_out, 0)],
     };
     let plan = FullPlan {
         root: PhysicalPlan::Batch {
             children: vec![
-                read(Some(Scalar::cmp(CmpOp::Lt, Scalar::col(l, 1), Scalar::int(2)))),
+                read(Some(Scalar::cmp(
+                    CmpOp::Lt,
+                    Scalar::col(l, 1),
+                    Scalar::int(2),
+                ))),
                 read2,
             ],
         },
@@ -192,7 +199,7 @@ fn missing_spool_definition_is_an_error() {
         cost: 0.0,
     };
     let err = engine.execute(&plan).unwrap_err();
-    assert!(err.contains("missing spool"), "{err}");
+    assert!(matches!(err, cse_exec::ExecError::MissingSpool(_)), "{err}");
 }
 
 #[test]

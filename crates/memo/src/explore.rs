@@ -195,7 +195,8 @@ fn apply_eager_agg(memo: &mut Memo, id: GroupExprId, max_rels: usize) {
             continue;
         }
         let partial_aggs: Vec<AggExpr> = aggs.iter().map(AggExpr::normalize).collect();
-        let partial_out = memo.agg_out_for(r, &partial_keys, &partial_aggs, memo.group(r).props.block);
+        let partial_out =
+            memo.agg_out_for(r, &partial_keys, &partial_aggs, memo.group(r).props.block);
         let partial = GroupExpr::new(
             Op::Aggregate {
                 keys: partial_keys,
@@ -288,8 +289,7 @@ mod tests {
         // some expr whose right child covers 2 rels.
         let has_right_deep = memo.group(g).exprs.iter().any(|&eid| {
             let e = memo.gexpr(eid);
-            matches!(e.op, Op::Join { .. })
-                && memo.group(e.children[1]).props.rels.len() == 2
+            matches!(e.op, Op::Join { .. }) && memo.group(e.children[1]).props.rels.len() == 2
         });
         assert!(has_right_deep);
     }

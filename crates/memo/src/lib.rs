@@ -4,6 +4,10 @@
 //! as a DAG (paper §2.1), transformation-rule exploration, and incremental
 //! table-signature computation (paper §3).
 
+// Fallible paths must surface `Result`s, not panic; tests may unwrap.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod explore;
 pub mod memo;
 pub mod op;

@@ -3,9 +3,7 @@
 
 use crate::op::{GroupExpr, GroupExprId, GroupId, Op};
 use crate::signature::{compute_signature, TableSignature};
-use cse_algebra::{
-    AggExpr, BlockId, ColRef, LogicalPlan, PlanContext, RelSet,
-};
+use cse_algebra::{AggExpr, BlockId, ColRef, LogicalPlan, PlanContext, RelSet};
 use std::collections::HashMap;
 
 /// Logical properties shared by all expressions of a group.
@@ -151,8 +149,7 @@ impl Memo {
             Op::Get { rel } => Some(self.ctx.rel(*rel).block),
             Op::Batch => None,
             _ => {
-                let blocks: Vec<Option<BlockId>> =
-                    child_props.iter().map(|p| p.block).collect();
+                let blocks: Vec<Option<BlockId>> = child_props.iter().map(|p| p.block).collect();
                 if blocks.iter().all(|b| *b == blocks[0]) {
                     blocks.first().copied().flatten()
                 } else {
@@ -160,10 +157,8 @@ impl Memo {
                 }
             }
         };
-        let child_sigs: Vec<Option<&TableSignature>> = child_props
-            .iter()
-            .map(|p| p.signature.as_ref())
-            .collect();
+        let child_sigs: Vec<Option<&TableSignature>> =
+            child_props.iter().map(|p| p.signature.as_ref()).collect();
         let signature = compute_signature(&self.ctx, &e.op, &child_sigs);
         let output_cols = self.derive_output_cols(e, &child_props);
         LogicalProps {
@@ -291,8 +286,7 @@ impl Memo {
         if let Some(&r) = self.agg_out_cache.get(&key) {
             return r;
         }
-        let types: Vec<cse_storage::DataType> =
-            aggs.iter().map(|a| self.ctx.agg_type(a)).collect();
+        let types: Vec<cse_storage::DataType> = aggs.iter().map(|a| self.ctx.agg_type(a)).collect();
         let blk = block.unwrap_or_else(|| self.ctx.new_block());
         let r = self.ctx.add_agg_output(&types, blk);
         self.agg_out_cache.insert(key, r);
@@ -402,6 +396,15 @@ impl Memo {
 impl Memo {
     pub fn signature_of(&self, g: GroupId) -> Option<&TableSignature> {
         self.group(g).props.signature.as_ref()
+    }
+
+    /// Corruption-injection hook for the `cse-verify` adversarial test
+    /// suite: overwrite a group's incrementally maintained signature so the
+    /// signature audit can be exercised. Never call this from production
+    /// code — it deliberately breaks the §3/Fig. 2 invariant.
+    #[doc(hidden)]
+    pub fn override_signature(&mut self, g: GroupId, sig: Option<TableSignature>) {
+        self.groups[g.0 as usize].props.signature = sig;
     }
 }
 

@@ -33,10 +33,7 @@ impl Op {
     pub fn arity(&self) -> usize {
         match self {
             Op::Get { .. } => 0,
-            Op::Filter { .. }
-            | Op::Aggregate { .. }
-            | Op::Project { .. }
-            | Op::Sort { .. } => 1,
+            Op::Filter { .. } | Op::Aggregate { .. } | Op::Project { .. } | Op::Sort { .. } => 1,
             Op::Join { .. } => 2,
             Op::Batch => usize::MAX, // variable
         }

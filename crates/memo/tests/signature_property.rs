@@ -1,0 +1,111 @@
+//! Property test: `TableSignature::tables_subset_of` (the merge-scan over
+//! two sorted multisets used by containment heuristic H-containment, paper
+//! Definition 4.2) must agree with a naive multiset-count oracle on random
+//! table multisets — including self-joins (repeated names) and Δ-prefixed
+//! delta tables from the view-maintenance path (§6.4).
+
+use cse_memo::TableSignature;
+use cse_storage::testkit::TestRng;
+use std::collections::HashMap;
+
+/// Oracle: `a ⊆ b` as multisets iff every name's count in `a` is ≤ its
+/// count in `b`.
+fn naive_submultiset(a: &[String], b: &[String]) -> bool {
+    let mut counts: HashMap<&str, isize> = HashMap::new();
+    for t in b {
+        *counts.entry(t.as_str()).or_insert(0) += 1;
+    }
+    for t in a {
+        let c = counts.entry(t.as_str()).or_insert(0);
+        *c -= 1;
+        if *c < 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Small name pool with deliberate collisions (self-joins are the point)
+/// and Δ-prefixed variants, which must stay distinct from their base names.
+fn random_tables(rng: &mut TestRng, max_len: usize) -> Vec<String> {
+    const POOL: [&str; 7] = [
+        "lineitem",
+        "orders",
+        "customer",
+        "t",
+        "Δlineitem",
+        "Δorders",
+        "Δt",
+    ];
+    let len = rng.range_usize(0, max_len + 1);
+    let mut tables: Vec<String> = (0..len).map(|_| rng.pick(&POOL).to_string()).collect();
+    // Signatures keep their multiset sorted; mirror that invariant.
+    tables.sort();
+    tables
+}
+
+fn sig(tables: Vec<String>, grouped: bool) -> TableSignature {
+    TableSignature { grouped, tables }
+}
+
+#[test]
+fn subset_of_matches_naive_multiset_oracle() {
+    let mut rng = TestRng::new(0x5169_2007);
+    let mut subset_hits = 0usize;
+    for case in 0..4000 {
+        let a = random_tables(&mut rng, 6);
+        let b = random_tables(&mut rng, 6);
+        let sa = sig(a.clone(), rng.chance(0.5));
+        let sb = sig(b.clone(), rng.chance(0.5));
+        let expect = naive_submultiset(&a, &b);
+        subset_hits += usize::from(expect);
+        assert_eq!(
+            sa.tables_subset_of(&sb),
+            expect,
+            "case {case}: {a:?} ⊆ {b:?} should be {expect}"
+        );
+        // And the mirrored direction, for free.
+        assert_eq!(
+            sb.tables_subset_of(&sa),
+            naive_submultiset(&b, &a),
+            "case {case} (mirrored): {b:?} ⊆ {a:?}"
+        );
+    }
+    // The generator must actually exercise both outcomes.
+    assert!(subset_hits > 100, "only {subset_hits} positive cases drawn");
+    assert!(
+        subset_hits < 3900,
+        "only {} negative cases drawn",
+        4000 - subset_hits
+    );
+}
+
+#[test]
+fn subset_of_is_reflexive_and_respects_extension() {
+    let mut rng = TestRng::new(0xC5E0_0703);
+    for _ in 0..1000 {
+        let a = random_tables(&mut rng, 5);
+        let sa = sig(a.clone(), false);
+        // Reflexivity: every multiset contains itself.
+        assert!(sa.tables_subset_of(&sa), "{a:?} ⊆ {a:?}");
+        // Extension: a ⊆ a ∪ {extra}, and (a ∪ {extra}) ⊄ a when the
+        // extra raises some count above a's.
+        let extra = rng.pick(&["lineitem", "part", "Δorders"]).to_string();
+        let mut bigger = a.clone();
+        bigger.push(extra);
+        bigger.sort();
+        let sb = sig(bigger.clone(), false);
+        assert!(sa.tables_subset_of(&sb), "{a:?} ⊆ {bigger:?}");
+        assert!(!sb.tables_subset_of(&sa), "{bigger:?} ⊄ {a:?}");
+    }
+}
+
+#[test]
+fn delta_prefix_never_matches_base_table() {
+    // The Δ prefix exists precisely so a delta-driven expression can never
+    // be mistaken for a base-table expression over the same table.
+    let base = sig(vec!["lineitem".into()], false);
+    let delta = sig(vec!["Δlineitem".into()], false);
+    assert!(!base.tables_subset_of(&delta));
+    assert!(!delta.tables_subset_of(&base));
+}

@@ -73,17 +73,17 @@ fn emit(
             format!("HashJoin\\n{}", escape(&ks.join(", ")))
         }
         PhysicalPlan::NlJoin { pred, .. } => format!("NlJoin\\n{}", escape(&pred.to_string())),
-        PhysicalPlan::HashAggregate { keys, aggs, .. } => format!(
-            "HashAggregate\\nkeys={} aggs={}",
-            keys.len(),
-            aggs.len()
-        ),
+        PhysicalPlan::HashAggregate { keys, aggs, .. } => {
+            format!("HashAggregate\\nkeys={} aggs={}", keys.len(), aggs.len())
+        }
         PhysicalPlan::Project { exprs, .. } => {
             let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
             format!("Project\\n{}", escape(&names.join(", ")))
         }
         PhysicalPlan::Sort { .. } => "Sort".to_string(),
-        PhysicalPlan::CseRead { cse, filter, reagg, .. } => {
+        PhysicalPlan::CseRead {
+            cse, filter, reagg, ..
+        } => {
             pending.push((id, *cse));
             let mut l = format!("CseRead {cse}");
             if let Some(f) = filter {

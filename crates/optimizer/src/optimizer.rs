@@ -658,10 +658,7 @@ impl<'a> Optimizer<'a> {
     }
 }
 
-fn merge_usage(
-    a: &BTreeMap<CseId, u32>,
-    b: &BTreeMap<CseId, u32>,
-) -> BTreeMap<CseId, u32> {
+fn merge_usage(a: &BTreeMap<CseId, u32>, b: &BTreeMap<CseId, u32>) -> BTreeMap<CseId, u32> {
     let mut out = a.clone();
     for (k, v) in b {
         *out.entry(*k).or_insert(0) += v;
@@ -692,7 +689,8 @@ mod tests {
             Schema::from_pairs(&[("k", DataType::Int), ("w", DataType::Int)]),
         );
         for i in 0..200i64 {
-            dim.push(row(vec![Value::Int(i), Value::Int(i % 7)])).unwrap();
+            dim.push(row(vec![Value::Int(i), Value::Int(i % 7)]))
+                .unwrap();
         }
         let mut cat = Catalog::new();
         cat.register_table(fact).unwrap();

@@ -113,9 +113,7 @@ impl PhysicalPlan {
             | PhysicalPlan::NlJoin { layout, .. }
             | PhysicalPlan::HashAggregate { layout, .. }
             | PhysicalPlan::CseRead { layout, .. } => layout,
-            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Sort { input, .. } => {
-                input.layout()
-            }
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::Sort { input, .. } => input.layout(),
             PhysicalPlan::Project { .. } | PhysicalPlan::Batch { .. } => &[],
         }
     }

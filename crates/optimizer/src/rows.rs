@@ -42,8 +42,7 @@ impl<'a> GroupRows<'a> {
         let r = match &e.op {
             Op::Get { rel } => self.stats.rel_rows(&self.memo.ctx, *rel),
             Op::Filter { pred } => {
-                let sel =
-                    cse_cost::Selectivity::new(&self.memo.ctx, self.stats).of(pred);
+                let sel = cse_cost::Selectivity::new(&self.memo.ctx, self.stats).of(pred);
                 (self.rows(e.children[0]) * sel).max(1.0)
             }
             Op::Join { pred } => {
@@ -82,10 +81,7 @@ fn join_selectivity(
     let est = cse_cost::Selectivity::new(ctx, stats);
     for c in pred.conjuncts() {
         if let Some((a, b)) = c.as_col_eq_col() {
-            let nd = stats
-                .col_ndv(ctx, a)
-                .max(stats.col_ndv(ctx, b))
-                .max(1.0);
+            let nd = stats.col_ndv(ctx, a).max(stats.col_ndv(ctx, b)).max(1.0);
             sel /= nd;
         } else {
             sel *= est.of(&c);

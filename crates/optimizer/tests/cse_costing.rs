@@ -70,11 +70,7 @@ fn fixture(rows: usize) -> Fixture {
     // Candidate: the q1 join itself (anchor space = q1's rels).
     let def_root = memo.insert_plan(&q1);
     assert_eq!(def_root, g1, "definition dedups onto consumer 1's group");
-    let output: Vec<ColRef> = vec![
-        ColRef::new(a1, 0),
-        ColRef::new(a1, 1),
-        ColRef::new(b1, 1),
-    ];
+    let output: Vec<ColRef> = vec![ColRef::new(a1, 0), ColRef::new(a1, 1), ColRef::new(b1, 1)];
     let candidate = CseCandidate {
         id: CseId(0),
         def_root,
@@ -170,7 +166,10 @@ fn single_consumer_plans_are_discarded() {
     opt.register_candidates(vec![f.candidate.clone()], subs);
     let with = opt.optimize_group(f.root, bit(CseId(0)));
     let without = opt.optimize_group(f.root, 0);
-    assert_eq!(with.cost, without.cost, "single-consumer spool must not survive");
+    assert_eq!(
+        with.cost, without.cost,
+        "single-consumer spool must not survive"
+    );
     assert!(with.usage.is_empty());
     assert!(!with.charged.contains(&CseId(0)));
 }

@@ -88,5 +88,8 @@ pub struct SelectStmt {
 pub enum Statement {
     Select(SelectStmt),
     /// `CREATE MATERIALIZED VIEW name AS SELECT ...`
-    CreateMaterializedView { name: String, query: SelectStmt },
+    CreateMaterializedView {
+        name: String,
+        query: SelectStmt,
+    },
 }

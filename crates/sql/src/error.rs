@@ -1,0 +1,58 @@
+//! Structured errors for the SQL front end.
+//!
+//! Lowering used to surface every failure as a bare `String`, which made it
+//! impossible for callers to distinguish "the query is malformed" from "the
+//! query is valid SQL we simply don't support yet" from "the lowerer has a
+//! bug". [`SqlError`] keeps those apart while still converting into the
+//! `String` errors the rest of the pipeline threads around.
+
+use std::fmt;
+
+/// What went wrong while parsing or lowering a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The lexer or parser rejected the input text.
+    Parse(String),
+    /// A name failed to resolve (unknown/ambiguous column, unknown table or
+    /// alias) or a reference is illegal where it appears (bare column not in
+    /// GROUP BY, aggregate below the aggregation level).
+    Bind(String),
+    /// Valid SQL outside the supported subset (e.g. correlated subqueries,
+    /// `SELECT *` with GROUP BY, DDL through the query path).
+    Unsupported(String),
+    /// An invariant of the lowerer itself was violated — always a bug.
+    Internal(String),
+}
+
+impl SqlError {
+    /// Stable machine-readable tag, mirroring `cse-verify`'s rule ids.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SqlError::Parse(_) => "parse",
+            SqlError::Bind(_) => "bind",
+            SqlError::Unsupported(_) => "unsupported",
+            SqlError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Bind(m) => write!(f, "binding error: {m}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            SqlError::Internal(m) => write!(f, "internal lowering error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// The optimizer pipeline still threads `Result<_, String>`; keep `?`
+/// working at those call sites.
+impl From<SqlError> for String {
+    fn from(e: SqlError) -> String {
+        e.to_string()
+    }
+}

@@ -56,9 +56,31 @@ impl fmt::Display for Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "AS", "AND", "OR", "NOT",
-    "SUM", "COUNT", "MIN", "MAX", "AVG", "ASC", "DESC", "IS", "NULL", "BETWEEN", "CREATE",
-    "MATERIALIZED", "VIEW", "DISTINCT",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "SUM",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "AVG",
+    "ASC",
+    "DESC",
+    "IS",
+    "NULL",
+    "BETWEEN",
+    "CREATE",
+    "MATERIALIZED",
+    "VIEW",
+    "DISTINCT",
 ];
 
 /// Tokenize SQL text. Returns an error message with position on bad input.

@@ -6,11 +6,13 @@
 //! different statements can be detected and covered.
 
 pub mod ast;
+pub mod error;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
 
 pub use ast::{AggName, BinOp, Expr, FromItem, SelectItem, SelectStmt, Statement};
+pub use error::SqlError;
 pub use lexer::{tokenize, Token};
 pub use lower::{lower_batch_sql, SqlLowerer};
 pub use parser::{parse_batch, parse_one};

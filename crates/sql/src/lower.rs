@@ -8,6 +8,7 @@
 //! referenced in HAVING).
 
 use crate::ast::*;
+use crate::error::SqlError;
 use cse_algebra::{
     AggExpr, AggFunc, ArithOp, BlockId, CmpOp, ColRef, LogicalPlan, PlanContext, RelId, Scalar,
     SortOrder,
@@ -25,15 +26,15 @@ pub struct SqlLowerer<'a> {
 pub fn lower_batch_sql(
     catalog: &Catalog,
     sql: &str,
-) -> Result<(PlanContext, LogicalPlan), String> {
-    let stmts = crate::parser::parse_batch(sql)?;
+) -> Result<(PlanContext, LogicalPlan), SqlError> {
+    let stmts = crate::parser::parse_batch(sql).map_err(SqlError::Parse)?;
     let selects: Vec<SelectStmt> = stmts
         .into_iter()
         .map(|s| match s {
             Statement::Select(s) => Ok(s),
-            Statement::CreateMaterializedView { .. } => {
-                Err("CREATE MATERIALIZED VIEW must go through the maintenance API".to_string())
-            }
+            Statement::CreateMaterializedView { .. } => Err(SqlError::Unsupported(
+                "CREATE MATERIALIZED VIEW must go through the maintenance API".to_string(),
+            )),
         })
         .collect::<Result<_, _>>()?;
     let mut lowerer = SqlLowerer::new(catalog);
@@ -41,8 +42,13 @@ pub fn lower_batch_sql(
     for s in &selects {
         children.push(lowerer.lower_select(s)?);
     }
+    // A single statement stays unwrapped; `parse_batch` rejects empty input,
+    // so popping here cannot fail — surface an Internal error instead of
+    // panicking if that invariant ever breaks.
     let plan = if children.len() == 1 {
-        children.pop().expect("len checked")
+        children
+            .pop()
+            .ok_or_else(|| SqlError::Internal("single-statement batch vanished".into()))?
     } else {
         LogicalPlan::Batch { children }
     };
@@ -77,7 +83,7 @@ impl<'a> SqlLowerer<'a> {
     }
 
     /// Lower one SELECT statement into a plan rooted at a Project.
-    pub fn lower_select(&mut self, stmt: &SelectStmt) -> Result<LogicalPlan, String> {
+    pub fn lower_select(&mut self, stmt: &SelectStmt) -> Result<LogicalPlan, SqlError> {
         let block = self.ctx.new_block();
         self.lower_select_in_block(stmt, block)
     }
@@ -86,17 +92,17 @@ impl<'a> SqlLowerer<'a> {
         &mut self,
         stmt: &SelectStmt,
         block: BlockId,
-    ) -> Result<LogicalPlan, String> {
+    ) -> Result<LogicalPlan, SqlError> {
         // FROM: allocate rels.
         if stmt.from.is_empty() {
-            return Err("FROM clause is required".into());
+            return Err(SqlError::Unsupported("FROM clause is required".into()));
         }
         let mut scope: Vec<ScopeRel> = Vec::with_capacity(stmt.from.len());
         for f in &stmt.from {
             let entry = self
                 .catalog
                 .get(&f.table)
-                .map_err(|e| format!("in FROM: {e}"))?;
+                .map_err(|e| SqlError::Bind(format!("in FROM: {e}")))?;
             let rel = self.ctx.add_base_rel(
                 f.table.to_ascii_lowercase(),
                 f.alias.clone().unwrap_or_else(|| f.table.clone()),
@@ -122,9 +128,7 @@ impl<'a> SqlLowerer<'a> {
 
         // Build the join tree: filtered leaves joined left-deep in FROM
         // order, predicates attached at the lowest covering join.
-        let conjuncts = where_pred
-            .map(|p| p.conjuncts())
-            .unwrap_or_default();
+        let conjuncts = where_pred.map(|p| p.conjuncts()).unwrap_or_default();
         let mut remaining: Vec<Scalar> = conjuncts;
         let mut plan: Option<LogicalPlan> = None;
         let mut covered = cse_algebra::RelSet::EMPTY;
@@ -147,7 +151,8 @@ impl<'a> SqlLowerer<'a> {
                 }
             });
         }
-        let mut plan = plan.expect("FROM checked non-empty");
+        let mut plan =
+            plan.ok_or_else(|| SqlError::Internal("FROM produced no join tree".into()))?;
         // WHERE-level subqueries: cross join below the aggregate.
         for sub in where_subs {
             plan = plan.join(sub, Scalar::true_());
@@ -181,7 +186,9 @@ impl<'a> SqlLowerer<'a> {
             return self.finish_spj(stmt, plan, &scope, block);
         }
         if stmt.select.iter().any(|i| matches!(i, SelectItem::Star)) {
-            return Err("SELECT * cannot be combined with GROUP BY".into());
+            return Err(SqlError::Unsupported(
+                "SELECT * cannot be combined with GROUP BY".into(),
+            ));
         }
 
         // Group keys.
@@ -193,7 +200,11 @@ impl<'a> SqlLowerer<'a> {
                         keys.push(c)
                     }
                 }
-                other => return Err(format!("GROUP BY must list columns, got {other}")),
+                other => {
+                    return Err(SqlError::Unsupported(format!(
+                        "GROUP BY must list columns, got {other}"
+                    )))
+                }
             }
         }
         // Collect aggregate expressions from select + having + order by.
@@ -219,7 +230,8 @@ impl<'a> SqlLowerer<'a> {
         // HAVING (post-agg mode; subqueries cross-join above the aggregate).
         if let Some(h) = &stmt.having {
             let mut having_subs: Vec<LogicalPlan> = Vec::new();
-            let pred = self.lower_post_with_subs(h, &scope, &keys, &aggs, out, &mut having_subs, block)?;
+            let pred =
+                self.lower_post_with_subs(h, &scope, &keys, &aggs, out, &mut having_subs, block)?;
             for sub in having_subs {
                 plan = plan.join(sub, Scalar::true_());
             }
@@ -238,7 +250,10 @@ impl<'a> SqlLowerer<'a> {
                     out,
                 },
             )?;
-            exprs.push((self.output_name(e, alias.map(|a| a.as_str()), exprs.len()), s));
+            exprs.push((
+                self.output_name(e, alias.map(|a| a.as_str()), exprs.len()),
+                s,
+            ));
         }
 
         // ORDER BY (post-agg; aliases resolve to select expressions).
@@ -259,7 +274,11 @@ impl<'a> SqlLowerer<'a> {
                 };
                 sort_keys.push((
                     s,
-                    if *desc { SortOrder::Desc } else { SortOrder::Asc },
+                    if *desc {
+                        SortOrder::Desc
+                    } else {
+                        SortOrder::Asc
+                    },
                 ));
             }
             plan = LogicalPlan::Sort {
@@ -277,7 +296,7 @@ impl<'a> SqlLowerer<'a> {
         mut plan: LogicalPlan,
         scope: &[ScopeRel],
         _block: BlockId,
-    ) -> Result<LogicalPlan, String> {
+    ) -> Result<LogicalPlan, SqlError> {
         let mut exprs: Vec<(String, Scalar)> = Vec::new();
         for item in &stmt.select {
             match item {
@@ -294,10 +313,7 @@ impl<'a> SqlLowerer<'a> {
                 }
                 SelectItem::Expr { expr, alias } => {
                     let s = self.lower_expr(expr, scope, &Mode::Pre)?;
-                    exprs.push((
-                        self.output_name(expr, alias.as_deref(), exprs.len()),
-                        s,
-                    ));
+                    exprs.push((self.output_name(expr, alias.as_deref(), exprs.len()), s));
                 }
             }
         }
@@ -310,7 +326,11 @@ impl<'a> SqlLowerer<'a> {
                 };
                 sort_keys.push((
                     s,
-                    if *desc { SortOrder::Desc } else { SortOrder::Asc },
+                    if *desc {
+                        SortOrder::Desc
+                    } else {
+                        SortOrder::Asc
+                    },
                 ));
             }
             plan = LogicalPlan::Sort {
@@ -355,7 +375,7 @@ impl<'a> SqlLowerer<'a> {
         scope: &[ScopeRel],
         subs: &mut Vec<LogicalPlan>,
         block: BlockId,
-    ) -> Result<Scalar, String> {
+    ) -> Result<Scalar, SqlError> {
         // Subqueries are found during lowering; Mode::Pre forbids them, so
         // pre-walk and rewrite.
         self.lower_expr_subs(e, scope, &Mode::Pre, subs, block)
@@ -371,7 +391,7 @@ impl<'a> SqlLowerer<'a> {
         out: RelId,
         subs: &mut Vec<LogicalPlan>,
         block: BlockId,
-    ) -> Result<Scalar, String> {
+    ) -> Result<Scalar, SqlError> {
         let mode = Mode::Post { keys, aggs, out };
         self.lower_expr_subs(e, scope, &mode, subs, block)
     }
@@ -384,7 +404,7 @@ impl<'a> SqlLowerer<'a> {
         mode: &Mode<'_>,
         subs: &mut Vec<LogicalPlan>,
         block: BlockId,
-    ) -> Result<Scalar, String> {
+    ) -> Result<Scalar, SqlError> {
         match e {
             Expr::Subquery(stmt) => {
                 let (plan, value) = self.lower_scalar_subquery(stmt)?;
@@ -417,16 +437,24 @@ impl<'a> SqlLowerer<'a> {
     fn lower_scalar_subquery(
         &mut self,
         stmt: &SelectStmt,
-    ) -> Result<(LogicalPlan, Scalar), String> {
+    ) -> Result<(LogicalPlan, Scalar), SqlError> {
         if stmt.select.len() != 1 || !stmt.group_by.is_empty() {
-            return Err("scalar subqueries must produce a single aggregated value".into());
+            return Err(SqlError::Unsupported(
+                "scalar subqueries must produce a single aggregated value".into(),
+            ));
         }
         let expr = match &stmt.select[0] {
             SelectItem::Expr { expr, .. } => expr,
-            SelectItem::Star => return Err("scalar subquery cannot select *".into()),
+            SelectItem::Star => {
+                return Err(SqlError::Unsupported(
+                    "scalar subquery cannot select *".into(),
+                ))
+            }
         };
         if !contains_agg(expr) {
-            return Err("scalar subqueries must be aggregates (single row)".into());
+            return Err(SqlError::Unsupported(
+                "scalar subqueries must be aggregates (single row)".into(),
+            ));
         }
         let block = self.ctx.new_block();
         // Lower the subquery body without projection: we need the aggregate
@@ -447,24 +475,30 @@ impl<'a> SqlLowerer<'a> {
                     .into_iter()
                     .next()
                     .map(|(_, s)| s)
-                    .ok_or("empty subquery projection")?;
+                    .ok_or_else(|| SqlError::Internal("empty subquery projection".into()))?;
                 Ok((*input, value))
             }
-            _ => Err("internal: subquery did not lower to a projection".into()),
+            _ => Err(SqlError::Internal(
+                "subquery did not lower to a projection".into(),
+            )),
         }
     }
 
     /// Lower a (sub)expression without subquery support.
-    fn lower_expr(&mut self, e: &Expr, scope: &[ScopeRel], mode: &Mode<'_>) -> Result<Scalar, String> {
+    fn lower_expr(
+        &mut self,
+        e: &Expr,
+        scope: &[ScopeRel],
+        mode: &Mode<'_>,
+    ) -> Result<Scalar, SqlError> {
         match e {
             Expr::Column { qualifier, name } => {
                 let col = self.resolve_column(qualifier.as_deref(), name, scope)?;
                 if let Mode::Post { keys, .. } = mode {
                     if !keys.contains(&col) {
-                        return Err(format!(
-                            "column {} must appear in GROUP BY or inside an aggregate",
-                            name
-                        ));
+                        return Err(SqlError::Bind(format!(
+                            "column {name} must appear in GROUP BY or inside an aggregate"
+                        )));
                     }
                 }
                 Ok(Scalar::Col(col))
@@ -513,17 +547,20 @@ impl<'a> SqlLowerer<'a> {
                 })
             }
             Expr::Agg { func, arg } => match mode {
-                Mode::Pre => Err("aggregate not allowed here".into()),
+                Mode::Pre => Err(SqlError::Bind("aggregate not allowed here".into())),
                 Mode::Post { aggs, out, .. } => {
-                    let replacement = self.agg_replacement(*func, arg.as_deref(), scope, aggs, *out)?;
+                    let replacement =
+                        self.agg_replacement(*func, arg.as_deref(), scope, aggs, *out)?;
                     Ok(replacement)
                 }
             },
-            Expr::Subquery(_) => Err("subquery not allowed in this position".into()),
+            Expr::Subquery(_) => Err(SqlError::Unsupported(
+                "subquery not allowed in this position".into(),
+            )),
         }
     }
 
-    fn lower_binary(&self, op: BinOp, mut a: Scalar, mut b: Scalar) -> Result<Scalar, String> {
+    fn lower_binary(&self, op: BinOp, mut a: Scalar, mut b: Scalar) -> Result<Scalar, SqlError> {
         // Date coercion: comparing a Date column with a string literal.
         let coerce = |col: &Scalar, lit: &mut Scalar, ctx: &PlanContext| {
             if let (Scalar::Col(c), Scalar::Lit(Value::Str(s))) = (col, &*lit) {
@@ -559,16 +596,16 @@ impl<'a> SqlLowerer<'a> {
         scope: &[ScopeRel],
         aggs: &[AggExpr],
         out: RelId,
-    ) -> Result<Scalar, String> {
-        let find = |target: &AggExpr| -> Result<u16, String> {
+    ) -> Result<Scalar, SqlError> {
+        let find = |target: &AggExpr| -> Result<u16, SqlError> {
             aggs.iter()
                 .position(|a| a == target)
                 .map(|i| i as u16)
-                .ok_or_else(|| "internal: aggregate not collected".to_string())
+                .ok_or_else(|| SqlError::Internal("aggregate not collected".to_string()))
         };
         match func {
             AggName::Avg => {
-                let arg = arg.ok_or("AVG requires an argument")?;
+                let arg = arg.ok_or_else(|| SqlError::Bind("AVG requires an argument".into()))?;
                 let larg = self.lower_expr(arg, scope, &Mode::Pre)?.normalize();
                 let sum_i = find(&AggExpr::sum(larg.clone()))?;
                 let cnt_i = find(&AggExpr::new(AggFunc::Count, larg))?;
@@ -591,7 +628,7 @@ impl<'a> SqlLowerer<'a> {
         func: AggName,
         arg: Option<&Expr>,
         scope: &[ScopeRel],
-    ) -> Result<AggExpr, String> {
+    ) -> Result<AggExpr, SqlError> {
         Ok(match (func, arg) {
             (AggName::Count, None) => AggExpr::count_star(),
             (AggName::Count, Some(a)) => AggExpr::new(
@@ -607,8 +644,10 @@ impl<'a> SqlLowerer<'a> {
             (AggName::Max, Some(a)) => {
                 AggExpr::max(self.lower_expr(a, scope, &Mode::Pre)?.normalize())
             }
-            (AggName::Avg, _) => return Err("AVG is decomposed by the caller".into()),
-            (f, None) => return Err(format!("{f:?} requires an argument")),
+            (AggName::Avg, _) => {
+                return Err(SqlError::Internal("AVG is decomposed by the caller".into()))
+            }
+            (f, None) => return Err(SqlError::Bind(format!("{f:?} requires an argument"))),
         })
     }
 
@@ -618,11 +657,13 @@ impl<'a> SqlLowerer<'a> {
         e: &Expr,
         scope: &[ScopeRel],
         out: &mut Vec<AggExpr>,
-    ) -> Result<(), String> {
+    ) -> Result<(), SqlError> {
         match e {
             Expr::Agg { func, arg } => match func {
                 AggName::Avg => {
-                    let a = arg.as_deref().ok_or("AVG requires an argument")?;
+                    let a = arg
+                        .as_deref()
+                        .ok_or_else(|| SqlError::Bind("AVG requires an argument".into()))?;
                     let larg = self.lower_expr(a, scope, &Mode::Pre)?.normalize();
                     for target in [
                         AggExpr::sum(larg.clone()),
@@ -651,7 +692,10 @@ impl<'a> SqlLowerer<'a> {
                 self.collect_aggs(hi, scope, out)?;
             }
             // Subqueries keep their own aggregates.
-            Expr::Subquery(_) | Expr::Column { .. } | Expr::Int(_) | Expr::Float(_)
+            Expr::Subquery(_)
+            | Expr::Column { .. }
+            | Expr::Int(_)
+            | Expr::Float(_)
             | Expr::Str(_) => {}
         }
         Ok(())
@@ -662,29 +706,29 @@ impl<'a> SqlLowerer<'a> {
         qualifier: Option<&str>,
         name: &str,
         scope: &[ScopeRel],
-    ) -> Result<ColRef, String> {
+    ) -> Result<ColRef, SqlError> {
         match qualifier {
             Some(q) => {
                 let q = q.to_ascii_lowercase();
                 let s = scope
                     .iter()
                     .find(|s| s.key == q)
-                    .ok_or_else(|| format!("unknown table or alias '{q}'"))?;
+                    .ok_or_else(|| SqlError::Bind(format!("unknown table or alias '{q}'")))?;
                 self.ctx
                     .resolve_col(s.rel, name)
-                    .ok_or_else(|| format!("unknown column '{q}.{name}'"))
+                    .ok_or_else(|| SqlError::Bind(format!("unknown column '{q}.{name}'")))
             }
             None => {
                 let mut found: Option<ColRef> = None;
                 for s in scope {
                     if let Some(c) = self.ctx.resolve_col(s.rel, name) {
                         if found.is_some() {
-                            return Err(format!("ambiguous column '{name}'"));
+                            return Err(SqlError::Bind(format!("ambiguous column '{name}'")));
                         }
                         found = Some(c);
                     }
                 }
-                found.ok_or_else(|| format!("unknown column '{name}'"))
+                found.ok_or_else(|| SqlError::Bind(format!("unknown column '{name}'")))
             }
         }
     }

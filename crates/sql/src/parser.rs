@@ -332,9 +332,7 @@ impl Parser {
                 self.expect(&Token::RParen)?;
                 Ok(e)
             }
-            Token::Keyword(k)
-                if matches!(k.as_str(), "SUM" | "COUNT" | "MIN" | "MAX" | "AVG") =>
-            {
+            Token::Keyword(k) if matches!(k.as_str(), "SUM" | "COUNT" | "MIN" | "MAX" | "AVG") => {
                 self.expect(&Token::LParen)?;
                 let func = match k.as_str() {
                     "SUM" => AggName::Sum,
@@ -416,13 +414,8 @@ mod tests {
                    having sum(l_discount) > (select sum(l_discount) / 25 from lineitem) \
                    order by totaldisc desc";
         let stmt = parse_one(sql).unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
-        assert!(matches!(
-            s.having,
-            Some(Expr::Binary(BinOp::Gt, _, _))
-        ));
+        let Statement::Select(s) = stmt else { panic!() };
+        assert!(matches!(s.having, Some(Expr::Binary(BinOp::Gt, _, _))));
         assert_eq!(s.order_by.len(), 1);
         assert!(s.order_by[0].1);
     }
@@ -431,9 +424,7 @@ mod tests {
     fn parses_star_and_aliases() {
         let stmt = parse_one("select * from customer c, orders o where c.c_custkey = o.o_custkey")
             .unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         assert_eq!(s.select, vec![SelectItem::Star]);
         assert_eq!(s.from[0].alias.as_deref(), Some("c"));
     }
@@ -441,18 +432,14 @@ mod tests {
     #[test]
     fn parses_count_star_and_avg() {
         let stmt = parse_one("select count(*), avg(x) from t").unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         assert_eq!(s.select.len(), 2);
     }
 
     #[test]
     fn parses_between() {
         let stmt = parse_one("select a from t where a between 1 and 5").unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         assert!(matches!(s.where_clause, Some(Expr::Between { .. })));
     }
 
@@ -468,9 +455,7 @@ mod tests {
     #[test]
     fn operator_precedence() {
         let stmt = parse_one("select a from t where a < 1 + 2 * 3 and b = 4 or c = 5").unwrap();
-        let Statement::Select(s) = stmt else {
-            panic!()
-        };
+        let Statement::Select(s) = stmt else { panic!() };
         // (a < 7-ish AND b=4) OR c=5 — top must be OR.
         assert!(matches!(s.where_clause, Some(Expr::Or(_, _))));
     }

@@ -8,7 +8,14 @@ use cse_storage::{Catalog, DataType, Schema, Table};
 fn catalog() -> Catalog {
     let mut cat = Catalog::new();
     for (name, cols) in [
-        ("ta", vec![("a_k", DataType::Int), ("a_v", DataType::Int), ("a_d", DataType::Date)]),
+        (
+            "ta",
+            vec![
+                ("a_k", DataType::Int),
+                ("a_v", DataType::Int),
+                ("a_d", DataType::Date),
+            ],
+        ),
         ("tb", vec![("b_k", DataType::Int), ("b_v", DataType::Int)]),
         ("tc", vec![("c_k", DataType::Int), ("c_v", DataType::Int)]),
     ] {
@@ -48,10 +55,16 @@ fn single_table_predicates_are_pushed_to_leaves() {
     plan.validate(&ctx).unwrap();
     // Two leaf filters (one per table), join pred on the join.
     let filters = count(&plan, &|p| matches!(p, LogicalPlan::Filter { .. }));
-    assert_eq!(filters, 2, "both local predicates must sit on leaves:\n{}", plan.display(&ctx));
-    let join_has_pred = count(&plan, &|p| {
-        matches!(p, LogicalPlan::Join { pred, .. } if !pred.is_true())
-    });
+    assert_eq!(
+        filters,
+        2,
+        "both local predicates must sit on leaves:\n{}",
+        plan.display(&ctx)
+    );
+    let join_has_pred = count(
+        &plan,
+        &|p| matches!(p, LogicalPlan::Join { pred, .. } if !pred.is_true()),
+    );
     assert_eq!(join_has_pred, 1);
 }
 
@@ -108,7 +121,11 @@ fn where_subquery_joins_below_aggregate() {
             }
         }
     });
-    assert!(ok, "subquery aggregate must be below the outer aggregate:\n{}", plan.display(&ctx));
+    assert!(
+        ok,
+        "subquery aggregate must be below the outer aggregate:\n{}",
+        plan.display(&ctx)
+    );
 }
 
 #[test]
@@ -132,7 +149,11 @@ fn having_subquery_joins_above_aggregate() {
             }
         }
     });
-    assert!(ok, "HAVING subquery must cross-join above the aggregate:\n{}", plan.display(&ctx));
+    assert!(
+        ok,
+        "HAVING subquery must cross-join above the aggregate:\n{}",
+        plan.display(&ctx)
+    );
 }
 
 #[test]
@@ -156,11 +177,11 @@ fn date_literal_becomes_date_value() {
 fn lowering_errors() {
     let cat = catalog();
     for bad in [
-        "select * from ta group by a_k",          // star + group by
+        "select * from ta group by a_k",             // star + group by
         "select sum(a_v) from ta group by sum(a_v)", // aggregate as key
-        "select a_v from ta group by a_k",        // non-key non-aggregate
-        "select a_k from ta where sum(a_v) > 1",  // aggregate in WHERE
-        "select (select b_k from tb) from ta",    // non-aggregate subquery
+        "select a_v from ta group by a_k",           // non-key non-aggregate
+        "select a_k from ta where sum(a_v) > 1",     // aggregate in WHERE
+        "select (select b_k from tb) from ta",       // non-aggregate subquery
     ] {
         assert!(lower_batch_sql(&cat, bad).is_err(), "must reject: {bad}");
     }

@@ -121,12 +121,15 @@ impl Catalog {
             .entries
             .get_mut(&key)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
-        let col = entry.table.schema().index_of(column).ok_or_else(|| {
-            StorageError::UnknownColumn {
-                table: name.to_string(),
-                column: column.to_string(),
-            }
-        })?;
+        let col =
+            entry
+                .table
+                .schema()
+                .index_of(column)
+                .ok_or_else(|| StorageError::UnknownColumn {
+                    table: name.to_string(),
+                    column: column.to_string(),
+                })?;
         let idx = BTreeIndex::build(&entry.table, col);
         entry.btree_indexes.push(Arc::new(idx));
         Ok(())
@@ -139,12 +142,15 @@ impl Catalog {
             .entries
             .get_mut(&key)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
-        let col = entry.table.schema().index_of(column).ok_or_else(|| {
-            StorageError::UnknownColumn {
-                table: name.to_string(),
-                column: column.to_string(),
-            }
-        })?;
+        let col =
+            entry
+                .table
+                .schema()
+                .index_of(column)
+                .ok_or_else(|| StorageError::UnknownColumn {
+                    table: name.to_string(),
+                    column: column.to_string(),
+                })?;
         let idx = HashIndex::build(&entry.table, col);
         entry.hash_indexes.push(Arc::new(idx));
         Ok(())

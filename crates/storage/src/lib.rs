@@ -18,6 +18,7 @@ pub mod index;
 pub mod schema;
 pub mod stats;
 pub mod table;
+pub mod testkit;
 pub mod value;
 
 pub use catalog::{Catalog, CatalogEntry, MaterializedView};

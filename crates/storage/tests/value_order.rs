@@ -1,21 +1,24 @@
 //! Property tests for `Value`'s total order and hash — the contracts hash
-//! joins, group-bys and sorts rely on.
+//! joins, group-bys and sorts rely on. Driven by the deterministic in-repo
+//! generator (`cse_storage::testkit::TestRng`).
 
+use cse_storage::testkit::TestRng;
 use cse_storage::Value;
-use proptest::prelude::*;
 use std::cmp::Ordering;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        (-1000i64..1000).prop_map(Value::Int),
-        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
-        (-40000i32..40000).prop_map(Value::Date),
-        "[a-z]{0,8}".prop_map(Value::str),
-    ]
+const CASES: usize = 2000;
+
+fn gen_value(rng: &mut TestRng) -> Value {
+    match rng.range_usize(0, 6) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.chance(0.5)),
+        2 => Value::Int(rng.range_i64(-1000, 1000)),
+        3 => Value::Float(rng.range_i64(-1000, 1000) as f64 / 4.0),
+        4 => Value::Date(rng.range_i64(-40_000, 40_000) as i32),
+        _ => Value::str(rng.small_string(8)),
+    }
 }
 
 fn h(v: &Value) -> u64 {
@@ -24,51 +27,83 @@ fn h(v: &Value) -> u64 {
     s.finish()
 }
 
-proptest! {
-    #[test]
-    fn total_order_is_antisymmetric(a in arb_value(), b in arb_value()) {
+#[test]
+fn total_order_is_antisymmetric() {
+    let mut rng = TestRng::new(0x51);
+    for _ in 0..CASES {
+        let a = gen_value(&mut rng);
+        let b = gen_value(&mut rng);
         let ab = a.total_cmp(&b);
         let ba = b.total_cmp(&a);
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(ab, ba.reverse());
     }
+}
 
-    #[test]
-    fn total_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
-        let mut v = [a, b, c];
+#[test]
+fn total_order_is_transitive() {
+    let mut rng = TestRng::new(0x52);
+    for _ in 0..CASES {
+        let mut v = [
+            gen_value(&mut rng),
+            gen_value(&mut rng),
+            gen_value(&mut rng),
+        ];
         v.sort_by(|x, y| x.total_cmp(y));
-        prop_assert!(v[0].total_cmp(&v[1]) != Ordering::Greater);
-        prop_assert!(v[1].total_cmp(&v[2]) != Ordering::Greater);
-        prop_assert!(v[0].total_cmp(&v[2]) != Ordering::Greater);
+        assert!(v[0].total_cmp(&v[1]) != Ordering::Greater);
+        assert!(v[1].total_cmp(&v[2]) != Ordering::Greater);
+        assert!(v[0].total_cmp(&v[2]) != Ordering::Greater);
     }
+}
 
-    #[test]
-    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+#[test]
+fn eq_implies_same_hash() {
+    let mut rng = TestRng::new(0x53);
+    for _ in 0..CASES {
+        // Bias toward equality by drawing from a narrow domain too.
+        let (a, b) = if rng.chance(0.5) {
+            (gen_value(&mut rng), gen_value(&mut rng))
+        } else {
+            (
+                Value::Int(rng.range_i64(-2, 2)),
+                Value::Int(rng.range_i64(-2, 2)),
+            )
+        };
         if a == b {
-            prop_assert_eq!(h(&a), h(&b), "{} == {} but hashes differ", a, b);
+            assert_eq!(h(&a), h(&b), "{a} == {b} but hashes differ");
         }
     }
+}
 
-    #[test]
-    fn sql_cmp_agrees_with_total_order_without_nulls(a in arb_value(), b in arb_value()) {
-        // Where SQL comparison is defined and same-class, it must agree
-        // with the total order (numerics cross-compare in both).
+#[test]
+fn sql_cmp_agrees_with_total_order_without_nulls() {
+    // Where SQL comparison is defined and same-class, it must agree
+    // with the total order (numerics cross-compare in both).
+    let mut rng = TestRng::new(0x54);
+    for _ in 0..CASES {
+        let a = gen_value(&mut rng);
+        let b = gen_value(&mut rng);
         if let Some(ord) = a.sql_cmp(&b) {
             // Strings/bools/dates compare within class; numerics across.
             let same_class = matches!(
                 (&a, &b),
-                (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
-                    | (Value::Str(_), Value::Str(_))
+                (
+                    Value::Int(_) | Value::Float(_),
+                    Value::Int(_) | Value::Float(_)
+                ) | (Value::Str(_), Value::Str(_))
                     | (Value::Bool(_), Value::Bool(_))
                     | (Value::Date(_), Value::Date(_))
             );
             if same_class {
-                prop_assert_eq!(ord, a.total_cmp(&b));
+                assert_eq!(ord, a.total_cmp(&b));
             }
         }
     }
+}
 
-    #[test]
-    fn width_is_positive(a in arb_value()) {
-        prop_assert!(a.width() >= 1);
+#[test]
+fn width_is_positive() {
+    let mut rng = TestRng::new(0x55);
+    for _ in 0..CASES {
+        assert!(gen_value(&mut rng).width() >= 1);
     }
 }

@@ -182,11 +182,18 @@ fn gen_part(cfg: &TpchConfig, pool: &CommentPool) -> Table {
             Value::Int(k),
             Value::str(format!("part {k}")),
             Value::str(format!("Manufacturer#{}", rng.int_range(1, 5))),
-            Value::str(format!("Brand#{}{}", rng.int_range(1, 5), rng.int_range(1, 5))),
+            Value::str(format!(
+                "Brand#{}{}",
+                rng.int_range(1, 5),
+                rng.int_range(1, 5)
+            )),
             Value::str(ptype),
             Value::Int(rng.int_range(1, 50)),
             Value::str(container),
-            Value::Float((90_000.0 + (k % 200_001) as f64 * 0.01 + 100.0 * (k % 1000) as f64 * 0.01).round() / 100.0),
+            Value::Float(
+                (90_000.0 + (k % 200_001) as f64 * 0.01 + 100.0 * (k % 1000) as f64 * 0.01).round()
+                    / 100.0,
+            ),
             Value::Str(pool.pick(&mut rng)),
         ]));
     }
@@ -347,10 +354,7 @@ mod tests {
         let cfg = tiny();
         let orders = generate_table(&cfg, TpchTable::Orders);
         let lineitem = generate_table(&cfg, TpchTable::Lineitem);
-        let odate: Vec<i64> = orders
-            .scan()
-            .map(|r| r[4].as_i64().unwrap())
-            .collect();
+        let odate: Vec<i64> = orders.scan().map(|r| r[4].as_i64().unwrap()).collect();
         for r in lineitem.scan().take(2000) {
             let ok = r[0].as_i64().unwrap() as usize;
             let ship = r[10].as_i64().unwrap();

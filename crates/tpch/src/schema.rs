@@ -58,11 +58,9 @@ impl TpchTable {
     pub fn schema(&self) -> Schema {
         use DataType::*;
         match self {
-            TpchTable::Region => Schema::from_pairs(&[
-                ("r_regionkey", Int),
-                ("r_name", Str),
-                ("r_comment", Str),
-            ]),
+            TpchTable::Region => {
+                Schema::from_pairs(&[("r_regionkey", Int), ("r_name", Str), ("r_comment", Str)])
+            }
             TpchTable::Nation => Schema::from_pairs(&[
                 ("n_nationkey", Int),
                 ("n_name", Str),

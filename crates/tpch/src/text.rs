@@ -8,15 +8,15 @@
 use crate::rng::SplitMix64;
 use std::sync::Arc;
 
-pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
-
-pub const PRIORITIES: &[&str] = &[
-    "1-URGENT",
-    "2-HIGH",
-    "3-MEDIUM",
-    "4-NOT SPECIFIED",
-    "5-LOW",
+pub const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
 ];
+
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 pub const SHIP_MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
@@ -69,10 +69,37 @@ pub const NATIONS: &[(&str, i64)] = &[
 pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 const WORDS: &[&str] = &[
-    "furious", "silent", "careful", "pending", "express", "regular", "final", "special",
-    "ironic", "bold", "quick", "even", "blithe", "daring", "dogged", "unusual", "packages",
-    "deposits", "accounts", "requests", "instructions", "theodolites", "pinto", "beans",
-    "foxes", "ideas", "platelets", "asymptotes", "courts", "dolphins", "excuses",
+    "furious",
+    "silent",
+    "careful",
+    "pending",
+    "express",
+    "regular",
+    "final",
+    "special",
+    "ironic",
+    "bold",
+    "quick",
+    "even",
+    "blithe",
+    "daring",
+    "dogged",
+    "unusual",
+    "packages",
+    "deposits",
+    "accounts",
+    "requests",
+    "instructions",
+    "theodolites",
+    "pinto",
+    "beans",
+    "foxes",
+    "ideas",
+    "platelets",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "excuses",
 ];
 
 /// A shared pool of pregenerated comment strings.

@@ -34,7 +34,10 @@ fn lineitems_reference_existing_parts_and_suppliers() {
     let suppliers = key_set(TpchTable::Supplier, 0);
     let lineitem = generate_table(&cfg(), TpchTable::Lineitem);
     for r in lineitem.scan() {
-        assert!(parts.contains(&r[1].as_i64().unwrap()), "dangling l_partkey");
+        assert!(
+            parts.contains(&r[1].as_i64().unwrap()),
+            "dangling l_partkey"
+        );
         assert!(
             suppliers.contains(&r[2].as_i64().unwrap()),
             "dangling l_suppkey"

@@ -1,0 +1,132 @@
+//! Pass 5: costing sanity.
+//!
+//! The CSE phase reuses the normal optimization phase's per-group winner
+//! costs as *lower bounds* (paper §4.3.3: the H1 worthwhileness test and
+//! the C_E lower bound of each candidate both trust them). This pass
+//! checks the claimed bounds against freshly recomputed winner costs —
+//! every bound must be finite, nonnegative, and no greater than the true
+//! winner cost of its group — plus end-to-end monotonicity: the final plan
+//! never costs more than the baseline (the pipeline takes the min).
+//!
+//! Candidate-level cost fields (C_W, C_R, C_E lower bound, cardinality and
+//! width estimates) are validated by [`crate::verify_candidates`] with the
+//! same `costing/*` rules.
+
+use crate::diag::{rules, Report};
+use cse_memo::GroupId;
+use std::collections::HashMap;
+
+/// Relative + absolute slack for float comparisons: re-deriving a cost on
+/// a (possibly further explored) memo may differ in the last ulps.
+const EPS: f64 = 1e-6;
+
+/// Inputs of the costing audit.
+#[derive(Debug, Clone, Default)]
+pub struct CostAudit {
+    /// Per-group lower bounds recorded during candidate generation.
+    pub bounds: Vec<(GroupId, f64)>,
+    /// Freshly recomputed baseline (no-CSE) winner cost per group.
+    pub winners: HashMap<GroupId, f64>,
+    /// Baseline plan cost (no CSEs).
+    pub baseline_cost: f64,
+    /// Final chosen plan cost.
+    pub final_cost: f64,
+}
+
+/// Run the costing audit.
+pub fn verify_costs(a: &CostAudit) -> Report {
+    let mut report = Report::new();
+    for &(g, bound) in &a.bounds {
+        let path = g.to_string();
+        if !bound.is_finite() {
+            report.error(
+                rules::COSTING_NONFINITE,
+                &path,
+                format!("lower bound {bound} is not finite"),
+            );
+            continue;
+        }
+        if bound < 0.0 {
+            report.error(
+                rules::COSTING_NEGATIVE,
+                &path,
+                format!("lower bound {bound} is negative"),
+            );
+        }
+        if let Some(&winner) = a.winners.get(&g) {
+            if winner.is_finite() && bound > winner * (1.0 + EPS) + EPS {
+                report.error(
+                    rules::COSTING_BOUND_EXCEEDS_WINNER,
+                    &path,
+                    format!("lower bound {bound} exceeds recomputed winner cost {winner}"),
+                );
+            }
+        }
+    }
+    for (name, v) in [
+        ("baseline_cost", a.baseline_cost),
+        ("final_cost", a.final_cost),
+    ] {
+        if !v.is_finite() {
+            report.error(
+                rules::COSTING_NONFINITE,
+                "plan",
+                format!("{name} = {v} is not finite"),
+            );
+        } else if v < 0.0 {
+            report.error(
+                rules::COSTING_NEGATIVE,
+                "plan",
+                format!("{name} = {v} is negative"),
+            );
+        }
+    }
+    if a.final_cost.is_finite()
+        && a.baseline_cost.is_finite()
+        && a.final_cost > a.baseline_cost * (1.0 + EPS) + EPS
+    {
+        report.error(
+            rules::COSTING_BOUND_EXCEEDS_WINNER,
+            "plan",
+            format!(
+                "final cost {} exceeds baseline cost {}",
+                a.final_cost, a.baseline_cost
+            ),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_costs_are_clean() {
+        let audit = CostAudit {
+            bounds: vec![(GroupId(0), 10.0), (GroupId(1), 20.0)],
+            winners: [(GroupId(0), 10.0), (GroupId(1), 25.0)]
+                .into_iter()
+                .collect(),
+            baseline_cost: 100.0,
+            final_cost: 80.0,
+        };
+        let report = verify_costs(&audit);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn bound_above_winner_fires() {
+        let audit = CostAudit {
+            bounds: vec![(GroupId(0), 50.0)],
+            winners: [(GroupId(0), 10.0)].into_iter().collect(),
+            baseline_cost: 100.0,
+            final_cost: 100.0,
+        };
+        let report = verify_costs(&audit);
+        assert_eq!(
+            report.fired_rules().into_iter().collect::<Vec<_>>(),
+            vec![rules::COSTING_BOUND_EXCEEDS_WINNER]
+        );
+    }
+}

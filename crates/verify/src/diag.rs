@@ -1,0 +1,213 @@
+//! Structured diagnostics: every verifier pass reports violations through
+//! these types so callers (pipeline, CLI, bench report, tests) can filter
+//! by rule and severity instead of parsing strings.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How bad a finding is. `Error` means a soundness invariant is violated
+/// and the plan must not be executed; `Warning` flags suspicious but not
+/// provably wrong states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable rule identifiers, one per invariant. Grouped by pass family.
+pub mod rules {
+    /// A referenced column is not produced by any child of the expression.
+    pub const PROVENANCE_UNAVAILABLE_COLUMN: &str = "provenance/unavailable-column";
+    /// `Project`/`Sort`/`Batch` found somewhere other than a statement root.
+    pub const PROVENANCE_ROOT_ONLY_OP: &str = "provenance/root-only-op";
+    /// An aggregate output column referenced where the aggregate's result
+    /// is not in scope (e.g. below the aggregate that defines it).
+    pub const PROVENANCE_AGG_OUT_LEAK: &str = "provenance/agg-out-leak";
+    /// Incrementally maintained table signature differs from the signature
+    /// recomputed bottom-up from scratch (paper §3, Fig. 2).
+    pub const SIGNATURE_MISMATCH: &str = "signature/mismatch";
+    /// The intersected equijoin graph of a CSE's members is not connected
+    /// (paper §4.1, Thm. 1).
+    pub const COMPAT_DISCONNECTED: &str = "compat/disconnected";
+    /// The compositional fast path (paper §4.1, Example 3) applied to the
+    /// recorded join conjuncts disagrees with the direct re-derivation.
+    pub const COMPAT_FASTPATH_DIVERGENCE: &str = "compat/fastpath-divergence";
+    /// A recorded join conjunct is not entailed by the intersection of the
+    /// members' equivalence classes (the spool would join more than every
+    /// consumer allows).
+    pub const COMPAT_OVERCLAIMED_JOIN: &str = "compat/overclaimed-join";
+    /// A member's predicate (under the covering joins) does not imply the
+    /// covering predicate (paper §4.2, step 3).
+    pub const COVERING_PRED_NOT_IMPLIED: &str = "covering/pred-not-implied";
+    /// A member's group-by keys are not a subset of the union group-by.
+    pub const COVERING_KEYS_NOT_SUBSET: &str = "covering/keys-not-subset";
+    /// A member's aggregates are not a subset of the union aggregates.
+    pub const COVERING_AGGS_NOT_SUBSET: &str = "covering/aggs-not-subset";
+    /// A column a consumer requires is missing from the covering projection.
+    pub const COVERING_MISSING_OUTPUT: &str = "covering/missing-output";
+    /// A cost, estimate or bound is NaN or infinite.
+    pub const COSTING_NONFINITE: &str = "costing/nonfinite";
+    /// A cost, estimate or bound is negative.
+    pub const COSTING_NEGATIVE: &str = "costing/negative";
+    /// A normal-phase lower bound exceeds the freshly recomputed winner
+    /// cost of its group (or the final cost exceeds the baseline).
+    pub const COSTING_BOUND_EXCEEDS_WINNER: &str = "costing/bound-exceeds-winner";
+
+    /// Every rule the verifier can emit, for documentation and tooling.
+    pub const ALL: &[&str] = &[
+        PROVENANCE_UNAVAILABLE_COLUMN,
+        PROVENANCE_ROOT_ONLY_OP,
+        PROVENANCE_AGG_OUT_LEAK,
+        SIGNATURE_MISMATCH,
+        COMPAT_DISCONNECTED,
+        COMPAT_FASTPATH_DIVERGENCE,
+        COMPAT_OVERCLAIMED_JOIN,
+        COVERING_PRED_NOT_IMPLIED,
+        COVERING_KEYS_NOT_SUBSET,
+        COVERING_AGGS_NOT_SUBSET,
+        COVERING_MISSING_OUTPUT,
+        COSTING_NONFINITE,
+        COSTING_NEGATIVE,
+        COSTING_BOUND_EXCEEDS_WINNER,
+    ];
+}
+
+/// One finding: which rule fired, where, and why.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Stable identifier from [`rules`].
+    pub rule_id: &'static str,
+    /// Group / candidate / plan path the finding refers to
+    /// (e.g. `G12`, `cse#3/member[1]`).
+    pub path: String,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}: {}",
+            self.severity, self.rule_id, self.path, self.message
+        )
+    }
+}
+
+/// The merged output of one or more verifier passes.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Record an `Error`-severity finding.
+    pub fn error(
+        &mut self,
+        rule_id: &'static str,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            severity: Severity::Error,
+            rule_id,
+            path: path.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Record a `Warning`-severity finding.
+    pub fn warn(
+        &mut self,
+        rule_id: &'static str,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            severity: Severity::Warning,
+            rule_id,
+            path: path.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Fold another report's findings into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// No findings at all (the acceptance state for healthy plans).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The distinct rules that fired.
+    pub fn fired_rules(&self) -> BTreeSet<&'static str> {
+        self.diagnostics.iter().map(|d| d.rule_id).collect()
+    }
+
+    /// Human-readable rendering, one diagnostic per line.
+    pub fn render(&self) -> String {
+        if self.is_clean() {
+            return "verification: clean (0 diagnostics)".to_string();
+        }
+        let mut s = format!(
+            "verification: {} diagnostic(s), {} error(s)\n",
+            self.diagnostics.len(),
+            self.error_count()
+        );
+        for d in &self.diagnostics {
+            s.push_str(&format!("  {d}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_and_renders() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        r.error(rules::SIGNATURE_MISMATCH, "G3", "stored != recomputed");
+        r.warn(rules::COSTING_NEGATIVE, "cse#0", "cw = -1");
+        let mut other = Report::new();
+        other.error(rules::COMPAT_DISCONNECTED, "cse#1", "graph split");
+        r.merge(other);
+        assert_eq!(r.diagnostics.len(), 3);
+        assert_eq!(r.error_count(), 2);
+        assert!(r.fired_rules().contains(rules::COMPAT_DISCONNECTED));
+        let text = r.render();
+        assert!(text.contains("signature/mismatch"));
+        assert!(text.contains("G3"));
+    }
+
+    #[test]
+    fn all_rules_are_unique() {
+        let set: BTreeSet<_> = rules::ALL.iter().collect();
+        assert_eq!(set.len(), rules::ALL.len());
+    }
+}

@@ -12,14 +12,25 @@ select n_regionkey, sum(l_extendedprice) as le, sum(l_quantity) as lq from custo
 
 fn main() {
     let catalog = generate_catalog(&TpchConfig::new(0.002));
-    for (name, cfg) in [("heuristics", CseConfig::default()), ("no-heuristics", CseConfig::no_heuristics())] {
+    for (name, cfg) in [
+        ("heuristics", CseConfig::default()),
+        ("no-heuristics", CseConfig::no_heuristics()),
+    ] {
         let o = optimize_sql(&catalog, BATCH, &cfg).unwrap();
-        println!("== {name}: signatures={} candidates={} cse_opts={} base={:.1} final={:.1} spools={}",
-            o.report.sharable_signatures, o.report.candidates.len(), o.report.cse_optimizations,
-            o.report.baseline_cost, o.report.final_cost, o.plan.spools.len());
+        println!(
+            "== {name}: signatures={} candidates={} cse_opts={} base={:.1} final={:.1} spools={}",
+            o.report.sharable_signatures,
+            o.report.candidates.len(),
+            o.report.cse_optimizations,
+            o.report.baseline_cost,
+            o.report.final_cost,
+            o.plan.spools.len()
+        );
         for c in &o.report.candidates {
-            println!("  {} tables={:?} grouped={} consumers={} rows={:.0} width={:.0}",
-                c.id.0, c.tables, c.grouped, c.consumers, c.est_rows, c.est_width);
+            println!(
+                "  {} tables={:?} grouped={} consumers={} rows={:.0} width={:.0}",
+                c.id.0, c.tables, c.grouped, c.consumers, c.est_rows, c.est_width
+            );
         }
     }
 }

@@ -17,9 +17,7 @@ fn main() {
     // Show the shared subexpression the optimizer extracted.
     let optimized = optimize_sql(&catalog, workloads::NESTED, &CseConfig::default()).unwrap();
     for (id, spool) in &optimized.plan.spools {
-        println!(
-            "\ncovering subexpression {id} (computed once, used by main block and subquery):"
-        );
+        println!("\ncovering subexpression {id} (computed once, used by main block and subquery):");
         println!("{}", spool.plan.render());
     }
     println!("final plan:\n{}", optimized.plan.root.render());

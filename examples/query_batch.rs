@@ -22,8 +22,6 @@ fn main() {
     let with_heuristics = &outcomes[1];
     println!(
         "\nwith heuristics: {} candidate(s), {} CSE optimization(s), {} spool(s) in the plan",
-        with_heuristics.candidates,
-        with_heuristics.cse_optimizations,
-        with_heuristics.spools
+        with_heuristics.candidates, with_heuristics.cse_optimizations, with_heuristics.spools
     );
 }

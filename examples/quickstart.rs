@@ -30,10 +30,22 @@ fn main() {
     // 3. Optimize with covering-subexpression detection enabled.
     let optimized = optimize_sql(&catalog, sql, &CseConfig::default()).expect("optimize");
 
-    println!("baseline (no sharing) estimated cost: {:.1}", optimized.report.baseline_cost);
-    println!("final plan estimated cost:            {:.1}", optimized.report.final_cost);
-    println!("candidate CSEs considered:            {}", optimized.report.candidates.len());
-    println!("covering subexpressions in the plan:  {}", optimized.plan.spools.len());
+    println!(
+        "baseline (no sharing) estimated cost: {:.1}",
+        optimized.report.baseline_cost
+    );
+    println!(
+        "final plan estimated cost:            {:.1}",
+        optimized.report.final_cost
+    );
+    println!(
+        "candidate CSEs considered:            {}",
+        optimized.report.candidates.len()
+    );
+    println!(
+        "covering subexpressions in the plan:  {}",
+        optimized.plan.spools.len()
+    );
     for c in &optimized.report.candidates {
         println!(
             "  candidate {}: tables={:?} grouped={} consumers={} (≈{:.0} rows)",

@@ -81,5 +81,8 @@ fn main() {
     //   dot -Tsvg dashboard.dot > dashboard.svg
     let dot = to_dot(&plan.plan);
     std::fs::write("target/dashboard.dot", &dot).expect("write dot");
-    println!("plan graph written to target/dashboard.dot ({} bytes)", dot.len());
+    println!(
+        "plan graph written to target/dashboard.dot ({} bytes)",
+        dot.len()
+    );
 }

@@ -2,7 +2,7 @@
 //! engine, preloaded with a TPC-H instance.
 //!
 //! ```text
-//! cargo run --release --bin qsql [-- --sf 0.01]
+//! cargo run --release --bin qsql [-- --sf 0.01] [--verify]
 //!
 //! qsql> select c_mktsegment, count(*) as n from customer group by c_mktsegment;
 //! qsql> :explain select ... ;
@@ -20,17 +20,32 @@ use std::io::{BufRead, Write};
 
 fn main() {
     let mut sf = 0.01f64;
+    let mut verify = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--sf" {
-            sf = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--sf expects a number");
+        match a.as_str() {
+            "--sf" => {
+                sf = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sf expects a number");
+            }
+            // Run the cse-verify invariant passes on every statement (on by
+            // default in debug builds; this forces them on in release).
+            "--verify" => verify = true,
+            other => {
+                eprintln!("unknown flag {other}; usage: qsql [--sf N] [--verify]");
+                std::process::exit(2);
+            }
         }
     }
     eprintln!("loading TPC-H at SF={sf} ...");
-    let session = Session::new(generate_catalog(&TpchConfig::new(sf)));
+    let defaults = CseConfig::default();
+    let config = CseConfig {
+        verify: verify || defaults.verify,
+        ..defaults
+    };
+    let session = Session::with_config(generate_catalog(&TpchConfig::new(sf)), config);
     eprintln!("ready. end statements with ';', :help for commands.");
 
     let stdin = std::io::stdin();
@@ -108,13 +123,18 @@ fn run(session: &Session, sql: &str) {
                 println!("{}", render(rs));
             }
             let spools = out.metrics.spool_reads.len();
+            let verified = match &out.report.verification {
+                Some(v) => format!("; verified ({} warning(s))", v.diagnostics.len()),
+                None => String::new(),
+            };
             println!(
-                "-- {} statement(s) in {:?}; est. cost {:.1} (baseline {:.1}); {} shared spool(s)",
+                "-- {} statement(s) in {:?}; est. cost {:.1} (baseline {:.1}); {} shared spool(s){}",
                 out.results.len(),
                 started.elapsed(),
                 out.report.final_cost,
                 out.report.baseline_cost,
-                spools
+                spools,
+                verified
             );
         }
         Err(e) => eprintln!("{e}"),
@@ -145,7 +165,13 @@ fn render(rs: &ResultSet) -> String {
         .collect();
     out.push_str(&header.join(" | "));
     out.push('\n');
-    out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+    out.push_str(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-"),
+    );
     for row in &cells {
         out.push('\n');
         let line: Vec<String> = row

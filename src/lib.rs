@@ -46,6 +46,7 @@ pub use cse_optimizer as optimizer;
 pub use cse_sql as sql;
 pub use cse_storage as storage;
 pub use cse_tpch as tpch;
+pub use cse_verify as verify;
 
 pub use session::{BatchOutcome, Error, Session};
 
@@ -53,8 +54,8 @@ pub use session::{BatchOutcome, Error, Session};
 pub mod prelude {
     pub use crate::session::{BatchOutcome, Session};
     pub use cse_core::{
-        create_materialized_view, maintain_insert, optimize_sql, CseConfig, CseReport,
-        GenConfig, Optimized,
+        create_materialized_view, maintain_insert, optimize_sql, CseConfig, CseReport, GenConfig,
+        Optimized,
     };
     pub use cse_exec::{Engine, ExecOutput, ResultSet};
     pub use cse_storage::{Catalog, Table, Value};

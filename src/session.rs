@@ -95,7 +95,9 @@ impl Session {
     pub fn query(&self, sql: &str) -> Result<BatchOutcome, Error> {
         let optimized = self.plan(sql)?;
         let engine = Engine::new(&self.catalog, &optimized.ctx);
-        let out = engine.execute(&optimized.plan).map_err(Error::Execution)?;
+        let out = engine
+            .execute(&optimized.plan)
+            .map_err(|e| Error::Execution(e.to_string()))?;
         Ok(BatchOutcome {
             results: out.results,
             report: optimized.report,
@@ -170,7 +172,9 @@ mod tests {
     #[test]
     fn query_roundtrip() {
         let s = session();
-        let out = s.query("select k, sum(v) as total from t group by k").unwrap();
+        let out = s
+            .query("select k, sum(v) as total from t group by k")
+            .unwrap();
         assert_eq!(out.results.len(), 1);
         assert_eq!(out.results[0].rows.len(), 3);
     }

@@ -52,7 +52,10 @@ fn heuristics_tame_the_candidate_explosion() {
     );
     // Both must land on comparable plans.
     let ratio = with_h.report.final_cost / no_h.report.final_cost;
-    assert!((0.8..=1.25).contains(&ratio), "plan quality diverged: {ratio}");
+    assert!(
+        (0.8..=1.25).contains(&ratio),
+        "plan quality diverged: {ratio}"
+    );
 }
 
 #[test]

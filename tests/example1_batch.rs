@@ -7,7 +7,8 @@ use similar_subexpr::prelude::*;
 
 /// The paper's Example 1 queries (c_nationkey plays the paper's
 /// n_regionkey role in Q1/Q2, as in the paper's own E5/rewrites).
-pub const Q1: &str = "select c_nationkey, c_mktsegment, sum(l_extendedprice) as le, sum(l_quantity) as lq \
+pub const Q1: &str =
+    "select c_nationkey, c_mktsegment, sum(l_extendedprice) as le, sum(l_quantity) as lq \
      from customer, orders, lineitem \
      where c_custkey = o_custkey and o_orderkey = l_orderkey \
        and o_orderdate < '1996-07-01' \

@@ -57,7 +57,9 @@ fn independent_results_are_correct() {
     let catalog = generate_catalog(&TpchConfig::new(0.002));
     let base = optimize_sql(&catalog, BATCH, &CseConfig::no_cse()).unwrap();
     let yes = optimize_sql(&catalog, BATCH, &CseConfig::default()).unwrap();
-    let out_base = Engine::new(&catalog, &base.ctx).execute(&base.plan).unwrap();
+    let out_base = Engine::new(&catalog, &base.ctx)
+        .execute(&base.plan)
+        .unwrap();
     let out_yes = Engine::new(&catalog, &yes.ctx).execute(&yes.plan).unwrap();
     assert_eq!(out_base.results.len(), 2);
     for (a, b) in out_base.results.iter().zip(out_yes.results.iter()) {

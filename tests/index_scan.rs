@@ -54,7 +54,10 @@ fn range_predicates_use_the_index_too() {
     let o2 = optimize_sql(&plain, sql, &cfg).unwrap();
     let b = Engine::new(&plain, &o2.ctx).execute(&o2.plan).unwrap();
     assert!(a.results[0].approx_eq(&b.results[0], 1e-12));
-    assert!(!a.results[0].rows.is_empty(), "January 1998 must have orders");
+    assert!(
+        !a.results[0].rows.is_empty(),
+        "January 1998 must have orders"
+    );
 }
 
 #[test]
@@ -73,7 +76,9 @@ fn cheap_indexed_consumer_can_decline_sharing() {
                  group by o_orderkey;";
     let with = optimize_sql(&indexed, batch, &CseConfig::default()).unwrap();
     let without = optimize_sql(&indexed, batch, &CseConfig::no_cse()).unwrap();
-    let a = Engine::new(&indexed, &with.ctx).execute(&with.plan).unwrap();
+    let a = Engine::new(&indexed, &with.ctx)
+        .execute(&with.plan)
+        .unwrap();
     let b = Engine::new(&indexed, &without.ctx)
         .execute(&without.plan)
         .unwrap();

@@ -23,7 +23,11 @@ fn nested_query_shares_subexpression() {
     // The main block and the subquery must read one shared spool.
     assert_eq!(opt.plan.spools.len(), 1, "report: {:?}", opt.report);
     let reads: u32 = out.metrics.spool_reads.values().map(|&n| n as u32).sum();
-    assert!(reads >= 2, "spool must serve main block and subquery: {:?}", out.metrics);
+    assert!(
+        reads >= 2,
+        "spool must serve main block and subquery: {:?}",
+        out.metrics
+    );
 }
 
 #[test]
@@ -43,7 +47,11 @@ fn nested_query_order_by_desc_is_respected() {
     let (_, out) = run(&catalog, &CseConfig::default());
     let rs = &out.results[0];
     let disc_idx = rs.columns.iter().position(|c| c == "totaldisc").unwrap();
-    let vals: Vec<f64> = rs.rows.iter().map(|r| r[disc_idx].as_f64().unwrap()).collect();
+    let vals: Vec<f64> = rs
+        .rows
+        .iter()
+        .map(|r| r[disc_idx].as_f64().unwrap())
+        .collect();
     for w in vals.windows(2) {
         assert!(w[0] >= w[1], "totaldisc not descending: {vals:?}");
     }

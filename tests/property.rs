@@ -1,4 +1,5 @@
-//! Property-based tests over the core invariants:
+//! Property-based tests over the core invariants, driven by the in-repo
+//! deterministic generator (`cse_storage::testkit::TestRng`):
 //!
 //! - scalar normalization preserves evaluation semantics and is idempotent;
 //! - proven implications hold on every concrete row;
@@ -7,127 +8,167 @@
 //! - `RelSet` behaves like a set of integers;
 //! - three-valued logic laws.
 
-use proptest::prelude::*;
-use similar_subexpr::algebra::{
-    column_ranges, implies, CmpOp, ColRef, RelId, RelSet, Scalar,
-};
+use similar_subexpr::algebra::{column_ranges, implies, CmpOp, ColRef, RelId, RelSet, Scalar};
 use similar_subexpr::core::simplify_covering;
 use similar_subexpr::exec::{eval, Layout};
+use similar_subexpr::storage::testkit::TestRng;
 use similar_subexpr::storage::Value;
 
 const NCOLS: u16 = 4;
+const CASES: usize = 300;
 
 fn layout() -> Layout {
     let cols: Vec<ColRef> = (0..NCOLS).map(|i| ColRef::new(RelId(0), i)).collect();
     Layout::new(&cols)
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        3 => (-20i64..20).prop_map(Value::Int),
-        1 => Just(Value::Null),
-        2 => (-20i64..20).prop_map(|i| Value::Float(i as f64 / 2.0)),
-    ]
+fn gen_value(rng: &mut TestRng) -> Value {
+    match rng.range_usize(0, 6) {
+        0 => Value::Null,
+        1 | 2 => Value::Float(rng.range_i64(-40, 40) as f64 / 2.0),
+        _ => Value::Int(rng.range_i64(-20, 20)),
+    }
 }
 
-fn arb_row() -> impl Strategy<Value = Vec<Value>> {
-    proptest::collection::vec(arb_value(), NCOLS as usize)
+fn gen_row(rng: &mut TestRng) -> Vec<Value> {
+    (0..NCOLS).map(|_| gen_value(rng)).collect()
 }
 
-fn arb_cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn gen_cmp_op(rng: &mut TestRng) -> CmpOp {
+    *rng.pick(&[
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ])
 }
 
 /// Random predicates over columns of rel 0 and small integer literals.
-fn arb_scalar() -> impl Strategy<Value = Scalar> {
-    let leaf = prop_oneof![
-        ((0..NCOLS), arb_cmp_op(), -10i64..10).prop_map(|(c, op, v)| Scalar::cmp(
-            op,
-            Scalar::col(RelId(0), c),
-            Scalar::int(v)
-        )),
-        ((0..NCOLS), (0..NCOLS)).prop_map(|(a, b)| Scalar::eq(
-            Scalar::col(RelId(0), a),
-            Scalar::col(RelId(0), b)
-        )),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Scalar::and),
-            proptest::collection::vec(inner.clone(), 1..4).prop_map(Scalar::or),
-            inner.prop_map(|p| Scalar::Not(Box::new(p))),
-        ]
-    })
+fn gen_scalar(rng: &mut TestRng, depth: usize) -> Scalar {
+    if depth == 0 || rng.chance(0.4) {
+        // Leaf: column-vs-literal or column-vs-column comparison.
+        if rng.chance(0.7) {
+            let c = rng.range_i64(0, NCOLS as i64) as u16;
+            Scalar::cmp(
+                gen_cmp_op(rng),
+                Scalar::col(RelId(0), c),
+                Scalar::int(rng.range_i64(-10, 10)),
+            )
+        } else {
+            let a = rng.range_i64(0, NCOLS as i64) as u16;
+            let b = rng.range_i64(0, NCOLS as i64) as u16;
+            Scalar::eq(Scalar::col(RelId(0), a), Scalar::col(RelId(0), b))
+        }
+    } else {
+        match rng.range_usize(0, 3) {
+            0 => {
+                let n = rng.range_usize(1, 4);
+                Scalar::and(
+                    (0..n)
+                        .map(|_| gen_scalar(rng, depth - 1))
+                        .collect::<Vec<_>>(),
+                )
+            }
+            1 => {
+                let n = rng.range_usize(1, 4);
+                Scalar::or(
+                    (0..n)
+                        .map(|_| gen_scalar(rng, depth - 1))
+                        .collect::<Vec<_>>(),
+                )
+            }
+            _ => Scalar::Not(Box::new(gen_scalar(rng, depth - 1))),
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn normalize_preserves_evaluation(p in arb_scalar(), row in arb_row()) {
-        let l = layout();
+#[test]
+fn normalize_preserves_evaluation() {
+    let mut rng = TestRng::new(0xA11CE);
+    let l = layout();
+    for _ in 0..CASES {
+        let p = gen_scalar(&mut rng, 3);
+        let row = gen_row(&mut rng);
         let before = eval(&p, &l, &row);
         let after = eval(&p.normalize(), &l, &row);
-        prop_assert_eq!(before, after, "normalization changed semantics of {}", p);
+        assert_eq!(before, after, "normalization changed semantics of {p}");
     }
+}
 
-    #[test]
-    fn normalize_is_idempotent(p in arb_scalar()) {
+#[test]
+fn normalize_is_idempotent() {
+    let mut rng = TestRng::new(0xB0B);
+    for _ in 0..CASES {
+        let p = gen_scalar(&mut rng, 3);
         let n1 = p.normalize();
         let n2 = n1.normalize();
-        prop_assert_eq!(n1, n2);
+        assert_eq!(n1, n2);
     }
+}
 
-    #[test]
-    fn implication_is_sound(p in arb_scalar(), q in arb_scalar(), rows in proptest::collection::vec(arb_row(), 1..24)) {
-        // If the checker proves p ⇒ q, then every row accepting p accepts q.
+#[test]
+fn implication_is_sound() {
+    // If the checker proves p ⇒ q, then every row accepting p accepts q.
+    let mut rng = TestRng::new(0xC0FFEE);
+    let l = layout();
+    for _ in 0..CASES {
+        let p = gen_scalar(&mut rng, 3);
+        let q = gen_scalar(&mut rng, 3);
+        let rows: Vec<Vec<Value>> = (0..24).map(|_| gen_row(&mut rng)).collect();
         if implies(&p, &q) {
-            let l = layout();
             for row in &rows {
                 if eval(&p, &l, row) == Value::Bool(true) {
-                    prop_assert_eq!(
-                        eval(&q, &l, row), Value::Bool(true),
-                        "claimed {} implies {} but row {:?} violates it", p, q, row
+                    assert_eq!(
+                        eval(&q, &l, row),
+                        Value::Bool(true),
+                        "claimed {p} implies {q} but row {row:?} violates it"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn covering_accepts_every_branch_row(
-        branches in proptest::collection::vec(arb_scalar(), 1..4),
-        rows in proptest::collection::vec(arb_row(), 1..24),
-    ) {
-        // simplify_covering produces a weakening of the OR of the branches:
-        // any row accepted by some branch must be accepted by the covering.
-        let normalized: Vec<Scalar> = branches.iter().map(Scalar::normalize).collect();
+#[test]
+fn covering_accepts_every_branch_row() {
+    // simplify_covering produces a weakening of the OR of the branches:
+    // any row accepted by some branch must be accepted by the covering.
+    let mut rng = TestRng::new(0xD00D);
+    let l = layout();
+    for _ in 0..CASES {
+        let n = rng.range_usize(1, 4);
+        let normalized: Vec<Scalar> = (0..n)
+            .map(|_| gen_scalar(&mut rng, 3).normalize())
+            .collect();
         let covering = simplify_covering(&normalized);
-        let l = layout();
+        let rows: Vec<Vec<Value>> = (0..24).map(|_| gen_row(&mut rng)).collect();
         for row in &rows {
             let any_branch = normalized
                 .iter()
                 .any(|b| eval(b, &l, row) == Value::Bool(true));
             if any_branch {
-                prop_assert_eq!(
-                    eval(&covering, &l, row), Value::Bool(true),
-                    "covering {} rejects a row a branch accepts", covering
+                assert_eq!(
+                    eval(&covering, &l, row),
+                    Value::Bool(true),
+                    "covering {covering} rejects a row a branch accepts"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn column_ranges_are_sound(p in arb_scalar(), row in arb_row()) {
-        // Any row satisfying p lies inside every extracted interval.
-        let l = layout();
+#[test]
+fn column_ranges_are_sound() {
+    // Any row satisfying p lies inside every extracted interval.
+    let mut rng = TestRng::new(0xE66);
+    let l = layout();
+    for _ in 0..CASES * 4 {
+        let p = gen_scalar(&mut rng, 3);
+        let row = gen_row(&mut rng);
         if eval(&p, &l, &row) != Value::Bool(true) {
-            return Ok(());
+            continue;
         }
         for (col, iv) in column_ranges(&p) {
             let v = &row[col.col as usize];
@@ -136,62 +177,99 @@ proptest! {
             }
             if let Some((lo, inc)) = &iv.lo {
                 let ord = v.total_cmp(lo);
-                prop_assert!(if *inc { ord.is_ge() } else { ord.is_gt() },
-                    "range lo violated for {} by {:?}", p, row);
+                assert!(
+                    if *inc { ord.is_ge() } else { ord.is_gt() },
+                    "range lo violated for {p} by {row:?}"
+                );
             }
             if let Some((hi, inc)) = &iv.hi {
                 let ord = v.total_cmp(hi);
-                prop_assert!(if *inc { ord.is_le() } else { ord.is_lt() },
-                    "range hi violated for {} by {:?}", p, row);
+                assert!(
+                    if *inc { ord.is_le() } else { ord.is_lt() },
+                    "range hi violated for {p} by {row:?}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn relset_models_integer_set(ids in proptest::collection::btree_set(0u32..256, 0..20),
-                                 other in proptest::collection::btree_set(0u32..256, 0..20)) {
+#[test]
+fn relset_models_integer_set() {
+    let mut rng = TestRng::new(0xF00);
+    for _ in 0..CASES {
+        let mut ids: std::collections::BTreeSet<u32> = Default::default();
+        let mut other: std::collections::BTreeSet<u32> = Default::default();
+        for _ in 0..rng.range_usize(0, 20) {
+            ids.insert(rng.range_i64(0, 256) as u32);
+        }
+        for _ in 0..rng.range_usize(0, 20) {
+            other.insert(rng.range_i64(0, 256) as u32);
+        }
         let a = RelSet::from_iter(ids.iter().map(|&i| RelId(i)));
         let b = RelSet::from_iter(other.iter().map(|&i| RelId(i)));
-        prop_assert_eq!(a.len(), ids.len());
+        assert_eq!(a.len(), ids.len());
         let union: std::collections::BTreeSet<u32> = ids.union(&other).copied().collect();
         let inter: std::collections::BTreeSet<u32> = ids.intersection(&other).copied().collect();
         let diff: std::collections::BTreeSet<u32> = ids.difference(&other).copied().collect();
-        prop_assert_eq!(a.union(b).iter().map(|r| r.0).collect::<Vec<_>>(),
-                        union.into_iter().collect::<Vec<_>>());
-        prop_assert_eq!(a.intersect(b).iter().map(|r| r.0).collect::<Vec<_>>(),
-                        inter.into_iter().collect::<Vec<_>>());
-        prop_assert_eq!(a.difference(b).iter().map(|r| r.0).collect::<Vec<_>>(),
-                        diff.into_iter().collect::<Vec<_>>());
-        prop_assert_eq!(a.is_subset(b), ids.is_subset(&other));
+        assert_eq!(
+            a.union(b).iter().map(|r| r.0).collect::<Vec<_>>(),
+            union.into_iter().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.intersect(b).iter().map(|r| r.0).collect::<Vec<_>>(),
+            inter.into_iter().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.difference(b).iter().map(|r| r.0).collect::<Vec<_>>(),
+            diff.into_iter().collect::<Vec<_>>()
+        );
+        assert_eq!(a.is_subset(b), ids.is_subset(&other));
     }
+}
 
-    #[test]
-    fn three_valued_de_morgan(p in arb_scalar(), q in arb_scalar(), row in arb_row()) {
-        // NOT (p AND q) ≡ (NOT p) OR (NOT q) under 3VL.
-        let l = layout();
-        let lhs = eval(&Scalar::Not(Box::new(Scalar::and([p.clone(), q.clone()]))), &l, &row);
+#[test]
+fn three_valued_de_morgan() {
+    // NOT (p AND q) ≡ (NOT p) OR (NOT q) under 3VL.
+    let mut rng = TestRng::new(0x3A1);
+    let l = layout();
+    for _ in 0..CASES {
+        let p = gen_scalar(&mut rng, 3);
+        let q = gen_scalar(&mut rng, 3);
+        let row = gen_row(&mut rng);
+        let lhs = eval(
+            &Scalar::Not(Box::new(Scalar::and([p.clone(), q.clone()]))),
+            &l,
+            &row,
+        );
         let rhs = eval(
             &Scalar::or([Scalar::Not(Box::new(p)), Scalar::Not(Box::new(q))]),
             &l,
             &row,
         );
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn date_roundtrip(days in -200_000i32..200_000) {
+#[test]
+fn date_roundtrip() {
+    let mut rng = TestRng::new(0xDA7E);
+    for _ in 0..2000 {
+        let days = rng.range_i64(-200_000, 200_000) as i32;
         let (y, m, d) = similar_subexpr::storage::dates::from_days(days);
-        prop_assert_eq!(similar_subexpr::storage::dates::to_days(y, m, d), Some(days));
+        assert_eq!(
+            similar_subexpr::storage::dates::to_days(y, m, d),
+            Some(days)
+        );
     }
 }
 
 /// Reference implementation of grouped aggregation used to cross-check the
 /// engine's HashAggregate.
 mod agg_reference {
-    use proptest::prelude::*;
-    use similar_subexpr::algebra::{AggExpr, ColRef, LogicalPlan, PlanContext, Scalar};
+    use similar_subexpr::algebra::{AggExpr, ColRef, PlanContext, Scalar};
     use similar_subexpr::exec::Engine;
     use similar_subexpr::optimizer::{FullPlan, PhysicalPlan};
+    use similar_subexpr::storage::testkit::TestRng;
     use similar_subexpr::storage::{row, Catalog, DataType, Schema, Table, Value};
     use std::collections::BTreeMap;
 
@@ -209,7 +287,6 @@ mod agg_reference {
         let b = ctx.new_block();
         let rel = ctx.add_base_rel("t", "t", cat.table("t").unwrap().schema().clone(), b);
         let out = ctx.add_agg_output(&[DataType::Int, DataType::Int], b);
-        let _ = LogicalPlan::get(rel); // silence unused-import style concerns
         let plan = PhysicalPlan::HashAggregate {
             input: Box::new(PhysicalPlan::TableScan {
                 rel,
@@ -217,10 +294,7 @@ mod agg_reference {
                 layout: vec![ColRef::new(rel, 0), ColRef::new(rel, 1)],
             }),
             keys: vec![ColRef::new(rel, 0)],
-            aggs: vec![
-                AggExpr::sum(Scalar::col(rel, 1)),
-                AggExpr::count_star(),
-            ],
+            aggs: vec![AggExpr::sum(Scalar::col(rel, 1)), AggExpr::count_star()],
             out,
             layout: vec![
                 ColRef::new(rel, 0),
@@ -263,12 +337,15 @@ mod agg_reference {
         groups.into_iter().map(|(k, (s, n))| (k, s, n)).collect()
     }
 
-    proptest! {
-        #[test]
-        fn hash_aggregate_matches_reference(
-            data in proptest::collection::vec((-5i64..5, -100i64..100), 0..200)
-        ) {
-            prop_assert_eq!(run_engine(&data), reference(&data));
+    #[test]
+    fn hash_aggregate_matches_reference() {
+        let mut rng = TestRng::new(0xA66);
+        for _ in 0..40 {
+            let n = rng.range_usize(0, 200);
+            let data: Vec<(i64, i64)> = (0..n)
+                .map(|_| (rng.range_i64(-5, 5), rng.range_i64(-100, 100)))
+                .collect();
+            assert_eq!(run_engine(&data), reference(&data));
         }
     }
 }

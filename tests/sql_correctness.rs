@@ -11,7 +11,8 @@ fn tiny_catalog() -> Catalog {
         Schema::from_pairs(&[("d_id", DataType::Int), ("d_name", DataType::Str)]),
     );
     for (id, name) in [(1, "eng"), (2, "ops"), (3, "empty")] {
-        dept.push(row(vec![Value::Int(id), Value::str(name)])).unwrap();
+        dept.push(row(vec![Value::Int(id), Value::str(name)]))
+            .unwrap();
     }
     let mut emp = Table::new(
         "emp",
@@ -46,11 +47,7 @@ fn tiny_catalog() -> Catalog {
 fn query(catalog: &Catalog, sql: &str) -> ResultSet {
     let o = optimize_sql(catalog, sql, &CseConfig::default()).expect("optimize");
     let engine = Engine::new(catalog, &o.ctx);
-    engine
-        .execute(&o.plan)
-        .expect("execute")
-        .results
-        .remove(0)
+    engine.execute(&o.plan).expect("execute").results.remove(0)
 }
 
 #[test]
@@ -97,8 +94,11 @@ fn group_by_with_aggregates() {
 #[test]
 fn avg_decomposes_to_sum_over_count() {
     let cat = tiny_catalog();
-    let rs = query(&cat, "select e_dept, avg(e_salary) as a from emp group by e_dept")
-        .canonicalized();
+    let rs = query(
+        &cat,
+        "select e_dept, avg(e_salary) as a from emp group by e_dept",
+    )
+    .canonicalized();
     assert_eq!(rs.rows[0][1], Value::Float(150.0)); // dept 1: 300/2
     let a2 = rs.rows[1][1].as_f64().unwrap();
     assert!((a2 - 275.0 / 3.0).abs() < 1e-9);
@@ -118,10 +118,7 @@ fn having_filters_groups() {
 #[test]
 fn order_by_on_alias() {
     let cat = tiny_catalog();
-    let rs = query(
-        &cat,
-        "select e_id, e_salary as s from emp order by s desc",
-    );
+    let rs = query(&cat, "select e_id, e_salary as s from emp order by s desc");
     let sal: Vec<f64> = rs.rows.iter().map(|r| r[1].as_f64().unwrap()).collect();
     assert_eq!(sal, vec![200.0, 150.0, 100.0, 75.0, 50.0]);
 }
@@ -138,7 +135,10 @@ fn date_literals_coerce() {
 #[test]
 fn between_works() {
     let cat = tiny_catalog();
-    let rs = query(&cat, "select e_id from emp where e_salary between 75 and 150");
+    let rs = query(
+        &cat,
+        "select e_id from emp where e_salary between 75 and 150",
+    );
     let mut ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
     ids.sort();
     assert_eq!(ids, vec![1, 3, 5]);
@@ -147,10 +147,7 @@ fn between_works() {
 #[test]
 fn select_star_joins() {
     let cat = tiny_catalog();
-    let rs = query(
-        &cat,
-        "select * from dept, emp where d_id = e_dept",
-    );
+    let rs = query(&cat, "select * from dept, emp where d_id = e_dept");
     assert_eq!(rs.columns.len(), 2 + 4);
     assert_eq!(rs.rows.len(), 5);
 }
@@ -205,7 +202,10 @@ fn or_predicates() {
 #[test]
 fn arithmetic_in_projection() {
     let cat = tiny_catalog();
-    let rs = query(&cat, "select e_id, e_salary * 2 + 1 as x from emp where e_id = 1");
+    let rs = query(
+        &cat,
+        "select e_id, e_salary * 2 + 1 as x from emp where e_id = 1",
+    );
     assert_eq!(rs.rows[0][1], Value::Float(201.0));
 }
 

@@ -1,0 +1,72 @@
+//! End-to-end checks of the `cse-verify` wiring in the pipeline: the
+//! invariant passes run behind `CseConfig::verify`, attach a clean report
+//! to `CseReport`, and cover both the CSE and the no-CSE paths on real
+//! TPC-H workloads. (The adversarial corruption tests that make each rule
+//! fire live in `crates/verify/tests/corruption.rs`.)
+
+use similar_subexpr::prelude::*;
+
+const SHARING_BATCH: &str = "\
+  select c_nationkey, sum(l_extendedprice) as le \
+  from customer, orders, lineitem \
+  where c_custkey = o_custkey and o_orderkey = l_orderkey \
+    and c_nationkey > 0 and c_nationkey < 20 \
+  group by c_nationkey;\
+  select c_nationkey, sum(l_quantity) as lq \
+  from customer, orders, lineitem \
+  where c_custkey = o_custkey and o_orderkey = l_orderkey \
+    and c_nationkey > 5 and c_nationkey < 25 \
+  group by c_nationkey;";
+
+fn catalog() -> Catalog {
+    generate_catalog(&TpchConfig::new(0.002))
+}
+
+fn verified_config(base: CseConfig) -> CseConfig {
+    CseConfig {
+        verify: true,
+        ..base
+    }
+}
+
+#[test]
+fn sharing_batch_verifies_clean() {
+    let cfg = verified_config(CseConfig::default());
+    let optimized = optimize_sql(&catalog(), SHARING_BATCH, &cfg).expect("optimize");
+    let report = optimized
+        .report
+        .verification
+        .as_ref()
+        .expect("verification report attached when cfg.verify is set");
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(
+        !optimized.report.candidates.is_empty(),
+        "the batch shares a subexpression, so verification covered passes 3-5 too"
+    );
+}
+
+#[test]
+fn no_heuristics_verifies_clean() {
+    let cfg = verified_config(CseConfig::no_heuristics());
+    let optimized = optimize_sql(&catalog(), SHARING_BATCH, &cfg).expect("optimize");
+    let report = optimized.report.verification.as_ref().expect("report");
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn no_cse_path_verifies_clean() {
+    let cfg = verified_config(CseConfig::no_cse());
+    let optimized = optimize_sql(&catalog(), SHARING_BATCH, &cfg).expect("optimize");
+    let report = optimized.report.verification.as_ref().expect("report");
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn verification_off_attaches_no_report() {
+    let cfg = CseConfig {
+        verify: false,
+        ..CseConfig::default()
+    };
+    let optimized = optimize_sql(&catalog(), SHARING_BATCH, &cfg).expect("optimize");
+    assert!(optimized.report.verification.is_none());
+}

@@ -22,12 +22,14 @@ fn sorted_rows(t: &Table) -> Vec<Vec<Value>> {
 fn rows_approx_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b.iter()).all(|(ra, rb)| {
-            ra.iter().zip(rb.iter()).all(|(x, y)| match (x.as_f64(), y.as_f64()) {
-                (Some(fx), Some(fy)) => {
-                    (fx - fy).abs() <= 1e-6 * fx.abs().max(fy.abs()).max(1.0)
-                }
-                _ => x == y,
-            })
+            ra.iter()
+                .zip(rb.iter())
+                .all(|(x, y)| match (x.as_f64(), y.as_f64()) {
+                    (Some(fx), Some(fy)) => {
+                        (fx - fy).abs() <= 1e-6 * fx.abs().max(fy.abs()).max(1.0)
+                    }
+                    _ => x == y,
+                })
         })
 }
 
@@ -49,8 +51,7 @@ fn maintained_views_match_recomputation() {
         let o = optimize_sql(&catalog, &def, &CseConfig::no_cse()).unwrap();
         let engine = Engine::new(&catalog, &o.ctx);
         let fresh = engine.execute(&o.plan).unwrap().results.remove(0);
-        let mut fresh_rows: Vec<Vec<Value>> =
-            fresh.rows.iter().map(|r| r.to_vec()).collect();
+        let mut fresh_rows: Vec<Vec<Value>> = fresh.rows.iter().map(|r| r.to_vec()).collect();
         fresh_rows.sort_by(|a, b| {
             for (x, y) in a.iter().zip(b.iter()) {
                 let o = x.total_cmp(y);
