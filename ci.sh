@@ -16,4 +16,13 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+# Fault-injection seed matrix: the adversarial robustness suite must hold
+# for every seed, not just the default. Each seed reshuffles which scans /
+# spools fail under probabilistic injection; correctness and event
+# reporting are asserted regardless.
+for seed in 1 7 42; do
+  echo "==> robustness suite (CSE_FAIL_SEED=$seed)"
+  CSE_FAIL_SEED=$seed cargo test -q --test robustness
+done
+
 echo "==> ci.sh: all green"

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p cse-bench --bin report [-- <experiment>] [--sf <f>]`
 //! where `<experiment>` is one of `table1 table2 table3 table4 fig8
-//! viewmaint overhead verify all` (default `all`).
+//! viewmaint overhead verify robustness all` (default `all`).
 
 use cse_bench::{experiments, print_table};
 
@@ -116,5 +116,34 @@ fn main() {
             );
         }
         println!("all workloads passed verification (errors would have aborted).");
+    }
+    if run_all || which == "robustness" {
+        println!("\n=== robustness: degradation ladder + fault injection ===");
+        println!(
+            "{:<18} {:<12} {:>8} {:>8}  events",
+            "scenario", "rung", "degraded", "correct"
+        );
+        let rows = experiments::robustness(&catalog);
+        for r in &rows {
+            println!(
+                "{:<18} {:<12} {:>8} {:>8}  {}",
+                r.scenario,
+                r.rung,
+                r.degraded,
+                r.correct,
+                if r.events.is_empty() {
+                    "-".to_string()
+                } else {
+                    r.events.join(",")
+                }
+            );
+        }
+        let json = experiments::robustness_json(sf, &rows);
+        std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
+        println!("wrote BENCH_robustness.json");
+        assert!(
+            rows.iter().all(|r| r.correct),
+            "robustness scenarios must all stay correct"
+        );
     }
 }

@@ -170,6 +170,196 @@ pub fn overhead(catalog: &Catalog) -> (RunOutcome, RunOutcome) {
     (off, on)
 }
 
+/// One scenario of the robustness drill: a governed run (budget, forced
+/// fallback, armed failpoint, or execution limit) whose results must match
+/// the ungoverned no-CSE reference.
+#[derive(Debug)]
+pub struct RobustnessOutcome {
+    pub scenario: &'static str,
+    /// Degradation-ladder rung of the final plan.
+    pub rung: String,
+    /// Stable reason codes of every degradation observed (optimizer
+    /// ladder events followed by runtime recoveries).
+    pub events: Vec<String>,
+    /// Did anything degrade at all?
+    pub degraded: bool,
+    /// Results approx-equal to the reference?
+    pub correct: bool,
+}
+
+/// Drive the degradation ladder and every failpoint site against the
+/// Table 1 batch. Covers: an ungoverned control, a zero-millisecond
+/// optimization budget, a forced baseline, each execution failpoint at
+/// probability 1.0, the optimizer-phase panic failpoint, and a tiny row
+/// budget. Every scenario must still deliver correct results — the whole
+/// point of the ladder.
+pub fn robustness(catalog: &Catalog) -> Vec<RobustnessOutcome> {
+    use cse_exec::Engine;
+    use cse_govern::{sites, Budget, ExecLimits, FailSpec, FailpointRegistry};
+
+    let sql = workloads::table1_batch();
+    // Ungoverned no-CSE reference results.
+    let reference = {
+        let optimized =
+            cse_core::optimize_sql(catalog, &sql, &CseConfig::no_cse()).expect("reference plan");
+        let engine = Engine::new(catalog, &optimized.ctx);
+        engine
+            .execute(&optimized.plan)
+            .expect("reference execution")
+            .results
+    };
+
+    let fail = |site: &str| {
+        FailpointRegistry::from_specs(&[FailSpec {
+            site: site.to_string(),
+            probability: 1.0,
+            seed: 42,
+        }])
+    };
+    let scenarios: Vec<(&'static str, CseConfig)> = vec![
+        ("ungoverned", CseConfig::default()),
+        (
+            "budget-0ms",
+            CseConfig {
+                budget: Budget::with_time_ms(0),
+                ..CseConfig::default()
+            },
+        ),
+        (
+            "fallback-only",
+            CseConfig {
+                fallback_only: true,
+                ..CseConfig::default()
+            },
+        ),
+        (
+            "fail-spool",
+            CseConfig {
+                failpoints: fail(sites::SPOOL_MATERIALIZE),
+                ..CseConfig::default()
+            },
+        ),
+        (
+            "fail-table-scan",
+            CseConfig {
+                failpoints: fail(sites::SCAN_TABLE),
+                ..CseConfig::default()
+            },
+        ),
+        (
+            "fail-opt-phase",
+            CseConfig {
+                failpoints: fail(sites::OPT_CSE_PHASE),
+                ..CseConfig::default()
+            },
+        ),
+        (
+            "rows-budget-64",
+            CseConfig {
+                exec_limits: ExecLimits {
+                    max_rows: Some(64),
+                    max_bytes: None,
+                },
+                ..CseConfig::default()
+            },
+        ),
+    ];
+    let drive = |catalog: &Catalog,
+                 sql: &str,
+                 reference: &[cse_exec::ResultSet],
+                 name: &'static str,
+                 cfg: CseConfig| {
+        let optimized = cse_core::optimize_sql(catalog, sql, &cfg).expect("governed optimization");
+        let engine = Engine::new(catalog, &optimized.ctx);
+        let out = engine
+            .execute_governed(&optimized.plan, &cfg.failpoints, &cfg.exec_limits)
+            .expect("governed execution");
+        let mut events: Vec<String> = optimized
+            .report
+            .degradations
+            .iter()
+            .map(|e| e.reason.code().to_string())
+            .collect();
+        events.extend(out.events.iter().map(|e| e.reason.code().to_string()));
+        let correct = reference.len() == out.results.len()
+            && reference
+                .iter()
+                .zip(out.results.iter())
+                .all(|(a, b)| a.approx_eq(b, 1e-9));
+        RobustnessOutcome {
+            scenario: name,
+            rung: optimized.report.rung.as_str().to_string(),
+            degraded: !events.is_empty(),
+            events,
+            correct,
+        }
+    };
+
+    let mut rows: Vec<RobustnessOutcome> = scenarios
+        .into_iter()
+        .map(|(name, cfg)| drive(catalog, &sql, &reference, name, cfg))
+        .collect();
+
+    // The index failpoint needs a plan that actually chooses an index:
+    // run it against an indexed copy of the catalog with a point query.
+    let mut indexed = catalog.clone();
+    indexed
+        .create_btree_index("orders", "o_orderdate")
+        .expect("index on o_orderdate");
+    let pointy = "select o_orderkey, o_totalprice from orders \
+                  where o_orderdate = '1995-01-01'";
+    let index_reference = {
+        let optimized = cse_core::optimize_sql(&indexed, pointy, &CseConfig::no_cse())
+            .expect("index reference plan");
+        Engine::new(&indexed, &optimized.ctx)
+            .execute(&optimized.plan)
+            .expect("index reference execution")
+            .results
+    };
+    rows.push(drive(
+        &indexed,
+        pointy,
+        &index_reference,
+        "fail-index-scan",
+        CseConfig {
+            failpoints: fail(sites::SCAN_INDEX),
+            ..CseConfig::default()
+        },
+    ));
+    rows
+}
+
+/// Hand-rolled JSON for the robustness report (this tree has no serde).
+pub fn robustness_json(sf: f64, rows: &[RobustnessOutcome]) -> String {
+    use std::fmt::Write as _;
+    let degraded = rows.iter().filter(|r| r.degraded).count();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"experiment\": \"robustness\",");
+    let _ = writeln!(s, "  \"sf\": {sf},");
+    let _ = writeln!(
+        s,
+        "  \"fallback_rate\": {:.4},",
+        degraded as f64 / rows.len().max(1) as f64
+    );
+    let _ = writeln!(s, "  \"all_correct\": {},", rows.iter().all(|r| r.correct));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let events: Vec<String> = r.events.iter().map(|e| format!("\"{e}\"")).collect();
+        let _ = write!(
+            s,
+            "    {{\"scenario\": \"{}\", \"rung\": \"{}\", \"degraded\": {}, \"correct\": {}, \"events\": [{}]}}",
+            r.scenario,
+            r.rung,
+            r.degraded,
+            r.correct,
+            events.join(", ")
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// One row of the verification report: workload name, candidate count and
 /// the diagnostics the `cse-verify` passes produced (always zero unless an
 /// invariant regressed — errors abort optimization outright).

@@ -6,6 +6,7 @@ use crate::construct::{construct, ConstructedCse};
 use crate::manager::CseManager;
 use crate::required::RequiredCols;
 use cse_cost::{Cardinality, CostModel, Selectivity, StatsCatalog};
+use cse_govern::{BudgetClock, BudgetTrip};
 use cse_memo::{GroupId, Memo, TableSignature};
 use std::collections::HashMap;
 
@@ -171,6 +172,12 @@ pub fn h2_filter_consumers(
 
 /// Algorithm 1: greedily merge trivial candidates while the benefit Δ is
 /// positive; restart over the leftovers. Returns the merged candidates.
+///
+/// The `clock` is the optimization budget: the greedy merge loop is the
+/// combinatorial heart of candidate generation (quadratic trials per
+/// round), so the wall-clock deadline is re-checked on every round and a
+/// trip aborts the whole set — the degradation ladder in `pipeline`
+/// decides what happens next.
 #[allow(clippy::too_many_arguments)]
 pub fn create_candidates(
     memo: &mut Memo,
@@ -181,14 +188,15 @@ pub fn create_candidates(
     signature: &TableSignature,
     group: &CompatibleGroup,
     cfg: &GenConfig,
-) -> Vec<CostedCandidate> {
+    clock: &BudgetClock,
+) -> Result<Vec<CostedCandidate>, BudgetTrip> {
     let members = group.members.clone();
     if members.len() < 2 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     if !cfg.heuristics {
         // One candidate covering every compatible consumer.
-        return construct(memo, members, required)
+        return Ok(construct(memo, members, required)
             .map(|c| {
                 vec![cost_candidate(
                     memo,
@@ -199,16 +207,18 @@ pub fn create_candidates(
                     c,
                 )]
             })
-            .unwrap_or_default();
+            .unwrap_or_default());
     }
     let mut rest: Vec<PreparedConsumer> = members;
     let mut out: Vec<CostedCandidate> = Vec::new();
     while rest.len() > 1 {
+        clock.check_time("generation/algorithm1")?;
         // Seed with the first trivial candidate.
         let seed = rest.remove(0);
         let mut current: Vec<PreparedConsumer> = vec![seed];
         let mut merged_any = false;
         loop {
+            clock.check_time("generation/algorithm1")?;
             // Pick the remaining member with the best merge benefit.
             let mut best: Option<(usize, f64, CostedCandidate)> = None;
             for (i, m) in rest.iter().enumerate() {
@@ -247,7 +257,7 @@ pub fn create_candidates(
         }
         // Unmerged seed is dropped; the loop restarts over the leftovers.
     }
-    out
+    Ok(out)
 }
 
 /// Δ of merging `addition` into `current` (positive = beneficial):
@@ -348,9 +358,10 @@ pub fn generate_for_set(
     consumers: &[GroupId],
     query_cost: f64,
     cfg: &GenConfig,
-) -> Vec<CostedCandidate> {
+    clock: &BudgetClock,
+) -> Result<Vec<CostedCandidate>, BudgetTrip> {
     if cfg.heuristics && !h1_worthwhile(bounds, consumers, query_cost, cfg.alpha) {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let prepared = prepare_consumers(memo, consumers);
     // The memo performs no group merging, so logically identical
@@ -387,8 +398,8 @@ pub fn generate_for_set(
             }
         }
         out.extend(create_candidates(
-            memo, stats, model, bounds, required, signature, &g, cfg,
-        ));
+            memo, stats, model, bounds, required, signature, &g, cfg, clock,
+        )?);
     }
     // Re-attach duplicate groups: a duplicate consumes the candidate
     // exactly like the representative it mirrors.
@@ -407,5 +418,5 @@ pub fn generate_for_set(
             }
         }
     }
-    out
+    Ok(out)
 }

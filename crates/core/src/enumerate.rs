@@ -4,6 +4,7 @@
 
 use crate::lca::competing;
 use crate::manager::CseManager;
+use cse_govern::{BudgetClock, BudgetTrip};
 use cse_memo::GroupId;
 use cse_optimizer::{bit, CseId, CseMask, FullPlan, Optimizer};
 use std::collections::BTreeSet;
@@ -26,22 +27,30 @@ pub struct EnumOutcome {
 /// winning masks combined — turning a 2^N search into a sum of small
 /// enumerations. Within a cluster, subsets are visited in descending size
 /// with Prop. 5.5/5.6 skipping, bounded by `max_optimizations`.
+///
+/// The wall-clock deadline in `clock` is re-checked before every full
+/// optimization pass (the expensive unit of work here). Expiry trips the
+/// whole enumeration rather than returning an anytime-best plan, so that
+/// plans produced under a tripped budget are always the ladder's clean
+/// fallbacks — never a half-enumerated hybrid.
 pub fn choose_best(
     opt: &mut Optimizer<'_>,
     mgr: &CseManager,
     root: GroupId,
     candidates: &[(CseId, Option<GroupId>)],
     max_optimizations: u32,
-) -> EnumOutcome {
+    clock: &BudgetClock,
+) -> Result<EnumOutcome, BudgetTrip> {
     let mut optimizations = 0u32;
     if candidates.is_empty() {
         let plan = opt.optimize_full(root, 0);
-        return EnumOutcome {
+        return Ok(EnumOutcome {
             plan,
             chosen_mask: 0,
             optimizations: 0,
-        };
+        });
     }
+    clock.check_time("enumerate")?;
     // Build clusters of the competing relation.
     let n = candidates.len();
     let mut comp = vec![vec![false; n]; n];
@@ -81,6 +90,7 @@ pub fn choose_best(
     for members in &clusters {
         let ids: Vec<CseId> = members.iter().map(|&i| candidates[i].0).collect();
         let full: CseMask = ids.iter().fold(0, |m, id| m | bit(*id));
+        clock.check_time("enumerate")?;
         if ids.len() == 1 {
             // One candidate: a single optimization with it enabled decides.
             let with = opt.optimize_full(root, chosen_mask | full);
@@ -124,6 +134,7 @@ pub fn choose_best(
             if optimizations >= max_optimizations {
                 break;
             }
+            clock.check_time("enumerate")?;
             let plan = opt.optimize_full(root, chosen_mask | mask);
             optimizations += 1;
             let used: CseMask = plan.spools.keys().fold(0, |m, id| m | bit(*id)) & mask;
@@ -165,11 +176,11 @@ pub fn choose_best(
         }
     }
     let plan = opt.optimize_full(root, chosen_mask);
-    EnumOutcome {
+    Ok(EnumOutcome {
         plan,
         chosen_mask,
         optimizations,
-    }
+    })
 }
 
 /// The sub-mask of `enabled` whose members are independent of every other

@@ -21,6 +21,10 @@ use crate::required::{compute_required, required_of, RequiredCols};
 use crate::view_match::build_substitute;
 use cse_algebra::{ColRef, LogicalPlan, PlanContext};
 use cse_cost::{CostModel, StatsCatalog};
+use cse_govern::{
+    sites, Budget, BudgetClock, BudgetTrip, DegradationEvent, ExecLimits, FailpointRegistry,
+    Reason, Rung,
+};
 use cse_memo::{explore, ExploreConfig, GroupId, Memo};
 use cse_optimizer::{
     CseCandidate, CseId, FullPlan, IndexInfo, Optimizer, OptimizerConfig, Substitute,
@@ -28,6 +32,7 @@ use cse_optimizer::{
 use cse_storage::Catalog;
 use cse_verify::{CandidateAudit, CostAudit, MemberAudit, Report as VerifyReport};
 use std::collections::{BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
@@ -50,6 +55,19 @@ pub struct CseConfig {
     /// the query on any error-severity diagnostic. Defaults to on in debug
     /// and test builds, off in release (the audits redo whole-memo work).
     pub verify: bool,
+    /// Optimization budget (wall-clock deadline, memo and candidate caps).
+    /// Tripping it never fails the query: the pipeline walks the
+    /// degradation ladder (full CSE → capped CSE → baseline) instead.
+    pub budget: Budget,
+    /// Force the baseline rung outright (`--no-cse-fallback-only`): the
+    /// CSE phase is skipped and an `OPT_FORCED` event is recorded. Unlike
+    /// `enable_cse = false`, this *reports* the skip as a degradation.
+    pub fallback_only: bool,
+    /// Deterministic fault-injection registry, shared with the engine.
+    /// Disabled unless armed explicitly or via the `CSE_FAIL` env var.
+    pub failpoints: FailpointRegistry,
+    /// Per-statement execution limits, enforced by the engine.
+    pub exec_limits: ExecLimits,
 }
 
 impl Default for CseConfig {
@@ -64,6 +82,10 @@ impl Default for CseConfig {
             min_query_cost: 0.0,
             stacked: true,
             verify: cfg!(debug_assertions),
+            budget: Budget::unlimited(),
+            fallback_only: false,
+            failpoints: FailpointRegistry::from_env(),
+            exec_limits: ExecLimits::none(),
         }
     }
 }
@@ -123,6 +145,10 @@ pub struct CseReport {
     /// Diagnostics of the `cse-verify` passes (present iff
     /// [`CseConfig::verify`] was set; clean when the query succeeded).
     pub verification: Option<VerifyReport>,
+    /// The degradation-ladder rung the plan was produced on.
+    pub rung: Rung,
+    /// Every downgrade recorded on the way (empty in the common case).
+    pub degradations: Vec<DegradationEvent>,
 }
 
 /// Optimization output: executable plan, context for the executor, report.
@@ -201,12 +227,227 @@ pub fn optimize_plan(
             None,
         );
     }
+    if cfg.fallback_only {
+        report.rung = Rung::Baseline;
+        report.degradations.push(DegradationEvent::opt(
+            Reason::OptForced,
+            "pipeline",
+            Rung::FullCse,
+            Rung::Baseline,
+            "baseline rung forced by configuration",
+        ));
+        report.total_time = t_start.elapsed();
+        return finish(
+            baseline,
+            memo.ctx.clone(),
+            report,
+            cfg.verify,
+            vreport,
+            None,
+        );
+    }
+
+    // The degradation ladder: run the full CSE phase; if the budget trips,
+    // retry with tightened heuristics and hard caps; if that trips too (or
+    // the phase panics), fall back to the baseline plan. Each rung gets its
+    // own clone of the explored memo so a tripped or panicked attempt can
+    // never leak partial mutations into the next one, and the whole phase
+    // runs under `catch_unwind` so an optimizer bug degrades the plan
+    // instead of aborting the process.
+    let mut rung = Rung::FullCse;
+    let mut phase: Option<PhaseOutput> = None;
+    while rung != Rung::Baseline {
+        let (eff, caps) = tighten(cfg, rung);
+        let clock = eff.budget.start();
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            cse_phase(
+                memo.clone(),
+                &stats,
+                &indexes,
+                &eff,
+                &caps,
+                &clock,
+                &baseline,
+                root,
+            )
+        }));
+        match attempt {
+            Ok(Ok(out)) => {
+                phase = Some(out);
+                break;
+            }
+            Ok(Err(trip)) => {
+                let next = rung.next_down().unwrap_or(Rung::Baseline);
+                report.degradations.push(trip.event(rung, next));
+                rung = next;
+            }
+            Err(payload) => {
+                // A panic is a bug, not a resource shortage: go straight to
+                // the floor instead of retrying a broken phase.
+                report.degradations.push(DegradationEvent::opt(
+                    Reason::OptPanic,
+                    "cse-phase",
+                    rung,
+                    Rung::Baseline,
+                    panic_message(payload.as_ref()),
+                ));
+                rung = Rung::Baseline;
+            }
+        }
+    }
+    report.rung = rung;
+
+    let (mut final_plan, cost_audit) = match phase {
+        Some(out) => {
+            report.sharable_signatures = out.sharable_signatures;
+            report.candidates = out.candidates;
+            report.cse_optimizations = out.cse_optimizations;
+            vreport.merge(out.vreport);
+            (out.plan, out.cost_audit)
+        }
+        None => (baseline.clone(), None),
+    };
+    if !final_plan.spools.is_empty() {
+        // Retain the no-CSE plan alongside the shared one: the engine
+        // retries against it per statement when a spool faults or an
+        // execution budget trips.
+        final_plan.baseline = Some(Box::new(baseline.root.clone()));
+    }
+    report.final_cost = final_plan.cost;
+    report.spools_used = final_plan.spools.len();
+    report.total_time = t_start.elapsed();
+
+    finish(
+        final_plan,
+        memo.ctx.clone(),
+        report,
+        cfg.verify,
+        vreport,
+        cost_audit,
+    )
+}
+
+/// Output of one successful CSE-phase attempt (one ladder rung).
+struct PhaseOutput {
+    plan: FullPlan,
+    sharable_signatures: usize,
+    candidates: Vec<CandidateSummary>,
+    cse_optimizations: u32,
+    /// Verifier diagnostics accumulated during this attempt.
+    vreport: VerifyReport,
+    /// Pass-5 costing audit input (populated only under `verify`).
+    cost_audit: Option<CostAudit>,
+}
+
+/// Per-rung candidate caps derived by [`tighten`].
+struct RungCaps {
+    /// Representational cap on registered candidates (the optimizer's CSE
+    /// mask is 64 bits wide; the full rung keeps the historical 60).
+    keep: usize,
+    /// Whether exceeding `budget.max_candidates` trips the rung (full rung)
+    /// or silently truncates the candidate list (capped rung).
+    trip_on_overflow: bool,
+}
+
+/// Derive the effective configuration and caps for one ladder rung. The
+/// capped rung tightens every knob that bounds work: doubled α (fewer sets
+/// pass H1), halved β (more containment pruning), no stacked round, a
+/// short enumeration, a quartered exploration budget and a hard candidate
+/// cap of 8.
+fn tighten(cfg: &CseConfig, rung: Rung) -> (CseConfig, RungCaps) {
+    match rung {
+        Rung::FullCse => (
+            cfg.clone(),
+            RungCaps {
+                keep: 60,
+                trip_on_overflow: true,
+            },
+        ),
+        Rung::CappedCse => {
+            let mut c = cfg.clone();
+            c.gen.alpha = (cfg.gen.alpha * 2.0).max(0.2);
+            c.gen.beta = cfg.gen.beta / 2.0;
+            c.stacked = false;
+            c.max_cse_optimizations = cfg.max_cse_optimizations.min(8);
+            c.explore.max_gexprs = cfg.explore.max_gexprs / 4;
+            (
+                c,
+                RungCaps {
+                    keep: 8,
+                    trip_on_overflow: false,
+                },
+            )
+        }
+        Rung::Baseline => unreachable!("the baseline rung never runs the CSE phase"),
+    }
+}
+
+/// Best-effort human-readable panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One attempt at the CSE phase (Steps 2 + 3) on a private memo clone,
+/// under a started budget clock. Returns the chosen plan (never worse than
+/// the baseline) or the budget trip that aborted the attempt.
+#[allow(clippy::too_many_arguments)]
+fn cse_phase(
+    mut memo: Memo,
+    stats: &StatsCatalog,
+    indexes: &IndexInfo,
+    cfg: &CseConfig,
+    caps: &RungCaps,
+    clock: &BudgetClock,
+    baseline: &FullPlan,
+    root: GroupId,
+) -> Result<PhaseOutput, BudgetTrip> {
+    let trace = std::env::var("CSE_TRACE").is_ok();
+    macro_rules! stage {
+        ($name:expr, $t:expr) => {
+            if trace {
+                eprintln!("[cse-trace] {}: {:?}", $name, $t.elapsed());
+            }
+        };
+    }
+    clock.check_time("cse-phase")?;
+    if cfg.failpoints.should_fail(sites::OPT_CSE_PHASE) {
+        // The optimizer-side failpoint panics on purpose: it exercises the
+        // `catch_unwind` isolation of the ladder, not the trip path.
+        panic!("injected failpoint: {}", sites::OPT_CSE_PHASE);
+    }
+    clock.check_memo(memo.num_gexprs(), "cse-phase")?;
+
+    let mut vreport = VerifyReport::new();
+    let mut out = PhaseOutput {
+        plan: baseline.clone(),
+        sharable_signatures: 0,
+        candidates: Vec::new(),
+        cse_optimizations: 0,
+        vreport: VerifyReport::new(),
+        cost_audit: None,
+    };
 
     // Step 2: detection + candidate generation (phase A).
     let t_gen = Instant::now();
-    let (candidates, bounds) =
-        run_generation(&mut memo, &stats, &indexes, cfg, root, &BTreeSet::new());
+    let (candidates, bounds) = run_generation(
+        &mut memo,
+        stats,
+        indexes,
+        cfg,
+        root,
+        &BTreeSet::new(),
+        clock,
+    )?;
     stage!("generation", t_gen);
+    if caps.trip_on_overflow {
+        clock.check_candidates(candidates.len(), "generation")?;
+    }
 
     // Pass 5 setup: snapshot the claimed per-group bounds and recompute the
     // winners on the *same* memo state (later exploration may legitimately
@@ -217,7 +458,7 @@ pub fn optimize_plan(
         cost_audit.bounds = bounds.iter().collect();
         let mut opt = Optimizer::new(
             &memo,
-            &stats,
+            stats,
             cfg.cost_model.clone(),
             cfg.optimizer.clone(),
             indexes.clone(),
@@ -231,18 +472,12 @@ pub fn optimize_plan(
 
     {
         let mgr = CseManager::build(&memo);
-        report.sharable_signatures = mgr.sharable_sets().len();
+        out.sharable_signatures = mgr.sharable_sets().len();
     }
     if candidates.is_empty() {
-        report.total_time = t_start.elapsed();
-        return finish(
-            baseline,
-            memo.ctx.clone(),
-            report,
-            cfg.verify,
-            vreport,
-            Some(cost_audit),
-        );
+        out.vreport = vreport;
+        out.cost_audit = Some(cost_audit);
+        return Ok(out);
     }
 
     // Register definitions in the memo for costing.
@@ -252,7 +487,9 @@ pub fn optimize_plan(
         registered.push((c, def_root));
     }
     explore(&mut memo, &cfg.explore);
-    stage!("def-insert+explore", t_start);
+    stage!("def-insert+explore", t_gen);
+    clock.check_time("def-explore")?;
+    clock.check_memo(memo.num_gexprs(), "def-explore")?;
 
     // Stacked round (§5.5): candidate definitions are themselves query
     // expressions — a narrower candidate may pick up additional consumers
@@ -265,11 +502,14 @@ pub fn optimize_plan(
         let t_ext = Instant::now();
         extend_with_stacked_consumers(&memo, &mut registered, &def_roots);
         stage!("stacked-extension", t_ext);
+        clock.check_time("stacked-extension")?;
     }
 
     // Too many candidates cannot be represented in the optimizer's mask;
     // keep the most promising (widest consumer sets, then smallest size) —
-    // in practice only the no-heuristics configuration comes close.
+    // in practice only the no-heuristics configuration comes close. The
+    // capped rung additionally truncates to its hard cap (and any tighter
+    // budget cap) instead of tripping.
     registered.sort_by(|(a, _), (b, _)| {
         b.cse
             .members
@@ -277,7 +517,8 @@ pub fn optimize_plan(
             .cmp(&a.cse.members.len())
             .then(a.est_rows.total_cmp(&b.est_rows))
     });
-    registered.truncate(60);
+    let keep = caps.keep.min(clock.max_candidates.unwrap_or(usize::MAX));
+    registered.truncate(keep);
 
     let t_mgr = Instant::now();
     let mgr = CseManager::build(&memo);
@@ -316,7 +557,7 @@ pub fn optimize_plan(
             substitutes.retain(|s| s.cse != id);
             continue;
         }
-        report.candidates.push(CandidateSummary {
+        out.candidates.push(CandidateSummary {
             id,
             tables: c.signature.tables.clone(),
             grouped: c.signature.grouped,
@@ -344,49 +585,41 @@ pub fn optimize_plan(
     }
 
     if cse_candidates.is_empty() {
-        report.total_time = t_start.elapsed();
-        return finish(
-            baseline,
-            memo.ctx.clone(),
-            report,
-            cfg.verify,
-            vreport,
-            Some(cost_audit),
-        );
+        out.candidates.clear();
+        out.vreport = vreport;
+        out.cost_audit = Some(cost_audit);
+        return Ok(out);
     }
 
     // Step 3: resume optimization with candidates enabled.
     let mut opt = Optimizer::new(
         &memo,
-        &stats,
+        stats,
         cfg.cost_model.clone(),
         cfg.optimizer.clone(),
-        indexes,
+        indexes.clone(),
     );
     opt.register_candidates(cse_candidates, substitutes);
     let t_enum = Instant::now();
-    let outcome = choose_best(&mut opt, &mgr, root, &lca_list, cfg.max_cse_optimizations);
+    let outcome = choose_best(
+        &mut opt,
+        &mgr,
+        root,
+        &lca_list,
+        cfg.max_cse_optimizations,
+        clock,
+    )?;
     stage!("enumeration", t_enum);
-    report.cse_optimizations = outcome.optimizations;
+    out.cse_optimizations = outcome.optimizations;
 
-    let (final_plan, final_cost) = if outcome.plan.cost < baseline.cost {
-        let c = outcome.plan.cost;
-        (outcome.plan, c)
+    out.plan = if outcome.plan.cost < baseline.cost {
+        outcome.plan
     } else {
-        (baseline.clone(), baseline.cost)
+        baseline.clone()
     };
-    report.final_cost = final_cost;
-    report.spools_used = final_plan.spools.len();
-    report.total_time = t_start.elapsed();
-
-    finish(
-        final_plan,
-        memo.ctx.clone(),
-        report,
-        cfg.verify,
-        vreport,
-        Some(cost_audit),
-    )
+    out.vreport = vreport;
+    out.cost_audit = Some(cost_audit);
+    Ok(out)
 }
 
 /// Terminate `optimize_plan`: run the end-to-end costing audit (pass 5),
@@ -405,6 +638,11 @@ fn finish(
             audit.baseline_cost = report.baseline_cost;
             audit.final_cost = report.final_cost;
             vreport.merge(cse_verify::verify_costs(&audit));
+        }
+        if report.rung == Rung::Baseline {
+            // Pass 6: a plan produced under a tripped (or forced) budget
+            // must be a genuine baseline plan — no covering operators.
+            vreport.merge(cse_verify::verify_downgrade(&plan));
         }
         if vreport.error_count() > 0 {
             return Err(format!(
@@ -580,6 +818,7 @@ fn extend_with_stacked_consumers(
 /// Also returns the per-group cost bounds the candidates were generated
 /// against, so the costing audit (pass 5) can diff them against freshly
 /// recomputed winners.
+#[allow(clippy::too_many_arguments)]
 fn run_generation(
     memo: &mut Memo,
     stats: &StatsCatalog,
@@ -587,7 +826,8 @@ fn run_generation(
     cfg: &CseConfig,
     root: GroupId,
     exclude_consumers: &BTreeSet<GroupId>,
-) -> (Vec<CostedCandidate>, CostBounds) {
+    clock: &BudgetClock,
+) -> Result<(Vec<CostedCandidate>, CostBounds), BudgetTrip> {
     // Cost bounds for every group (normal-phase history, §5.4/§4.3).
     let bounds = {
         let mut opt = Optimizer::new(
@@ -626,6 +866,7 @@ fn run_generation(
     let trace = std::env::var("CSE_TRACE").is_ok();
     let mut all: Vec<CostedCandidate> = Vec::new();
     for (sig, consumers) in sets {
+        clock.check_time("generation")?;
         let t = std::time::Instant::now();
         let before = all.len();
         all.extend(generate_for_set(
@@ -638,7 +879,8 @@ fn run_generation(
             &consumers,
             query_cost,
             &cfg.gen,
-        ));
+            clock,
+        )?);
         if trace && t.elapsed().as_millis() > 50 {
             eprintln!(
                 "[cse-trace]   set {} consumers={} -> +{} candidates in {:?}",
@@ -652,7 +894,7 @@ fn run_generation(
     if cfg.gen.heuristics {
         all = h4_prune_contained(&mgr, all, cfg.gen.beta);
     }
-    (all, bounds)
+    Ok((all, bounds))
 }
 
 /// Convenience: recost a constructed CSE after memo changes (used by

@@ -3,10 +3,19 @@
 //! Executes a [`FullPlan`]: spool work tables are computed at most once
 //! (on first read) and shared by every consumer, which is precisely the
 //! runtime behaviour the covering-subexpression optimization banks on.
+//!
+//! Execution is *governed*: [`Engine::execute_governed`] threads a
+//! deterministic fault-injection registry and per-statement
+//! materialization limits through the interpreter. When a spool faults or
+//! a budget trips, the affected statement is retried against the retained
+//! baseline plan (its original non-covering expression) and the recovery
+//! is recorded in the result's provenance — a fault degrades the plan, it
+//! never degrades the answer.
 
 use crate::error::ExecError;
 use crate::eval::{accepts, agg_input, eval, AggState, Layout};
 use cse_algebra::{AggExpr, ColRef, PlanContext, SortOrder};
+use cse_govern::{sites, DegradationEvent, ExecLimits, FailpointRegistry, Reason};
 use cse_optimizer::{CseId, FullPlan, PhysicalPlan};
 use cse_storage::{Catalog, Row, Value};
 use std::collections::HashMap;
@@ -17,9 +26,21 @@ use std::ops::Bound;
 pub struct ResultSet {
     pub columns: Vec<String>,
     pub rows: Vec<Row>,
+    /// Recovery records for this statement: empty in the common case; one
+    /// [`DegradationEvent`] per fault the statement was retried through.
+    pub provenance: Vec<DegradationEvent>,
 }
 
 impl ResultSet {
+    /// A result set with clean provenance.
+    pub fn new(columns: Vec<String>, rows: Vec<Row>) -> Self {
+        ResultSet {
+            columns,
+            rows,
+            provenance: Vec::new(),
+        }
+    }
+
     /// Canonical form for comparisons in tests: rows sorted by total order.
     pub fn canonicalized(mut self) -> ResultSet {
         self.rows.sort_by(|a, b| {
@@ -37,7 +58,19 @@ impl ResultSet {
     /// Order-insensitive equality with a relative tolerance on floats.
     /// Plans that share subexpressions aggregate in stages, so float sums
     /// legitimately differ in the last bits from single-stage plans.
+    ///
+    /// Uses a default absolute epsilon floor of `1e-7`: staged aggregation
+    /// can cancel to values near zero where a purely relative tolerance
+    /// collapses to (almost) exact equality and spuriously fails. Use
+    /// [`ResultSet::approx_eq_with`] to control the floor explicitly.
     pub fn approx_eq(&self, other: &ResultSet, rel_tol: f64) -> bool {
+        self.approx_eq_with(other, rel_tol, 1e-7)
+    }
+
+    /// [`ResultSet::approx_eq`] with an explicit absolute epsilon floor:
+    /// two floats match when `|x - y| <= abs_tol` **or**
+    /// `|x - y| <= rel_tol · max(|x|, |y|, 1)`.
+    pub fn approx_eq_with(&self, other: &ResultSet, rel_tol: f64, abs_tol: f64) -> bool {
         if self.rows.len() != other.rows.len() {
             return false;
         }
@@ -48,8 +81,9 @@ impl ResultSet {
                 && ra.iter().zip(rb.iter()).all(|(x, y)| match (x, y) {
                     (Value::Float(_), _) | (_, Value::Float(_)) => match (x.as_f64(), y.as_f64()) {
                         (Some(fx), Some(fy)) => {
+                            let diff = (fx - fy).abs();
                             let tol = rel_tol * fx.abs().max(fy.abs()).max(1.0);
-                            (fx - fy).abs() <= tol
+                            diff <= abs_tol || diff <= tol
                         }
                         _ => false,
                     },
@@ -75,6 +109,9 @@ pub struct ExecMetrics {
 pub struct ExecOutput {
     pub results: Vec<ResultSet>,
     pub metrics: ExecMetrics,
+    /// Every runtime recovery performed across the batch (union of the
+    /// per-result provenance, in statement order).
+    pub events: Vec<DegradationEvent>,
 }
 
 /// Intermediate rows + their layout.
@@ -104,6 +141,56 @@ struct RunState<'p> {
     plan: &'p FullPlan,
     spools: HashMap<CseId, (Vec<ColRef>, Vec<Row>)>,
     metrics: ExecMetrics,
+    failpoints: &'p FailpointRegistry,
+    limits: &'p ExecLimits,
+    /// Rows / approximate bytes materialized by the current statement.
+    rows_materialized: usize,
+    bytes_materialized: usize,
+    /// Set while retrying a statement against its baseline plan: both
+    /// fault injection and limits are suppressed so recovery always
+    /// terminates — recovery prioritizes answering over governing.
+    recovering: bool,
+}
+
+impl RunState<'_> {
+    /// Evaluate an armed failpoint at `site` (no-op while recovering).
+    fn maybe_fail(&self, site: &str) -> Result<(), ExecError> {
+        if !self.recovering && self.failpoints.should_fail(site) {
+            return Err(ExecError::Injected {
+                site: site.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Charge one operator's materialized output against the statement
+    /// budget (no-op while recovering or when no limits are set).
+    fn charge(&mut self, rows: usize, bytes: usize) -> Result<(), ExecError> {
+        if self.recovering || self.limits.is_unlimited() {
+            return Ok(());
+        }
+        self.rows_materialized += rows;
+        self.bytes_materialized += bytes;
+        if let Some(cap) = self.limits.max_rows {
+            if self.rows_materialized > cap {
+                return Err(ExecError::ResourceBudget {
+                    what: "rows",
+                    limit: cap,
+                    used: self.rows_materialized,
+                });
+            }
+        }
+        if let Some(cap) = self.limits.max_bytes {
+            if self.bytes_materialized > cap {
+                return Err(ExecError::ResourceBudget {
+                    what: "bytes",
+                    limit: cap,
+                    used: self.bytes_materialized,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -112,25 +199,76 @@ impl<'a> Engine<'a> {
     }
 
     /// Execute a full plan; batch roots deliver one result set per child.
+    /// Ungoverned: no fault injection, no limits.
     pub fn execute(&self, plan: &FullPlan) -> Result<ExecOutput, ExecError> {
+        self.execute_governed(plan, &FailpointRegistry::disabled(), &ExecLimits::none())
+    }
+
+    /// Execute under governance: armed failpoints may inject faults, and
+    /// per-statement materialization limits are enforced. A recoverable
+    /// failure (injected fault, budget breach) retries the affected
+    /// statement against the retained baseline plan — or, when the plan
+    /// has no retained baseline, against the same statement with
+    /// governance suppressed — and records the recovery in both the
+    /// result's provenance and [`ExecOutput::events`].
+    pub fn execute_governed(
+        &self,
+        plan: &FullPlan,
+        failpoints: &FailpointRegistry,
+        limits: &ExecLimits,
+    ) -> Result<ExecOutput, ExecError> {
         let mut st = RunState {
             plan,
             spools: HashMap::new(),
             metrics: ExecMetrics::default(),
+            failpoints,
+            limits,
+            rows_materialized: 0,
+            bytes_materialized: 0,
+            recovering: false,
         };
-        let results = match &plan.root {
-            PhysicalPlan::Batch { children } => {
-                let mut out = Vec::with_capacity(children.len());
-                for c in children {
-                    out.push(self.deliver(c, &mut st)?);
+        let statements: Vec<&PhysicalPlan> = match &plan.root {
+            PhysicalPlan::Batch { children } => children.iter().collect(),
+            other => vec![other],
+        };
+        let mut results = Vec::with_capacity(statements.len());
+        let mut events = Vec::new();
+        for (i, stmt) in statements.iter().enumerate() {
+            st.rows_materialized = 0;
+            st.bytes_materialized = 0;
+            match self.deliver(stmt, &mut st) {
+                Ok(rs) => results.push(rs),
+                Err(e) if e.is_recoverable() => {
+                    let reason = match &e {
+                        ExecError::Injected { .. } => Reason::ExecFaultInjected,
+                        ExecError::ResourceBudget { what: "rows", .. } => Reason::ExecRowBudget,
+                        _ => Reason::ExecMemBudget,
+                    };
+                    let event = DegradationEvent::exec(
+                        reason,
+                        format!("statement {}", i + 1),
+                        format!("{e}; retried on baseline plan"),
+                    );
+                    // The retained baseline is the statement's original
+                    // non-covering expression. A plan without spools has
+                    // nothing to retain: its statement *is* the baseline,
+                    // so retry it directly with governance suppressed.
+                    let base = plan.baseline_statement(i).unwrap_or(stmt);
+                    st.recovering = true;
+                    let retried = self.deliver(base, &mut st);
+                    st.recovering = false;
+                    let mut rs = retried?;
+                    rs.provenance.push(event.clone());
+                    events.push(event);
+                    results.push(rs);
                 }
-                out
+                Err(e) => return Err(e),
             }
-            other => vec![self.deliver(other, &mut st)?],
-        };
+        }
         Ok(ExecOutput {
             results,
             metrics: st.metrics,
+            events,
         })
     }
 
@@ -147,10 +285,10 @@ impl<'a> Engine<'a> {
                         .collect();
                     rows.push(cse_storage::row(vals));
                 }
-                Ok(ResultSet {
-                    columns: exprs.iter().map(|(n, _)| n.clone()).collect(),
+                Ok(ResultSet::new(
+                    exprs.iter().map(|(n, _)| n.clone()).collect(),
                     rows,
-                })
+                ))
             }
             PhysicalPlan::Sort { input, keys } => {
                 // Sort above Project is not generated; Sort below Project is
@@ -163,28 +301,40 @@ impl<'a> Engine<'a> {
                     },
                     st,
                 )?;
-                Ok(ResultSet {
-                    columns: chunk.cols.iter().map(|c| self.ctx.col_name(*c)).collect(),
-                    rows: chunk.rows,
-                })
+                Ok(ResultSet::new(
+                    chunk.cols.iter().map(|c| self.ctx.col_name(*c)).collect(),
+                    chunk.rows,
+                ))
             }
             other => {
                 let chunk = self.run(other, st)?;
-                Ok(ResultSet {
-                    columns: chunk.cols.iter().map(|c| self.ctx.col_name(*c)).collect(),
-                    rows: chunk.rows,
-                })
+                Ok(ResultSet::new(
+                    chunk.cols.iter().map(|c| self.ctx.col_name(*c)).collect(),
+                    chunk.rows,
+                ))
             }
         }
     }
 
+    /// Evaluate one operator and charge its output against the statement
+    /// budget. The budget counts rows (and approximate bytes) materialized
+    /// by *every* operator, spool definitions included — a runaway join
+    /// inside a spool trips the consumer statement that first reads it.
     fn run(&self, plan: &PhysicalPlan, st: &mut RunState<'_>) -> Result<Chunk, ExecError> {
+        let chunk = self.run_inner(plan, st)?;
+        let bytes = chunk.rows.len() * chunk.cols.len().max(1) * std::mem::size_of::<Value>();
+        st.charge(chunk.rows.len(), bytes)?;
+        Ok(chunk)
+    }
+
+    fn run_inner(&self, plan: &PhysicalPlan, st: &mut RunState<'_>) -> Result<Chunk, ExecError> {
         match plan {
             PhysicalPlan::TableScan {
                 rel,
                 filter,
                 layout,
             } => {
+                st.maybe_fail(sites::SCAN_TABLE)?;
                 let info = self.ctx.rel(*rel);
                 let table = self
                     .catalog
@@ -211,6 +361,7 @@ impl<'a> Engine<'a> {
                 residual,
                 layout,
             } => {
+                st.maybe_fail(sites::SCAN_INDEX)?;
                 let info = self.ctx.rel(*rel);
                 let entry = self
                     .catalog
@@ -462,6 +613,10 @@ impl<'a> Engine<'a> {
         if st.spools.contains_key(&cse) {
             return Ok(());
         }
+        // Injected before any work: a failed materialization leaves no
+        // partial spool behind, so a later statement (or the baseline
+        // retry) sees clean state.
+        st.maybe_fail(sites::SPOOL_MATERIALIZE)?;
         let def = st
             .plan
             .spools

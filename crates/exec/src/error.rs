@@ -24,6 +24,28 @@ pub enum ExecError {
     /// A column required by an operator is absent from its input layout —
     /// always a planning bug.
     MissingColumn(String),
+    /// A failpoint injected a fault at the named site (deterministic fault
+    /// injection; armed only via configuration or `CSE_FAIL`).
+    Injected { site: String },
+    /// A per-statement materialization budget was breached (`what` is
+    /// `"rows"` or `"bytes"`).
+    ResourceBudget {
+        what: &'static str,
+        limit: usize,
+        used: usize,
+    },
+}
+
+impl ExecError {
+    /// Can the statement be retried against the retained baseline plan?
+    /// Injected faults and budget breaches are transient-by-construction;
+    /// everything else is a planning or catalog bug a retry cannot fix.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            ExecError::Injected { .. } | ExecError::ResourceBudget { .. }
+        )
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -33,6 +55,10 @@ impl fmt::Display for ExecError {
             ExecError::Unsupported(m) => write!(f, "unsupported plan shape: {m}"),
             ExecError::MissingSpool(id) => write!(f, "missing spool definition for {id}"),
             ExecError::MissingColumn(m) => write!(f, "column missing from layout: {m}"),
+            ExecError::Injected { site } => write!(f, "injected fault at {site}"),
+            ExecError::ResourceBudget { what, limit, used } => {
+                write!(f, "{what} budget breached: {used} used, limit {limit}")
+            }
         }
     }
 }

@@ -47,6 +47,7 @@ fn run(cat: &Catalog, ctx: &PlanContext, root: PhysicalPlan) -> Vec<cse_storage:
         root,
         spools: BTreeMap::new(),
         cost: 0.0,
+        baseline: None,
     };
     engine.execute(&plan).unwrap().results.remove(0).rows
 }
@@ -158,6 +159,7 @@ fn spool_computed_once_across_reads() {
             },
         )]),
         cost: 0.0,
+        baseline: None,
     };
     let engine = Engine::new(&cat, &ctx);
     let out = engine.execute(&plan).unwrap();
@@ -197,6 +199,7 @@ fn missing_spool_definition_is_an_error() {
         root: read,
         spools: BTreeMap::new(),
         cost: 0.0,
+        baseline: None,
     };
     let err = engine.execute(&plan).unwrap_err();
     assert!(matches!(err, cse_exec::ExecError::MissingSpool(_)), "{err}");

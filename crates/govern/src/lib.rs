@@ -1,0 +1,639 @@
+//! # cse-govern
+//!
+//! Resource governance and fault tolerance primitives shared by the
+//! optimizer pipeline (`cse-core`) and the execution engine (`cse-exec`):
+//!
+//! - [`Budget`] / [`BudgetClock`]: a wall-clock deadline plus memo-size and
+//!   candidate-count caps threaded through the CSE optimization phase.
+//!   Tripping a budget never fails a query — it walks the **degradation
+//!   ladder** (full CSE → heuristics-capped CSE → baseline no-CSE plan).
+//! - [`DegradationEvent`] / [`Reason`] / [`Rung`]: every downgrade, retry
+//!   or recovery is reported as a structured event with a stable reason
+//!   code, so operators can alert on fallback rates instead of parsing
+//!   log strings.
+//! - [`FailpointRegistry`]: a deterministic fault-injection registry seeded
+//!   by the repo's xorshift testkit PRNG. Failpoints are armed only via
+//!   explicit configuration (or the `CSE_FAIL` environment variable); a
+//!   disabled registry is a single `Option` check, so release hot paths
+//!   stay branch-cheap.
+//! - [`ExecLimits`]: per-statement row/byte materialization budgets the
+//!   interpreter enforces, degrading to the retained baseline plan on
+//!   breach.
+
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+use cse_storage::testkit::TestRng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Canonical failpoint site names. Sites are dynamic strings in the
+/// registry (the `CSE_FAIL` grammar allows anything), but injection code
+/// should reference these constants.
+pub mod sites {
+    /// First materialization of a CSE spool work table.
+    pub const SPOOL_MATERIALIZE: &str = "spool.materialize";
+    /// Full table scan of a base table.
+    pub const SCAN_TABLE: &str = "scan.table";
+    /// B-tree index range scan.
+    pub const SCAN_INDEX: &str = "scan.index";
+    /// Entry of the optimizer's CSE phase; a trip here *panics* on
+    /// purpose, exercising the `catch_unwind` isolation of the ladder.
+    pub const OPT_CSE_PHASE: &str = "opt.cse-phase";
+
+    /// Every site with an injection hook in the codebase.
+    pub const ALL: &[&str] = &[SPOOL_MATERIALIZE, SCAN_TABLE, SCAN_INDEX, OPT_CSE_PHASE];
+}
+
+/// A rung of the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Rung {
+    /// Full CSE optimization: detection, Algorithm 1 with the configured
+    /// heuristics, stacked candidates, full enumeration.
+    #[default]
+    FullCse,
+    /// Heuristics-capped CSE: tightened cost bounds (doubled α, halved β),
+    /// no stacked round, a hard candidate cap and a short enumeration.
+    CappedCse,
+    /// The baseline per-query plan with no covering subexpressions.
+    Baseline,
+}
+
+impl Rung {
+    /// Stable textual form (used in reports and JSON).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Rung::FullCse => "full-cse",
+            Rung::CappedCse => "capped-cse",
+            Rung::Baseline => "baseline",
+        }
+    }
+
+    /// The next rung down, if any.
+    pub fn next_down(&self) -> Option<Rung> {
+        match self {
+            Rung::FullCse => Some(Rung::CappedCse),
+            Rung::CappedCse => Some(Rung::Baseline),
+            Rung::Baseline => None,
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why a downgrade / recovery happened. Every variant maps to a stable
+/// reason code via [`Reason::code`]; codes are part of the public contract
+/// (tests, dashboards and the bench robustness report key on them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Reason {
+    /// The optimization wall-clock deadline expired.
+    OptDeadline,
+    /// The memo grew past the budgeted expression cap.
+    OptMemoCap,
+    /// Candidate generation produced more candidates than budgeted.
+    OptCandidateCap,
+    /// The CSE phase panicked; `catch_unwind` isolated it.
+    OptPanic,
+    /// The operator forced the baseline rung (`--no-cse-fallback-only`).
+    OptForced,
+    /// A failpoint injected a fault during execution.
+    ExecFaultInjected,
+    /// The per-statement row materialization budget was breached.
+    ExecRowBudget,
+    /// The per-statement byte materialization budget was breached.
+    ExecMemBudget,
+}
+
+impl Reason {
+    /// Stable reason code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Reason::OptDeadline => "OPT_DEADLINE",
+            Reason::OptMemoCap => "OPT_MEMO_CAP",
+            Reason::OptCandidateCap => "OPT_CAND_CAP",
+            Reason::OptPanic => "OPT_PANIC",
+            Reason::OptForced => "OPT_FORCED",
+            Reason::ExecFaultInjected => "EXEC_FAULT_INJECTED",
+            Reason::ExecRowBudget => "EXEC_ROW_BUDGET",
+            Reason::ExecMemBudget => "EXEC_MEM_BUDGET",
+        }
+    }
+}
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One structured downgrade / recovery record.
+#[derive(Debug, Clone)]
+pub struct DegradationEvent {
+    pub reason: Reason,
+    /// Pipeline stage or execution site ("generation", "enumerate",
+    /// "statement 2", "spool E0", ...).
+    pub stage: String,
+    /// Ladder rung the work was attempted on.
+    pub from: Rung,
+    /// Ladder rung the work degraded to (equal to `from` for soft
+    /// degradations such as a truncated enumeration).
+    pub to: Rung,
+    pub detail: String,
+}
+
+impl DegradationEvent {
+    /// An optimizer-side ladder event.
+    pub fn opt(
+        reason: Reason,
+        stage: impl Into<String>,
+        from: Rung,
+        to: Rung,
+        detail: impl Into<String>,
+    ) -> Self {
+        DegradationEvent {
+            reason,
+            stage: stage.into(),
+            from,
+            to,
+            detail: detail.into(),
+        }
+    }
+
+    /// An execution-side recovery event (the runtime ladder has exactly
+    /// two rungs: the planned shared plan and the retained baseline).
+    pub fn exec(reason: Reason, stage: impl Into<String>, detail: impl Into<String>) -> Self {
+        DegradationEvent {
+            reason,
+            stage: stage.into(),
+            from: Rung::FullCse,
+            to: Rung::Baseline,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} -> {}: {}",
+            self.reason.code(),
+            self.stage,
+            self.from,
+            self.to,
+            self.detail
+        )
+    }
+}
+
+/// A tripped budget: which limit, at which stage. Converted into a
+/// [`DegradationEvent`] by the ladder.
+#[derive(Debug, Clone)]
+pub struct BudgetTrip {
+    pub reason: Reason,
+    pub stage: &'static str,
+    pub detail: String,
+}
+
+impl BudgetTrip {
+    pub fn event(&self, from: Rung, to: Rung) -> DegradationEvent {
+        DegradationEvent::opt(self.reason, self.stage, from, to, self.detail.clone())
+    }
+}
+
+/// Optimization budget: every limit is optional; the default is unlimited
+/// (the paper's configuration).
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Wall-clock limit for the *CSE phase* (the baseline plan is always
+    /// computed — it is the ladder's floor).
+    pub time_limit: Option<Duration>,
+    /// Cap on memo group expressions during the CSE phase.
+    pub max_memo_gexprs: Option<usize>,
+    /// Cap on generated candidates. On the full rung exceeding it trips to
+    /// the capped rung; the capped rung truncates instead.
+    pub max_candidates: Option<usize>,
+}
+
+impl Budget {
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Budget with only a wall-clock deadline.
+    pub fn with_time_ms(ms: u64) -> Self {
+        Budget {
+            time_limit: Some(Duration::from_millis(ms)),
+            ..Budget::default()
+        }
+    }
+
+    /// Start the clock: deadlines are measured from this call.
+    pub fn start(&self) -> BudgetClock {
+        BudgetClock {
+            deadline: self.time_limit.map(|d| Instant::now() + d),
+            max_memo_gexprs: self.max_memo_gexprs,
+            max_candidates: self.max_candidates,
+        }
+    }
+}
+
+/// A started budget: deadline instant plus the structural caps.
+#[derive(Debug, Clone)]
+pub struct BudgetClock {
+    deadline: Option<Instant>,
+    pub max_memo_gexprs: Option<usize>,
+    pub max_candidates: Option<usize>,
+}
+
+impl BudgetClock {
+    /// A clock that never trips (used by callers without a budget).
+    pub fn unlimited() -> Self {
+        BudgetClock {
+            deadline: None,
+            max_memo_gexprs: None,
+            max_candidates: None,
+        }
+    }
+
+    /// Has the wall-clock deadline passed?
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Trip if the deadline has passed.
+    pub fn check_time(&self, stage: &'static str) -> Result<(), BudgetTrip> {
+        if self.expired() {
+            return Err(BudgetTrip {
+                reason: Reason::OptDeadline,
+                stage,
+                detail: "optimization deadline expired".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Trip if the memo has outgrown the budgeted expression cap.
+    pub fn check_memo(&self, gexprs: usize, stage: &'static str) -> Result<(), BudgetTrip> {
+        match self.max_memo_gexprs {
+            Some(cap) if gexprs > cap => Err(BudgetTrip {
+                reason: Reason::OptMemoCap,
+                stage,
+                detail: format!("memo holds {gexprs} expressions, budget caps at {cap}"),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Trip if more candidates were generated than budgeted.
+    pub fn check_candidates(&self, n: usize, stage: &'static str) -> Result<(), BudgetTrip> {
+        match self.max_candidates {
+            Some(cap) if n > cap => Err(BudgetTrip {
+                reason: Reason::OptCandidateCap,
+                stage,
+                detail: format!("{n} candidates generated, budget caps at {cap}"),
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Per-statement execution limits (rows / approximate bytes materialized by
+/// scans, joins, aggregations and spools). Breaching a limit degrades the
+/// statement to the retained baseline plan; it does not fail the batch.
+#[derive(Debug, Clone, Default)]
+pub struct ExecLimits {
+    pub max_rows: Option<usize>,
+    pub max_bytes: Option<usize>,
+}
+
+impl ExecLimits {
+    pub fn none() -> Self {
+        ExecLimits::default()
+    }
+
+    pub fn is_unlimited(&self) -> bool {
+        self.max_rows.is_none() && self.max_bytes.is_none()
+    }
+}
+
+/// One armed failpoint: `site:probability[:seed]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailSpec {
+    pub site: String,
+    pub probability: f64,
+    pub seed: u64,
+}
+
+impl FailSpec {
+    /// Parse `site:prob[:seed]` (e.g. `spool.materialize:1.0:42`).
+    pub fn parse(s: &str) -> Result<FailSpec, String> {
+        let mut parts = s.split(':');
+        let site = parts
+            .next()
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| format!("failpoint spec '{s}': missing site"))?;
+        let prob: f64 = parts
+            .next()
+            .ok_or_else(|| format!("failpoint spec '{s}': missing probability"))?
+            .parse()
+            .map_err(|_| format!("failpoint spec '{s}': probability is not a number"))?;
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(format!("failpoint spec '{s}': probability not in [0, 1]"));
+        }
+        let seed: u64 = match parts.next() {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("failpoint spec '{s}': seed is not an integer"))?,
+            None => 0x5EED,
+        };
+        if parts.next().is_some() {
+            return Err(format!("failpoint spec '{s}': too many fields"));
+        }
+        Ok(FailSpec {
+            site: site.to_string(),
+            probability: prob,
+            seed,
+        })
+    }
+}
+
+/// Mutable state of one armed site.
+#[derive(Debug)]
+struct ArmedSite {
+    probability: f64,
+    rng: TestRng,
+    evaluations: u64,
+    trips: u64,
+}
+
+/// Deterministic fault-injection registry.
+///
+/// Disabled by default: `should_fail` on a disabled registry is a single
+/// `Option::is_none` check, so production hot paths pay (almost) nothing.
+/// Armed sites draw from a per-site xorshift64* PRNG ([`TestRng`]) with an
+/// explicit seed, so a fixed seed matrix reproduces the exact same fault
+/// schedule on every machine.
+#[derive(Debug, Default)]
+pub struct FailpointRegistry {
+    inner: Option<Mutex<BTreeMap<String, ArmedSite>>>,
+}
+
+impl Clone for FailpointRegistry {
+    fn clone(&self) -> Self {
+        match &self.inner {
+            None => FailpointRegistry { inner: None },
+            Some(m) => {
+                let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+                let copied: BTreeMap<String, ArmedSite> = guard
+                    .iter()
+                    .map(|(k, v)| {
+                        (
+                            k.clone(),
+                            ArmedSite {
+                                probability: v.probability,
+                                rng: v.rng.clone(),
+                                evaluations: v.evaluations,
+                                trips: v.trips,
+                            },
+                        )
+                    })
+                    .collect();
+                FailpointRegistry {
+                    inner: Some(Mutex::new(copied)),
+                }
+            }
+        }
+    }
+}
+
+impl FailpointRegistry {
+    /// The branch-cheap default: nothing armed.
+    pub fn disabled() -> Self {
+        FailpointRegistry::default()
+    }
+
+    /// Registry with the given failpoints armed.
+    pub fn from_specs(specs: &[FailSpec]) -> Self {
+        let mut reg = FailpointRegistry::disabled();
+        for s in specs {
+            reg.arm(s.clone());
+        }
+        reg
+    }
+
+    /// Registry from the `CSE_FAIL` environment variable: comma-separated
+    /// `site:prob[:seed]` specs. Unset or empty ⇒ disabled; malformed
+    /// specs are reported on stderr and skipped (fault injection must
+    /// never turn into a crash vector itself).
+    pub fn from_env() -> Self {
+        let raw = match std::env::var("CSE_FAIL") {
+            Ok(v) if !v.trim().is_empty() => v,
+            _ => return FailpointRegistry::disabled(),
+        };
+        let mut reg = FailpointRegistry::disabled();
+        for part in raw.split(',') {
+            match FailSpec::parse(part.trim()) {
+                Ok(spec) => reg.arm(spec),
+                Err(e) => eprintln!("CSE_FAIL: {e} (ignored)"),
+            }
+        }
+        reg
+    }
+
+    /// Arm (or re-arm) one site.
+    pub fn arm(&mut self, spec: FailSpec) {
+        let map = self
+            .inner
+            .get_or_insert_with(|| Mutex::new(BTreeMap::new()));
+        let guard = map.get_mut();
+        let guard = match guard {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.insert(
+            spec.site,
+            ArmedSite {
+                probability: spec.probability,
+                rng: TestRng::new(spec.seed),
+                evaluations: 0,
+                trips: 0,
+            },
+        );
+    }
+
+    /// Anything armed at all?
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Should the given site fail now? Draws from the site's PRNG (and
+    /// advances it), so repeated evaluations follow the seeded schedule.
+    pub fn should_fail(&self, site: &str) -> bool {
+        let Some(m) = &self.inner else {
+            return false;
+        };
+        let mut guard = m.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(armed) = guard.get_mut(site) else {
+            return false;
+        };
+        armed.evaluations += 1;
+        let trip = if armed.probability >= 1.0 {
+            true
+        } else if armed.probability <= 0.0 {
+            false
+        } else {
+            armed.rng.chance(armed.probability)
+        };
+        if trip {
+            armed.trips += 1;
+        }
+        trip
+    }
+
+    /// Per-site (evaluations, trips) counters, for reports.
+    pub fn counters(&self) -> BTreeMap<String, (u64, u64)> {
+        match &self.inner {
+            None => BTreeMap::new(),
+            Some(m) => {
+                let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+                guard
+                    .iter()
+                    .map(|(k, v)| (k.clone(), (v.evaluations, v.trips)))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_never_fails() {
+        let reg = FailpointRegistry::disabled();
+        assert!(!reg.enabled());
+        for site in sites::ALL {
+            assert!(!reg.should_fail(site));
+        }
+    }
+
+    #[test]
+    fn probability_one_always_trips_and_zero_never() {
+        let reg = FailpointRegistry::from_specs(&[
+            FailSpec {
+                site: sites::SCAN_TABLE.to_string(),
+                probability: 1.0,
+                seed: 1,
+            },
+            FailSpec {
+                site: sites::SCAN_INDEX.to_string(),
+                probability: 0.0,
+                seed: 1,
+            },
+        ]);
+        for _ in 0..50 {
+            assert!(reg.should_fail(sites::SCAN_TABLE));
+            assert!(!reg.should_fail(sites::SCAN_INDEX));
+        }
+        let counters = reg.counters();
+        assert_eq!(counters[sites::SCAN_TABLE], (50, 50));
+        assert_eq!(counters[sites::SCAN_INDEX], (50, 0));
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic() {
+        let draw = |seed: u64| -> Vec<bool> {
+            let reg = FailpointRegistry::from_specs(&[FailSpec {
+                site: sites::SPOOL_MATERIALIZE.to_string(),
+                probability: 0.5,
+                seed,
+            }]);
+            (0..64)
+                .map(|_| reg.should_fail(sites::SPOOL_MATERIALIZE))
+                .collect()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43), "different seeds diverge");
+        let hits = draw(42).iter().filter(|&&b| b).count();
+        assert!((10..=54).contains(&hits), "p=0.5 should trip roughly half");
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let s = FailSpec::parse("spool.materialize:0.5:7").unwrap();
+        assert_eq!(s.site, "spool.materialize");
+        assert_eq!(s.probability, 0.5);
+        assert_eq!(s.seed, 7);
+        let s = FailSpec::parse("scan.table:1.0").unwrap();
+        assert_eq!(s.seed, 0x5EED);
+        assert!(FailSpec::parse("bad").is_err());
+        assert!(FailSpec::parse("x:2.0").is_err());
+        assert!(FailSpec::parse(":0.5").is_err());
+        assert!(FailSpec::parse("x:0.5:1:9").is_err());
+    }
+
+    #[test]
+    fn budget_zero_deadline_trips_immediately() {
+        let clock = Budget::with_time_ms(0).start();
+        assert!(clock.expired());
+        let trip = clock.check_time("cse-phase").unwrap_err();
+        assert_eq!(trip.reason, Reason::OptDeadline);
+        let ev = trip.event(Rung::FullCse, Rung::CappedCse);
+        assert_eq!(ev.reason.code(), "OPT_DEADLINE");
+        assert_eq!(ev.to, Rung::CappedCse);
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let clock = Budget::unlimited().start();
+        assert!(!clock.expired());
+        assert!(clock.check_time("x").is_ok());
+        assert!(clock.check_memo(usize::MAX, "x").is_ok());
+        assert!(clock.check_candidates(usize::MAX, "x").is_ok());
+    }
+
+    #[test]
+    fn structural_caps_trip() {
+        let clock = Budget {
+            max_memo_gexprs: Some(10),
+            max_candidates: Some(2),
+            ..Budget::default()
+        }
+        .start();
+        assert!(clock.check_memo(10, "x").is_ok());
+        assert_eq!(
+            clock.check_memo(11, "x").unwrap_err().reason,
+            Reason::OptMemoCap
+        );
+        assert!(clock.check_candidates(2, "x").is_ok());
+        assert_eq!(
+            clock.check_candidates(3, "x").unwrap_err().reason,
+            Reason::OptCandidateCap
+        );
+    }
+
+    #[test]
+    fn rung_ladder_order() {
+        assert_eq!(Rung::FullCse.next_down(), Some(Rung::CappedCse));
+        assert_eq!(Rung::CappedCse.next_down(), Some(Rung::Baseline));
+        assert_eq!(Rung::Baseline.next_down(), None);
+        assert!(Rung::FullCse < Rung::Baseline);
+    }
+
+    #[test]
+    fn event_rendering_is_stable() {
+        let ev = DegradationEvent::exec(Reason::ExecRowBudget, "statement 1", "breach");
+        let text = ev.to_string();
+        assert!(text.contains("[EXEC_ROW_BUDGET]"));
+        assert!(text.contains("statement 1"));
+        assert!(text.contains("full-cse -> baseline"));
+    }
+}

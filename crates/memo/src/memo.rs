@@ -33,7 +33,11 @@ pub struct Group {
 }
 
 /// The memo structure.
-#[derive(Debug)]
+///
+/// `Clone` exists for the degradation ladder in `cse-core`: each ladder
+/// rung runs the CSE phase on its own copy, so a panic or budget trip in
+/// one attempt can never leave the next attempt a half-mutated memo.
+#[derive(Debug, Clone)]
 pub struct Memo {
     /// Table-instance registry; mutable because exploration (eager
     /// aggregation) allocates new synthetic output rels.

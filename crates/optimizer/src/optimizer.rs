@@ -653,6 +653,7 @@ impl<'a> Optimizer<'a> {
                 root: choice.plan.clone(),
                 spools,
                 cost: total,
+                baseline: None,
             };
         }
     }

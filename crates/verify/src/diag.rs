@@ -61,6 +61,12 @@ pub mod rules {
     /// A normal-phase lower bound exceeds the freshly recomputed winner
     /// cost of its group (or the final cost exceeds the baseline).
     pub const COSTING_BOUND_EXCEEDS_WINNER: &str = "costing/bound-exceeds-winner";
+    /// A plan produced under a tripped (or forced) optimization budget
+    /// still contains a covering operator (`CseRead`).
+    pub const DOWNGRADE_COVERING_OP_IN_BASELINE: &str = "downgrade/covering-op-in-baseline";
+    /// A plan produced under a tripped budget retains spool definitions
+    /// (or a redundant baseline copy) it can never use.
+    pub const DOWNGRADE_SPOOL_RETAINED: &str = "downgrade/spool-retained";
 
     /// Every rule the verifier can emit, for documentation and tooling.
     pub const ALL: &[&str] = &[
@@ -78,6 +84,8 @@ pub mod rules {
         COSTING_NONFINITE,
         COSTING_NEGATIVE,
         COSTING_BOUND_EXCEEDS_WINNER,
+        DOWNGRADE_COVERING_OP_IN_BASELINE,
+        DOWNGRADE_SPOOL_RETAINED,
     ];
 }
 

@@ -24,6 +24,9 @@
 //! 5. **Costing sanity** ([`costing`]): candidate costs are finite and
 //!    nonnegative; per-group lower bounds from the normal phase never
 //!    exceed freshly recomputed winner costs (paper §4.3.3/§5.4).
+//! 6. **Downgrade audit** ([`downgrade`]): a plan produced under a tripped
+//!    (or forced) optimization budget is a genuine baseline plan — no
+//!    `CseRead` operators, no retained spool definitions.
 //!
 //! Each pass emits structured [`Diagnostic`]s collected into a [`Report`].
 //! The pipeline (`cse-core`) runs the verifier behind `CseConfig::verify`
@@ -36,12 +39,14 @@
 pub mod candidate;
 pub mod costing;
 pub mod diag;
+pub mod downgrade;
 pub mod provenance;
 pub mod sigcheck;
 
 pub use candidate::{verify_candidates, CandidateAudit, MemberAudit};
 pub use costing::{verify_costs, CostAudit};
 pub use diag::{rules, Diagnostic, Report, Severity};
+pub use downgrade::verify_downgrade;
 pub use provenance::verify_provenance;
 pub use sigcheck::verify_signatures;
 

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run --release --bin qsql [-- --sf 0.01] [--verify]
+//!     [--budget-ms N] [--no-cse-fallback-only] [--fail <site>:<prob>[:<seed>]]
 //!
 //! qsql> select c_mktsegment, count(*) as n from customer group by c_mktsegment;
 //! qsql> :explain select ... ;
@@ -21,6 +22,9 @@ use std::io::{BufRead, Write};
 fn main() {
     let mut sf = 0.01f64;
     let mut verify = false;
+    let mut budget_ms: Option<u64> = None;
+    let mut fallback_only = false;
+    let mut fail_specs: Vec<FailSpec> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -33,18 +37,52 @@ fn main() {
             // Run the cse-verify invariant passes on every statement (on by
             // default in debug builds; this forces them on in release).
             "--verify" => verify = true,
+            // Optimization budget: wall-clock deadline for the CSE phase.
+            // A tripped budget degrades (full → capped → baseline) and
+            // reports the downgrade; it never fails the query.
+            "--budget-ms" => {
+                budget_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--budget-ms expects an integer"),
+                );
+            }
+            // Skip the CSE phase outright and report it as OPT_FORCED.
+            "--no-cse-fallback-only" => fallback_only = true,
+            // Arm a deterministic failpoint (repeatable):
+            // --fail spool.materialize:1.0:42
+            "--fail" => {
+                let spec = args.next().expect("--fail expects site:prob[:seed]");
+                match FailSpec::parse(&spec) {
+                    Ok(s) => fail_specs.push(s),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
-                eprintln!("unknown flag {other}; usage: qsql [--sf N] [--verify]");
+                eprintln!(
+                    "unknown flag {other}; usage: qsql [--sf N] [--verify] \
+                     [--budget-ms N] [--no-cse-fallback-only] [--fail site:prob[:seed]]"
+                );
                 std::process::exit(2);
             }
         }
     }
     eprintln!("loading TPC-H at SF={sf} ...");
     let defaults = CseConfig::default();
-    let config = CseConfig {
+    let mut config = CseConfig {
         verify: verify || defaults.verify,
+        fallback_only,
         ..defaults
     };
+    if let Some(ms) = budget_ms {
+        config.budget = Budget::with_time_ms(ms);
+    }
+    for s in fail_specs {
+        config.failpoints.arm(s);
+    }
     let session = Session::with_config(generate_catalog(&TpchConfig::new(sf)), config);
     eprintln!("ready. end statements with ';', :help for commands.");
 
@@ -121,6 +159,11 @@ fn run(session: &Session, sql: &str) {
         Ok(out) => {
             for rs in &out.results {
                 println!("{}", render(rs));
+            }
+            // Degradations (budget trips, injected faults, recoveries) go
+            // to stderr so results stay machine-consumable on stdout.
+            for ev in &out.events {
+                eprintln!("-- degraded: {ev}");
             }
             let spools = out.metrics.spool_reads.len();
             let verified = match &out.report.verification {

@@ -41,6 +41,7 @@ pub use cse_algebra as algebra;
 pub use cse_core as core;
 pub use cse_cost as cost;
 pub use cse_exec as exec;
+pub use cse_govern as govern;
 pub use cse_memo as memo;
 pub use cse_optimizer as optimizer;
 pub use cse_sql as sql;
@@ -58,6 +59,9 @@ pub mod prelude {
         Optimized,
     };
     pub use cse_exec::{Engine, ExecOutput, ResultSet};
+    pub use cse_govern::{
+        Budget, DegradationEvent, ExecLimits, FailSpec, FailpointRegistry, Reason, Rung,
+    };
     pub use cse_storage::{Catalog, Table, Value};
     pub use cse_tpch::{generate_catalog, TpchConfig};
 }

@@ -7,6 +7,7 @@
 
 use cse_core::{CseConfig, CseReport, MaintenanceReport, Optimized};
 use cse_exec::{Engine, ExecMetrics, ResultSet};
+use cse_govern::DegradationEvent;
 use cse_storage::{Catalog, Row, Table};
 use std::fmt;
 
@@ -40,6 +41,10 @@ pub struct BatchOutcome {
     pub results: Vec<ResultSet>,
     pub report: CseReport,
     pub metrics: ExecMetrics,
+    /// Every degradation across planning *and* execution: optimizer-side
+    /// ladder events (budget trips, panics, forced baseline) followed by
+    /// runtime recoveries (injected faults, breached limits).
+    pub events: Vec<DegradationEvent>,
 }
 
 /// A catalog plus configuration; the main entry point of the library.
@@ -91,17 +96,26 @@ impl Session {
         cse_core::optimize_sql(&self.catalog, sql, &self.config).map_err(Error::Planning)
     }
 
-    /// Optimize and execute a SQL batch (statements separated by `;`).
+    /// Optimize and execute a SQL batch (statements separated by `;`),
+    /// under the configured governance: optimization budget, fault
+    /// injection and execution limits.
     pub fn query(&self, sql: &str) -> Result<BatchOutcome, Error> {
         let optimized = self.plan(sql)?;
         let engine = Engine::new(&self.catalog, &optimized.ctx);
         let out = engine
-            .execute(&optimized.plan)
+            .execute_governed(
+                &optimized.plan,
+                &self.config.failpoints,
+                &self.config.exec_limits,
+            )
             .map_err(|e| Error::Execution(e.to_string()))?;
+        let mut events = optimized.report.degradations.clone();
+        events.extend(out.events);
         Ok(BatchOutcome {
             results: out.results,
             report: optimized.report,
             metrics: out.metrics,
+            events,
         })
     }
 

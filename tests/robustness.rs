@@ -1,0 +1,378 @@
+//! Adversarial robustness suite: drives every degradation path — tripped
+//! optimization budgets, forced fallback, deliberate panics, injected
+//! execution faults, and breached row/memory limits — and asserts that the
+//! engine always answers, that the answers match an ungoverned no-CSE
+//! baseline, and that every downgrade is reported with its stable reason
+//! code.
+//!
+//! The fault-injection seed comes from `CSE_FAIL_SEED` (default 42) so CI
+//! can sweep a seed matrix; every assertion here must hold for *any* seed.
+
+use similar_subexpr::govern::sites;
+use similar_subexpr::prelude::*;
+use similar_subexpr::storage::row;
+
+const Q1: &str = "select c_nationkey, sum(l_extendedprice) as le \
+     from customer, orders, lineitem \
+     where c_custkey = o_custkey and o_orderkey = l_orderkey \
+       and c_nationkey < 20 \
+     group by c_nationkey";
+const Q2: &str = "select c_nationkey, sum(l_quantity) as lq \
+     from customer, orders, lineitem \
+     where c_custkey = o_custkey and o_orderkey = l_orderkey \
+       and c_nationkey < 25 \
+     group by c_nationkey";
+
+fn batch() -> String {
+    format!("{Q1};\n{Q2};")
+}
+
+fn catalog() -> Catalog {
+    generate_catalog(&TpchConfig::new(0.002))
+}
+
+fn seed() -> u64 {
+    std::env::var("CSE_FAIL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// The ungoverned no-CSE reference: plain plans, no failpoints, no limits.
+fn reference(catalog: &Catalog, sql: &str) -> Vec<ResultSet> {
+    let optimized = optimize_sql(catalog, sql, &CseConfig::no_cse()).expect("reference optimize");
+    let engine = Engine::new(catalog, &optimized.ctx);
+    engine
+        .execute(&optimized.plan)
+        .expect("reference execute")
+        .results
+}
+
+/// Optimize + execute `sql` under `cfg`'s governance and return everything.
+fn governed(catalog: &Catalog, sql: &str, cfg: &CseConfig) -> (Optimized, ExecOutput) {
+    let optimized = optimize_sql(catalog, sql, cfg).expect("governed optimize must not fail");
+    let engine = Engine::new(catalog, &optimized.ctx);
+    let out = engine
+        .execute_governed(&optimized.plan, &cfg.failpoints, &cfg.exec_limits)
+        .expect("governed execute must not fail");
+    (optimized, out)
+}
+
+fn assert_matches_reference(got: &[ResultSet], want: &[ResultSet], scenario: &str) {
+    assert_eq!(got.len(), want.len(), "{scenario}: statement count");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.approx_eq(w, 1e-9),
+            "{scenario}: statement {i} diverged from the no-CSE reference"
+        );
+    }
+}
+
+fn codes(events: &[DegradationEvent]) -> Vec<&'static str> {
+    events.iter().map(|e| e.reason.code()).collect()
+}
+
+fn fail_config(site: &str, prob: f64) -> CseConfig {
+    CseConfig {
+        failpoints: FailpointRegistry::from_specs(&[FailSpec {
+            site: site.to_string(),
+            probability: prob,
+            seed: seed(),
+        }]),
+        ..CseConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer-side ladder
+// ---------------------------------------------------------------------------
+
+/// A zero-millisecond budget must land on the baseline rung with deadline
+/// events on the way down — and still answer correctly.
+#[test]
+fn zero_budget_degrades_to_baseline() {
+    let catalog = catalog();
+    let want = reference(&catalog, &batch());
+    let cfg = CseConfig {
+        budget: Budget::with_time_ms(0),
+        ..CseConfig::default()
+    };
+    let (opt, out) = governed(&catalog, &batch(), &cfg);
+    assert_eq!(opt.report.rung, Rung::Baseline, "{:?}", opt.report.rung);
+    assert!(
+        opt.plan.spools.is_empty(),
+        "baseline plan must not retain spools"
+    );
+    let seen = codes(&opt.report.degradations);
+    assert!(
+        seen.iter().all(|c| *c == "OPT_DEADLINE"),
+        "only deadline events expected: {seen:?}"
+    );
+    assert!(
+        seen.len() >= 2,
+        "full and capped rungs must both trip: {seen:?}"
+    );
+    assert_matches_reference(&out.results, &want, "zero-budget");
+}
+
+/// A one-group-expression memo cap trips the full rung on OPT_MEMO_CAP.
+#[test]
+fn memo_cap_trips_with_stable_code() {
+    let catalog = catalog();
+    let want = reference(&catalog, &batch());
+    let cfg = CseConfig {
+        budget: Budget {
+            max_memo_gexprs: Some(1),
+            ..Budget::unlimited()
+        },
+        ..CseConfig::default()
+    };
+    let (opt, out) = governed(&catalog, &batch(), &cfg);
+    assert_eq!(opt.report.rung, Rung::Baseline);
+    assert!(
+        codes(&opt.report.degradations).contains(&"OPT_MEMO_CAP"),
+        "events: {:?}",
+        opt.report.degradations
+    );
+    assert_matches_reference(&out.results, &want, "memo-cap");
+}
+
+/// A candidate cap of zero trips the full rung (OPT_CAND_CAP); the capped
+/// rung truncates instead of tripping, so the query still plans and runs.
+#[test]
+fn candidate_cap_trips_full_rung_then_recovers_on_capped() {
+    let catalog = catalog();
+    let want = reference(&catalog, &batch());
+    let cfg = CseConfig {
+        budget: Budget {
+            max_candidates: Some(0),
+            ..Budget::unlimited()
+        },
+        ..CseConfig::default()
+    };
+    let (opt, out) = governed(&catalog, &batch(), &cfg);
+    assert_eq!(
+        opt.report.rung,
+        Rung::CappedCse,
+        "capped rung truncates rather than trips: {:?}",
+        opt.report.degradations
+    );
+    assert!(codes(&opt.report.degradations).contains(&"OPT_CAND_CAP"));
+    assert_matches_reference(&out.results, &want, "candidate-cap");
+}
+
+/// `fallback_only` skips the CSE phase outright and says so.
+#[test]
+fn fallback_only_reports_forced_baseline() {
+    let catalog = catalog();
+    let want = reference(&catalog, &batch());
+    let cfg = CseConfig {
+        fallback_only: true,
+        ..CseConfig::default()
+    };
+    let (opt, out) = governed(&catalog, &batch(), &cfg);
+    assert_eq!(opt.report.rung, Rung::Baseline);
+    assert_eq!(codes(&opt.report.degradations), vec!["OPT_FORCED"]);
+    assert!(opt.plan.spools.is_empty());
+    assert_matches_reference(&out.results, &want, "fallback-only");
+}
+
+/// A panic inside the CSE phase (the `opt.cse-phase` failpoint panics on
+/// purpose) is caught; the plan degrades straight to baseline with
+/// OPT_PANIC and the query still answers.
+#[test]
+fn cse_phase_panic_is_isolated() {
+    let catalog = catalog();
+    let want = reference(&catalog, &batch());
+    let cfg = fail_config(sites::OPT_CSE_PHASE, 1.0);
+    let (opt, out) = governed(&catalog, &batch(), &cfg);
+    assert_eq!(opt.report.rung, Rung::Baseline);
+    let seen = codes(&opt.report.degradations);
+    assert!(seen.contains(&"OPT_PANIC"), "events: {seen:?}");
+    assert!(opt.plan.spools.is_empty());
+    assert_matches_reference(&out.results, &want, "opt-panic");
+}
+
+/// Tripped-budget plans must survive the downgrade verifier: a baseline
+/// rung plan contains no covering operators and retains no spools.
+#[test]
+fn downgraded_plans_pass_the_downgrade_audit() {
+    let catalog = catalog();
+    let cfg = CseConfig {
+        budget: Budget::with_time_ms(0),
+        verify: true,
+        ..CseConfig::default()
+    };
+    let (opt, _) = governed(&catalog, &batch(), &cfg);
+    let report = opt.report.verification.expect("verification ran");
+    assert_eq!(
+        report.error_count(),
+        0,
+        "downgrade audit must be clean: {:?}",
+        report.diagnostics
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Execution-side recovery
+// ---------------------------------------------------------------------------
+
+/// Certain spool failure: every consumer retries on its retained baseline
+/// plan, answers match, and the recovery is visible in both the batch
+/// events and the per-statement provenance.
+#[test]
+fn spool_failure_recovers_on_baseline() {
+    let catalog = catalog();
+    let want = reference(&catalog, &batch());
+    let cfg = fail_config(sites::SPOOL_MATERIALIZE, 1.0);
+    let (opt, out) = governed(&catalog, &batch(), &cfg);
+    assert!(
+        !opt.plan.spools.is_empty(),
+        "scenario requires a shared spool to break"
+    );
+    assert_matches_reference(&out.results, &want, "spool-fault");
+    let seen = codes(&out.events);
+    assert!(
+        seen.contains(&"EXEC_FAULT_INJECTED"),
+        "recovery events: {seen:?}"
+    );
+    assert!(
+        out.results.iter().any(|r| !r.provenance.is_empty()),
+        "recovered statements must carry provenance"
+    );
+}
+
+/// Certain table-scan failure: even statements without spools retry (their
+/// own statement is the baseline), with governance suppressed during the
+/// retry so recovery always terminates.
+#[test]
+fn table_scan_failure_recovers_on_baseline() {
+    let catalog = catalog();
+    let want = reference(&catalog, &batch());
+    let cfg = fail_config(sites::SCAN_TABLE, 1.0);
+    let (_, out) = governed(&catalog, &batch(), &cfg);
+    assert_matches_reference(&out.results, &want, "table-scan-fault");
+    assert!(codes(&out.events).contains(&"EXEC_FAULT_INJECTED"));
+    assert_eq!(out.results.len(), 2);
+    assert!(out.results.iter().all(|r| !r.provenance.is_empty()));
+}
+
+/// Certain index-scan failure on a plan that actually chooses an index.
+#[test]
+fn index_scan_failure_recovers_on_baseline() {
+    let mut indexed = catalog();
+    indexed.create_btree_index("orders", "o_orderdate").unwrap();
+    let sql = "select o_orderkey, o_totalprice from orders \
+               where o_orderdate = '1995-01-01'";
+    let want = reference(&indexed, sql);
+    let cfg = fail_config(sites::SCAN_INDEX, 1.0);
+    let (_, out) = governed(&indexed, sql, &cfg);
+    assert_matches_reference(&out.results, &want, "index-scan-fault");
+    assert!(
+        codes(&out.events).contains(&"EXEC_FAULT_INJECTED"),
+        "index plan must have hit the failpoint: {:?}",
+        out.events
+    );
+}
+
+/// A tiny row budget breaches, the statement retries with limits
+/// suppressed, and the answer is still exact.
+#[test]
+fn row_budget_breach_recovers() {
+    let catalog = catalog();
+    let want = reference(&catalog, &batch());
+    let cfg = CseConfig {
+        exec_limits: ExecLimits {
+            max_rows: Some(16),
+            max_bytes: None,
+        },
+        ..CseConfig::default()
+    };
+    let (_, out) = governed(&catalog, &batch(), &cfg);
+    assert_matches_reference(&out.results, &want, "row-budget");
+    assert!(
+        codes(&out.events).contains(&"EXEC_ROW_BUDGET"),
+        "events: {:?}",
+        out.events
+    );
+}
+
+/// Same for the memory budget.
+#[test]
+fn memory_budget_breach_recovers() {
+    let catalog = catalog();
+    let want = reference(&catalog, &batch());
+    let cfg = CseConfig {
+        exec_limits: ExecLimits {
+            max_rows: None,
+            max_bytes: Some(1024),
+        },
+        ..CseConfig::default()
+    };
+    let (_, out) = governed(&catalog, &batch(), &cfg);
+    assert_matches_reference(&out.results, &want, "mem-budget");
+    assert!(
+        codes(&out.events).contains(&"EXEC_MEM_BUDGET"),
+        "events: {:?}",
+        out.events
+    );
+}
+
+/// Probabilistic injection is deterministic per seed: two runs with the
+/// same seed produce identical events and identical (correct) results.
+#[test]
+fn probabilistic_injection_is_deterministic_per_seed() {
+    let catalog = catalog();
+    let want = reference(&catalog, &batch());
+    let run = || {
+        let cfg = fail_config(sites::SCAN_TABLE, 0.5);
+        governed(&catalog, &batch(), &cfg)
+    };
+    let (_, a) = run();
+    let (_, b) = run();
+    assert_eq!(
+        codes(&a.events),
+        codes(&b.events),
+        "seed {} drifted",
+        seed()
+    );
+    assert_eq!(
+        a.events.iter().map(|e| e.to_string()).collect::<Vec<_>>(),
+        b.events.iter().map(|e| e.to_string()).collect::<Vec<_>>()
+    );
+    assert_matches_reference(&a.results, &want, "probabilistic");
+    assert_matches_reference(&b.results, &want, "probabilistic-repeat");
+}
+
+/// The `CSE_FAIL` environment grammar round-trips through `FailSpec`.
+#[test]
+fn fail_spec_grammar() {
+    let s = FailSpec::parse("spool.materialize:1.0:7").unwrap();
+    assert_eq!(s.site, "spool.materialize");
+    assert_eq!(s.probability, 1.0);
+    assert_eq!(s.seed, 7);
+    let d = FailSpec::parse("scan.table:0.25").unwrap();
+    assert_eq!(d.probability, 0.25);
+    assert!(FailSpec::parse("scan.table").is_err());
+    assert!(FailSpec::parse("scan.table:notanumber").is_err());
+}
+
+// ---------------------------------------------------------------------------
+// approx_eq semantics (satellite c)
+// ---------------------------------------------------------------------------
+
+/// Near-zero aggregates compare under the absolute floor: a pure relative
+/// tolerance would reject 0.0 vs 1e-12 (relative error = 1).
+#[test]
+fn approx_eq_has_an_absolute_floor_near_zero() {
+    let a = ResultSet::new(vec!["x".to_string()], vec![row(vec![Value::Float(0.0)])]);
+    let b = ResultSet::new(vec!["x".to_string()], vec![row(vec![Value::Float(1e-12)])]);
+    // Even with a relative tolerance far too tight to absorb the residue,
+    // the default absolute floor (1e-7) accepts it ...
+    assert!(a.approx_eq(&b, 1e-13), "absolute floor must absorb 1e-12");
+    // ... and removing the floor restores strict relative comparison.
+    assert!(!a.approx_eq_with(&b, 1e-13, 0.0), "zero floor is strict");
+    // The floor is a floor, not a blanket: clearly different values fail.
+    let c = ResultSet::new(vec!["x".to_string()], vec![row(vec![Value::Float(1e-3)])]);
+    assert!(!a.approx_eq(&c, 1e-9));
+}
