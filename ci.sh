@@ -16,6 +16,21 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+# qlint gate: the static analyzer's output over the committed SQL corpus
+# must match the golden files byte-for-byte (rule ids, messages, spans),
+# and deny mode must accept the clean corpus and reject the findings one.
+echo "==> qlint corpus (golden files + deny gate)"
+QLINT=(cargo run -q --release --bin qlint --)
+for f in tests/corpus/*.sql; do
+  "${QLINT[@]}" --sf 0.001 "$f" | diff -u "${f%.sql}.golden" - \
+    || { echo "qlint output drifted for $f"; exit 1; }
+done
+"${QLINT[@]}" --sf 0.001 --deny tests/corpus/clean.sql >/dev/null
+if "${QLINT[@]}" --sf 0.001 --deny tests/corpus/findings.sql >/dev/null 2>&1; then
+  echo "qlint --deny failed to reject tests/corpus/findings.sql"
+  exit 1
+fi
+
 # Fault-injection seed matrix: the adversarial robustness suite must hold
 # for every seed, not just the default. Each seed reshuffles which scans /
 # spools fail under probabilistic injection; correctness and event

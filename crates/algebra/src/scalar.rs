@@ -125,6 +125,17 @@ impl Scalar {
             || matches!(self, Scalar::Lit(Value::Bool(true)))
     }
 
+    /// The constant FALSE (an empty disjunction — the engine evaluates
+    /// `Or([])` to FALSE, mirroring `true_` as the empty conjunction).
+    pub fn false_() -> Scalar {
+        Scalar::Or(Vec::new())
+    }
+
+    pub fn is_false(&self) -> bool {
+        matches!(self, Scalar::Or(v) if v.is_empty())
+            || matches!(self, Scalar::Lit(Value::Bool(false)))
+    }
+
     /// Conjunction of a list of predicates (flattens trivially).
     pub fn and(preds: impl IntoIterator<Item = Scalar>) -> Scalar {
         let mut out = Vec::new();

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p cse-bench --bin report [-- <experiment>] [--sf <f>]`
 //! where `<experiment>` is one of `table1 table2 table3 table4 fig8
-//! viewmaint overhead verify robustness all` (default `all`).
+//! viewmaint overhead verify lint robustness all` (default `all`).
 
 use cse_bench::{experiments, print_table};
 
@@ -116,6 +116,25 @@ fn main() {
             );
         }
         println!("all workloads passed verification (errors would have aborted).");
+    }
+    if run_all || which == "lint" {
+        println!("\n=== qlint: static batch analysis over every workload ===");
+        println!(
+            "{:<18} {:>6} {:>9} {:>6} {:>12} {:>10}",
+            "workload", "stmts", "warnings", "notes", "share hints", "lint time"
+        );
+        for r in experiments::lint_all(&catalog) {
+            println!(
+                "{:<18} {:>6} {:>9} {:>6} {:>12} {:>8.2}ms",
+                r.workload,
+                r.statements,
+                r.warnings,
+                r.notes,
+                r.share_hints,
+                r.lint_time.as_secs_f64() * 1e3
+            );
+        }
+        println!("all workloads linted without errors (errors would have aborted).");
     }
     if run_all || which == "robustness" {
         println!("\n=== robustness: degradation ladder + fault injection ===");

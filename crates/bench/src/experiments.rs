@@ -7,7 +7,7 @@ use crate::workloads;
 use cse_core::{create_materialized_view, maintain_insert, CseConfig};
 use cse_storage::{Catalog, Row};
 use cse_tpch::{generate_catalog, TpchConfig};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default scale factor for experiment runs; the paper uses SF=1, the
 /// in-memory substitute defaults to a laptop-friendly SF (the *shape* of
@@ -415,6 +415,65 @@ pub fn verify_all(catalog: &Catalog) -> Vec<VerifyOutcome> {
                     .unwrap_or(0),
             });
         }
+    }
+    rows
+}
+
+/// One row of the qlint report: analyzer findings and timing per
+/// workload.
+#[derive(Debug)]
+pub struct LintRow {
+    pub workload: &'static str,
+    pub statements: usize,
+    pub warnings: usize,
+    pub notes: usize,
+    /// `lint/share-hint` diagnostics: the analyzer's *static* prediction
+    /// of sharable pairs, before any memo exists.
+    pub share_hints: usize,
+    pub lint_time: Duration,
+}
+
+/// Run the qlint static analyzer over every paper workload. The paper
+/// batches are clean by construction, so warnings stay zero while the
+/// share hints predict the sharing the pipeline then finds — this arm is
+/// a drift alarm between the lint-time and memo-time detection paths.
+pub fn lint_all(catalog: &Catalog) -> Vec<LintRow> {
+    let workloads: [(&'static str, String); 5] = [
+        ("table1 batch", workloads::table1_batch()),
+        ("table2 batch", workloads::table2_batch()),
+        ("nested query", workloads::NESTED.to_string()),
+        ("complex joins", workloads::complex_join_batch()),
+        ("no-sharing batch", workloads::no_sharing_batch()),
+    ];
+    let mut rows = Vec::new();
+    for (name, sql) in &workloads {
+        let t = Instant::now();
+        let out = cse_lint::lint_batch(catalog, sql);
+        let lint_time = t.elapsed();
+        assert_eq!(
+            out.report.error_count(),
+            0,
+            "{name}: paper workloads must lint without errors:\n{}",
+            out.report.render_as("lint")
+        );
+        rows.push(LintRow {
+            workload: name,
+            statements: out.statements,
+            warnings: out.report.warning_count(),
+            notes: out
+                .report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == cse_lint::Severity::Note)
+                .count(),
+            share_hints: out
+                .report
+                .diagnostics
+                .iter()
+                .filter(|d| d.rule_id == cse_lint::rules::SHARE_HINT)
+                .count(),
+            lint_time,
+        });
     }
     rows
 }

@@ -75,7 +75,7 @@ pub fn construct(
     let simplified: Vec<Scalar> = members
         .iter()
         .map(|m| {
-            Scalar::and(
+            let pred = Scalar::and(
                 m.normal
                     .spj
                     .conjuncts
@@ -83,7 +83,10 @@ pub fn construct(
                     .filter(|c| !implied_by_join(c))
                     .cloned(),
             )
-            .normalize()
+            .normalize();
+            // Step 2b (analyzer feedback): drop conjuncts qlint proved
+            // redundant — after re-verifying the implication locally.
+            prune_proven_redundant(&pred, &memo.facts.redundant_conjuncts)
         })
         .collect();
 
@@ -192,6 +195,70 @@ pub fn construct(
         simplified,
         group,
     })
+}
+
+/// Drop conjuncts of `pred` that the analyzer proved redundant
+/// (`facts`), keeping the predicate row-for-row equivalent.
+///
+/// Soundness: a fact alone never licenses the drop. Each candidate
+/// conjunct is **re-verified locally** — it is removed only when the AND
+/// of the *surviving* conjuncts still implies it (the conservative
+/// `cse-algebra::implies`). A stale or misrouted fact (e.g. rel ids from
+/// a different lowering) simply fails re-verification and the predicate
+/// is returned unchanged.
+pub fn prune_proven_redundant(pred: &Scalar, facts: &BTreeSet<Scalar>) -> Scalar {
+    if facts.is_empty() {
+        return pred.clone();
+    }
+    let conjuncts = pred.conjuncts();
+    if conjuncts.len() < 2 {
+        return pred.clone();
+    }
+    let mut kept: Vec<Scalar> = conjuncts.clone();
+    // Iterate over the original conjuncts; re-verify each flagged one
+    // against the others that are still kept (never against itself).
+    for c in &conjuncts {
+        if !facts.contains(&c.clone().normalize()) {
+            continue;
+        }
+        let Some(pos) = kept.iter().position(|k| k == c) else {
+            continue;
+        };
+        let rest: Vec<Scalar> = kept
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != pos)
+            .map(|(_, k)| k.clone())
+            .collect();
+        if rest.is_empty() {
+            continue;
+        }
+        let support = Scalar::and(rest).normalize();
+        if implies(&support, c) {
+            kept.remove(pos);
+        }
+    }
+    if kept.len() == conjuncts.len() {
+        pred.clone()
+    } else {
+        Scalar::and(kept).normalize()
+    }
+}
+
+/// [`simplify_covering`] with analyzer facts: each branch is first pruned
+/// of proven-redundant conjuncts (locally re-verified, see
+/// [`prune_proven_redundant`]), which lets the factoring and range-hull
+/// rewrites below produce a strictly smaller covering predicate whenever
+/// the analyzer caught a redundancy the branches carry.
+pub fn simplify_covering_with_facts(simplified: &[Scalar], facts: &BTreeSet<Scalar>) -> Scalar {
+    if facts.is_empty() {
+        return simplify_covering(simplified);
+    }
+    let pruned: Vec<Scalar> = simplified
+        .iter()
+        .map(|s| prune_proven_redundant(s, facts))
+        .collect();
+    simplify_covering(&pruned)
 }
 
 /// OR of the simplified predicates with two equivalence-preserving /

@@ -33,13 +33,17 @@ pub mod view_match;
 pub use align::Alignment;
 pub use candidates::{CostBounds, CostedCandidate, GenConfig};
 pub use compat::{partition_compatible, prepare_consumers, CompatibleGroup, PreparedConsumer};
-pub use construct::{construct, simplify_covering, ConstructedCse};
+pub use construct::{
+    construct, prune_proven_redundant, simplify_covering, simplify_covering_with_facts,
+    ConstructedCse,
+};
 pub use enumerate::{choose_best, EnumOutcome};
 pub use lca::{competing, least_common_ancestor};
 pub use maintenance::{create_materialized_view, maintain_insert, MaintenanceReport};
 pub use manager::CseManager;
 pub use pipeline::{
-    optimize_plan, optimize_sql, CandidateSummary, CseConfig, CseReport, Optimized,
+    optimize_plan, optimize_plan_with_facts, optimize_sql, CandidateSummary, CseConfig, CseReport,
+    Optimized,
 };
 pub use required::{compute_required, RequiredCols};
 pub use view_match::build_substitute;

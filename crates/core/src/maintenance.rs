@@ -9,7 +9,7 @@
 
 use crate::pipeline::{optimize_sql, CseConfig, CseReport};
 use cse_exec::Engine;
-use cse_sql::ast::{AggName, Expr, SelectItem, Statement};
+use cse_sql::ast::{AggName, Expr, ExprKind, SelectItem, Statement};
 use cse_storage::{row, Catalog, MaterializedView, Row, Table, TableStats, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -169,8 +169,8 @@ fn merge_plan_of(select: &cse_sql::SelectStmt) -> Result<Vec<MergeKind>, String>
             SelectItem::Star => {
                 return Err("materialized views must list output columns explicitly".into())
             }
-            SelectItem::Expr { expr, .. } => match expr {
-                Expr::Agg { func, .. } => out.push(match func {
+            SelectItem::Expr { expr, .. } => match &expr.kind {
+                ExprKind::Agg { func, .. } => out.push(match func {
                     AggName::Sum => MergeKind::Sum,
                     AggName::Count => MergeKind::Count,
                     AggName::Min => MergeKind::Min,
@@ -338,15 +338,15 @@ pub fn render_select(s: &cse_sql::SelectStmt) -> String {
 
 fn render_expr(e: &Expr) -> String {
     use cse_sql::BinOp;
-    match e {
-        Expr::Column { qualifier, name } => match qualifier {
+    match &e.kind {
+        ExprKind::Column { qualifier, name } => match qualifier {
             Some(q) => format!("{q}.{name}"),
             None => name.clone(),
         },
-        Expr::Int(i) => i.to_string(),
-        Expr::Float(f) => format!("{f}"),
-        Expr::Str(s) => format!("'{}'", s.replace('\'', "''")),
-        Expr::Binary(op, a, b) => {
+        ExprKind::Int(i) => i.to_string(),
+        ExprKind::Float(f) => format!("{f}"),
+        ExprKind::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        ExprKind::Binary(op, a, b) => {
             let o = match op {
                 BinOp::Eq => "=",
                 BinOp::Ne => "<>",
@@ -361,15 +361,15 @@ fn render_expr(e: &Expr) -> String {
             };
             format!("({} {o} {})", render_expr(a), render_expr(b))
         }
-        Expr::And(a, b) => format!("({} and {})", render_expr(a), render_expr(b)),
-        Expr::Or(a, b) => format!("({} or {})", render_expr(a), render_expr(b)),
-        Expr::Not(a) => format!("(not {})", render_expr(a)),
-        Expr::IsNull(a, neg) => format!(
+        ExprKind::And(a, b) => format!("({} and {})", render_expr(a), render_expr(b)),
+        ExprKind::Or(a, b) => format!("({} or {})", render_expr(a), render_expr(b)),
+        ExprKind::Not(a) => format!("(not {})", render_expr(a)),
+        ExprKind::IsNull(a, neg) => format!(
             "({} is {}null)",
             render_expr(a),
             if *neg { "not " } else { "" }
         ),
-        Expr::Between {
+        ExprKind::Between {
             expr,
             lo,
             hi,
@@ -381,7 +381,7 @@ fn render_expr(e: &Expr) -> String {
             render_expr(lo),
             render_expr(hi)
         ),
-        Expr::Agg { func, arg } => {
+        ExprKind::Agg { func, arg } => {
             let f = match func {
                 AggName::Sum => "sum",
                 AggName::Count => "count",
@@ -394,7 +394,7 @@ fn render_expr(e: &Expr) -> String {
                 None => "count(*)".to_string(),
             }
         }
-        Expr::Subquery(s) => format!("({})", render_select(s)),
+        ExprKind::Subquery(s) => format!("({})", render_select(s)),
     }
 }
 

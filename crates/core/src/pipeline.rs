@@ -19,12 +19,13 @@ use crate::lca::least_common_ancestor;
 use crate::manager::CseManager;
 use crate::required::{compute_required, required_of, RequiredCols};
 use crate::view_match::build_substitute;
-use cse_algebra::{ColRef, LogicalPlan, PlanContext};
+use cse_algebra::{ColRef, LogicalPlan, PlanContext, Scalar};
 use cse_cost::{CostModel, StatsCatalog};
 use cse_govern::{
     sites, Budget, BudgetClock, BudgetTrip, DegradationEvent, ExecLimits, FailpointRegistry,
     Reason, Rung,
 };
+use cse_lint::{lint_batch, LintMode};
 use cse_memo::{explore, ExploreConfig, GroupId, Memo};
 use cse_optimizer::{
     CseCandidate, CseId, FullPlan, IndexInfo, Optimizer, OptimizerConfig, Substitute,
@@ -68,6 +69,13 @@ pub struct CseConfig {
     pub failpoints: FailpointRegistry,
     /// Per-statement execution limits, enforced by the engine.
     pub exec_limits: ExecLimits,
+    /// qlint mode (`--lint[=deny]`): run the static analyzer over the SQL
+    /// batch before optimization, report its diagnostics in
+    /// [`CseReport::lint`], and feed proven facts forward (redundant
+    /// conjuncts into covering construction, unsatisfiable statements
+    /// into a constant-FALSE short circuit). `Deny` additionally fails
+    /// the batch on any warning-or-worse diagnostic.
+    pub lint: LintMode,
 }
 
 impl Default for CseConfig {
@@ -86,6 +94,7 @@ impl Default for CseConfig {
             fallback_only: false,
             failpoints: FailpointRegistry::from_env(),
             exec_limits: ExecLimits::none(),
+            lint: LintMode::Off,
         }
     }
 }
@@ -149,6 +158,9 @@ pub struct CseReport {
     pub rung: Rung,
     /// Every downgrade recorded on the way (empty in the common case).
     pub degradations: Vec<DegradationEvent>,
+    /// qlint diagnostics (present iff [`CseConfig::lint`] was enabled and
+    /// the batch came in as SQL text).
+    pub lint: Option<cse_lint::Report>,
 }
 
 /// Optimization output: executable plan, context for the executor, report.
@@ -159,9 +171,125 @@ pub struct Optimized {
 }
 
 /// Optimize a SQL batch end to end.
+///
+/// When [`CseConfig::lint`] is enabled, the qlint analyzer runs over the
+/// batch first: `Deny` mode rejects the batch on any warning-or-worse
+/// diagnostic; otherwise diagnostics land in [`CseReport::lint`] and
+/// proven facts feed the optimization (statements with provably
+/// unsatisfiable WHERE clauses are short-circuited with a constant-FALSE
+/// filter, redundant conjuncts inform covering-predicate construction).
 pub fn optimize_sql(catalog: &Catalog, sql: &str, cfg: &CseConfig) -> Result<Optimized, String> {
-    let (ctx, plan) = cse_sql::lower_batch_sql(catalog, sql)?;
-    optimize_plan(catalog, ctx, plan, cfg)
+    let (ctx, mut plan) = cse_sql::lower_batch_sql(catalog, sql)?;
+    let mut lint = None;
+    let mut facts = cse_memo::ProvenFacts::default();
+    if cfg.lint.enabled() {
+        let outcome = lint_batch(catalog, sql);
+        if outcome.denies(cfg.lint) {
+            return Err(format!(
+                "lint denied the batch ({} error(s), {} warning(s)):\n{}",
+                outcome.report.error_count(),
+                outcome.report.warning_count(),
+                outcome.report.render_as("lint")
+            ));
+        }
+        if !outcome.facts.unsat_statements.is_empty() {
+            // `lower_batch_sql` succeeded, so every statement parsed and
+            // lowered: lint's source-order indices equal batch children.
+            plan = short_circuit_unsat(plan, &outcome.facts.unsat_statements);
+        }
+        facts.redundant_conjuncts = outcome.facts.redundant.clone();
+        lint = Some(outcome.report);
+    }
+    let mut optimized = optimize_plan_with_facts(catalog, ctx, plan, cfg, facts)?;
+    optimized.report.lint = lint;
+    Ok(optimized)
+}
+
+/// Insert a constant-FALSE filter into each statement listed in `unsat`.
+///
+/// The filter lands *below* the statement's root aggregate (above the
+/// SPJ core), which preserves semantics exactly: a grouped aggregate
+/// over an empty input produces zero groups, and a scalar aggregate
+/// still produces its single NULL/zero row — the same rows the
+/// contradictory WHERE clause would have produced the expensive way.
+/// Statements without a root aggregate get the filter directly on their
+/// SPJ core, below the `Project`/`Sort` wrappers.
+fn short_circuit_unsat(
+    plan: LogicalPlan,
+    unsat: &std::collections::BTreeSet<usize>,
+) -> LogicalPlan {
+    fn spine_has_aggregate(p: &LogicalPlan) -> bool {
+        match p {
+            LogicalPlan::Aggregate { .. } => true,
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Filter { input, .. } => spine_has_aggregate(input),
+            // HAVING subqueries cross-join above the aggregate; the spine
+            // continues down the left side.
+            LogicalPlan::Join { left, .. } => spine_has_aggregate(left),
+            _ => false,
+        }
+    }
+    fn insert_false(p: LogicalPlan) -> LogicalPlan {
+        match p {
+            LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+                input: Box::new(insert_false(*input)),
+                exprs,
+            },
+            LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+                input: Box::new(insert_false(*input)),
+                keys,
+            },
+            LogicalPlan::Filter { input, pred } if spine_has_aggregate(&input) => {
+                LogicalPlan::Filter {
+                    input: Box::new(insert_false(*input)),
+                    pred,
+                }
+            }
+            LogicalPlan::Join { left, right, pred } if spine_has_aggregate(&left) => {
+                LogicalPlan::Join {
+                    left: Box::new(insert_false(*left)),
+                    right,
+                    pred,
+                }
+            }
+            LogicalPlan::Aggregate {
+                input,
+                keys,
+                aggs,
+                out,
+            } => LogicalPlan::Aggregate {
+                input: Box::new(LogicalPlan::Filter {
+                    input,
+                    pred: Scalar::false_(),
+                }),
+                keys,
+                aggs,
+                out,
+            },
+            other => LogicalPlan::Filter {
+                input: Box::new(other),
+                pred: Scalar::false_(),
+            },
+        }
+    }
+    match plan {
+        LogicalPlan::Batch { children } => LogicalPlan::Batch {
+            children: children
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if unsat.contains(&i) {
+                        insert_false(c)
+                    } else {
+                        c
+                    }
+                })
+                .collect(),
+        },
+        single if unsat.contains(&0) => insert_false(single),
+        single => single,
+    }
 }
 
 /// Optimize an already-lowered logical plan.
@@ -170,6 +298,18 @@ pub fn optimize_plan(
     ctx: PlanContext,
     plan: LogicalPlan,
     cfg: &CseConfig,
+) -> Result<Optimized, String> {
+    optimize_plan_with_facts(catalog, ctx, plan, cfg, cse_memo::ProvenFacts::default())
+}
+
+/// [`optimize_plan`] with analyzer-proven facts threaded into the memo
+/// (see `cse_memo::ProvenFacts` for the soundness contract).
+pub fn optimize_plan_with_facts(
+    catalog: &Catalog,
+    ctx: PlanContext,
+    plan: LogicalPlan,
+    cfg: &CseConfig,
+    facts: cse_memo::ProvenFacts,
 ) -> Result<Optimized, String> {
     let trace = std::env::var("CSE_TRACE").is_ok();
     macro_rules! stage {
@@ -181,6 +321,7 @@ pub fn optimize_plan(
     }
     let t_start = Instant::now();
     let mut memo = Memo::new(ctx);
+    memo.facts = facts;
     let root = memo.insert_plan(&plan);
     memo.set_root(root);
     explore(&mut memo, &cfg.explore);

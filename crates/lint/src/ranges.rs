@@ -1,0 +1,307 @@
+//! Interval / range dataflow over scalar predicates (analyzer pass 2b).
+//!
+//! Extends the conservative interval logic of
+//! `cse-algebra::implication::column_ranges` with what a *refutation*
+//! pass additionally needs:
+//!
+//! - `<>` exclusions (so `c = 5 AND c <> 5` is refuted);
+//! - emptiness testing, including **integral-domain adjacency**: on an
+//!   `INT` or `DATE` column, `c > 4 AND c < 5` is unsatisfiable because
+//!   no integer lies strictly between 4 and 5. Exclusive integral bounds
+//!   are normalized to inclusive ones with `checked_add`/`checked_sub`,
+//!   so `c > i64::MAX` is recognized as empty instead of wrapping.
+//!
+//! Everything here is *refutation-only*: a `None` verdict means "could
+//! not prove empty", never "satisfiable".
+
+use cse_algebra::{CmpOp, ColRef, PlanContext, Scalar};
+use cse_storage::{DataType, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-column constraint state accumulated from conjuncts.
+#[derive(Debug, Clone, Default)]
+pub struct ColRange {
+    /// Greatest lower bound seen: `(value, inclusive)`.
+    pub lo: Option<(Value, bool)>,
+    /// Least upper bound seen: `(value, inclusive)`.
+    pub hi: Option<(Value, bool)>,
+    /// Values excluded by `<>` conjuncts.
+    pub ne: BTreeSet<Value>,
+}
+
+impl ColRange {
+    fn tighten_lo(&mut self, v: Value, inclusive: bool) {
+        let better = match &self.lo {
+            None => true,
+            Some((cur, cur_inc)) => match v.total_cmp(cur) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => *cur_inc && !inclusive,
+                std::cmp::Ordering::Less => false,
+            },
+        };
+        if better {
+            self.lo = Some((v, inclusive));
+        }
+    }
+
+    fn tighten_hi(&mut self, v: Value, inclusive: bool) {
+        let better = match &self.hi {
+            None => true,
+            Some((cur, cur_inc)) => match v.total_cmp(cur) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => *cur_inc && !inclusive,
+                std::cmp::Ordering::Greater => false,
+            },
+        };
+        if better {
+            self.hi = Some((v, inclusive));
+        }
+    }
+
+    /// The exact value this range pins the column to, if both bounds
+    /// coincide inclusively.
+    pub fn point(&self) -> Option<&Value> {
+        match (&self.lo, &self.hi) {
+            (Some((lv, true)), Some((hv, true)))
+                if lv.total_cmp(hv) == std::cmp::Ordering::Equal =>
+            {
+                Some(lv)
+            }
+            _ => None,
+        }
+    }
+
+    /// Can this range be *proven* empty for a column of type `ty`?
+    /// Returns a human-readable reason when it can.
+    pub fn prove_empty(&self, ty: DataType) -> Option<String> {
+        // A pinned point excluded by a <> conjunct.
+        if let Some(p) = self.point() {
+            if self.ne.contains(p) {
+                return Some(format!("pinned to {p} but excluded by <> {p}"));
+            }
+        }
+        let (lo, hi) = match (&self.lo, &self.hi) {
+            (Some(lo), Some(hi)) => (lo.clone(), hi.clone()),
+            _ => return None,
+        };
+        // Integral domains: normalize exclusive bounds to inclusive ones
+        // so adjacency gaps (`> 4 AND < 5`) become visible as crossings.
+        let integral = matches!(ty, DataType::Int | DataType::Date);
+        let (lo, hi) = if integral {
+            let lo = match lo {
+                (Value::Int(v), false) => match v.checked_add(1) {
+                    Some(v1) => (Value::Int(v1), true),
+                    // c > i64::MAX: nothing above it.
+                    None => return Some(format!("> {v} exceeds the INT domain")),
+                },
+                (Value::Date(v), false) => match v.checked_add(1) {
+                    Some(v1) => (Value::Date(v1), true),
+                    None => return Some(format!("> {} exceeds the DATE domain", Value::Date(v))),
+                },
+                other => other,
+            };
+            let hi = match hi {
+                (Value::Int(v), false) => match v.checked_sub(1) {
+                    Some(v1) => (Value::Int(v1), true),
+                    None => return Some(format!("< {v} exceeds the INT domain")),
+                },
+                (Value::Date(v), false) => match v.checked_sub(1) {
+                    Some(v1) => (Value::Date(v1), true),
+                    None => return Some(format!("< {} exceeds the DATE domain", Value::Date(v))),
+                },
+                other => other,
+            };
+            (lo, hi)
+        } else {
+            (lo, hi)
+        };
+        let (lv, li) = &lo;
+        let (hv, hi_inc) = &hi;
+        match lv.total_cmp(hv) {
+            std::cmp::Ordering::Greater => Some(format!(
+                "lower bound {} {lv} exceeds upper bound {} {hv}",
+                if *li { ">=" } else { ">" },
+                if *hi_inc { "<=" } else { "<" },
+            )),
+            std::cmp::Ordering::Equal if !(*li && *hi_inc) => Some(format!(
+                "bounds meet at {lv} but at least one side is exclusive"
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// Accumulate per-column ranges (including `<>` exclusions) from the
+/// col-vs-literal conjuncts of a predicate list. Conjuncts that are not
+/// col-vs-literal atoms are ignored (conservative).
+pub fn collect_ranges(conjuncts: &[Scalar]) -> BTreeMap<ColRef, ColRange> {
+    let mut out: BTreeMap<ColRef, ColRange> = BTreeMap::new();
+    for conj in conjuncts {
+        if let Some((col, op, v)) = conj.as_col_vs_lit() {
+            if v.is_null() {
+                // `c < NULL` never accepts, but that is the fold pass's
+                // finding; range logic only tracks real bounds.
+                continue;
+            }
+            let r = out.entry(col).or_default();
+            match op {
+                CmpOp::Eq => {
+                    r.tighten_lo(v.clone(), true);
+                    r.tighten_hi(v, true);
+                }
+                CmpOp::Lt => r.tighten_hi(v, false),
+                CmpOp::Le => r.tighten_hi(v, true),
+                CmpOp::Gt => r.tighten_lo(v, false),
+                CmpOp::Ge => r.tighten_lo(v, true),
+                CmpOp::Ne => {
+                    r.ne.insert(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Try to prove the conjunction of `conjuncts` unsatisfiable through
+/// per-column range analysis. Returns `(column, reason)` for the first
+/// provably-empty column; `None` means "not provably empty".
+pub fn prove_unsat(ctx: &PlanContext, conjuncts: &[Scalar]) -> Option<(ColRef, String)> {
+    let ranges = collect_ranges(conjuncts);
+    for (col, r) in &ranges {
+        if let Some(reason) = r.prove_empty(ctx.col_type(*col)) {
+            return Some((*col, reason));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_algebra::RelId;
+    use cse_storage::Schema;
+    use std::sync::Arc;
+
+    fn ctx_int_float() -> (PlanContext, RelId) {
+        let mut ctx = PlanContext::new();
+        let b = ctx.new_block();
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("i", DataType::Int),
+            ("f", DataType::Float),
+            ("d", DataType::Date),
+        ]));
+        let r = ctx.add_base_rel("t", "t", schema, b);
+        (ctx, r)
+    }
+
+    fn cmp(op: CmpOp, col: Scalar, v: Value) -> Scalar {
+        Scalar::cmp(op, col, Scalar::Lit(v))
+    }
+
+    #[test]
+    fn crossing_bounds_are_empty() {
+        let (ctx, r) = ctx_int_float();
+        let c = Scalar::col(r, 0);
+        let conj = vec![
+            cmp(CmpOp::Lt, c.clone(), Value::Int(5)),
+            cmp(CmpOp::Gt, c, Value::Int(10)),
+        ];
+        let (col, reason) = prove_unsat(&ctx, &conj).expect("a < 5 AND a > 10 is empty");
+        assert_eq!(col, ColRef::new(r, 0));
+        assert!(reason.contains("exceeds"), "{reason}");
+    }
+
+    #[test]
+    fn integral_adjacency_gap_is_empty_but_float_is_not() {
+        let (ctx, r) = ctx_int_float();
+        // INT: > 4 AND < 5 has no integer solutions.
+        let i = Scalar::col(r, 0);
+        let conj = vec![
+            cmp(CmpOp::Gt, i.clone(), Value::Int(4)),
+            cmp(CmpOp::Lt, i, Value::Int(5)),
+        ];
+        assert!(prove_unsat(&ctx, &conj).is_some());
+        // FLOAT: > 4 AND < 5 is satisfiable (e.g. 4.5).
+        let f = Scalar::col(r, 1);
+        let conj = vec![
+            cmp(CmpOp::Gt, f.clone(), Value::Int(4)),
+            cmp(CmpOp::Lt, f, Value::Int(5)),
+        ];
+        assert!(prove_unsat(&ctx, &conj).is_none());
+    }
+
+    #[test]
+    fn equality_vs_ne_conflict() {
+        let (ctx, r) = ctx_int_float();
+        let c = Scalar::col(r, 0);
+        let conj = vec![
+            cmp(CmpOp::Eq, c.clone(), Value::Int(7)),
+            cmp(CmpOp::Ne, c, Value::Int(7)),
+        ];
+        let (_, reason) = prove_unsat(&ctx, &conj).expect("= 7 AND <> 7 is empty");
+        assert!(reason.contains("excluded"), "{reason}");
+    }
+
+    #[test]
+    fn two_distinct_equalities_conflict() {
+        let (ctx, r) = ctx_int_float();
+        let c = Scalar::col(r, 0);
+        let conj = vec![
+            cmp(CmpOp::Eq, c.clone(), Value::Int(1)),
+            cmp(CmpOp::Eq, c, Value::Int(2)),
+        ];
+        assert!(prove_unsat(&ctx, &conj).is_some());
+    }
+
+    #[test]
+    fn i64_extremes_do_not_wrap() {
+        let (ctx, r) = ctx_int_float();
+        let c = Scalar::col(r, 0);
+        // c > i64::MAX: empty, and must not wrap to i64::MIN.
+        let conj = vec![cmp(CmpOp::Gt, c.clone(), Value::Int(i64::MAX))];
+        // Only one bound: not provable (no hi). Add any upper bound.
+        let conj2 = vec![
+            cmp(CmpOp::Gt, c.clone(), Value::Int(i64::MAX)),
+            cmp(CmpOp::Lt, c.clone(), Value::Int(0)),
+        ];
+        assert!(prove_unsat(&ctx, &conj).is_none());
+        assert!(prove_unsat(&ctx, &conj2).is_some());
+        // c < i64::MIN with a lower bound: empty through checked_sub.
+        let conj3 = vec![
+            cmp(CmpOp::Lt, c.clone(), Value::Int(i64::MIN)),
+            cmp(CmpOp::Gt, c, Value::Int(0)),
+        ];
+        assert!(prove_unsat(&ctx, &conj3).is_some());
+    }
+
+    #[test]
+    fn date_adjacency() {
+        let (ctx, r) = ctx_int_float();
+        let d = Scalar::col(r, 2);
+        let day = |s: &str| Value::date(s).unwrap();
+        // > 1996-06-30 AND < 1996-07-01: adjacent days, empty.
+        let conj = vec![
+            cmp(CmpOp::Gt, d.clone(), day("1996-06-30")),
+            cmp(CmpOp::Lt, d.clone(), day("1996-07-01")),
+        ];
+        assert!(prove_unsat(&ctx, &conj).is_some());
+        // >= 1996-06-30 AND < 1996-07-01 admits exactly one day.
+        let conj = vec![
+            cmp(CmpOp::Ge, d.clone(), day("1996-06-30")),
+            cmp(CmpOp::Lt, d, day("1996-07-01")),
+        ];
+        assert!(prove_unsat(&ctx, &conj).is_none());
+    }
+
+    #[test]
+    fn satisfiable_ranges_stay_open() {
+        let (ctx, r) = ctx_int_float();
+        let c = Scalar::col(r, 0);
+        let conj = vec![
+            cmp(CmpOp::Gt, c.clone(), Value::Int(0)),
+            cmp(CmpOp::Lt, c.clone(), Value::Int(25)),
+            cmp(CmpOp::Ne, c, Value::Int(10)),
+        ];
+        assert!(prove_unsat(&ctx, &conj).is_none());
+    }
+}

@@ -14,6 +14,6 @@ pub mod op;
 pub mod signature;
 
 pub use explore::{explore, ExploreConfig};
-pub use memo::{Group, LogicalProps, Memo};
+pub use memo::{Group, LogicalProps, Memo, ProvenFacts};
 pub use op::{GroupExpr, GroupExprId, GroupId, Op};
 pub use signature::{compute_signature, TableSignature};

@@ -3,8 +3,30 @@
 
 use crate::op::{GroupExpr, GroupExprId, GroupId, Op};
 use crate::signature::{compute_signature, TableSignature};
-use cse_algebra::{AggExpr, BlockId, ColRef, LogicalPlan, PlanContext, RelSet};
-use std::collections::HashMap;
+use cse_algebra::{AggExpr, BlockId, ColRef, LogicalPlan, PlanContext, RelSet, Scalar};
+use std::collections::{BTreeSet, HashMap};
+
+/// Facts *proven* by a front-end analyzer (qlint) and threaded through
+/// the memo so construction can consult them without plumbing a parameter
+/// through every call site.
+///
+/// Soundness contract: each entry is a proof obtained upstream, but any
+/// consumer must still **re-verify the fact locally** in its own
+/// representation (e.g. via `cse-algebra::implies` over the branch it is
+/// about to rewrite) and treat a mismatch as a no-op. The facts are a
+/// trigger/cache, never a license.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenFacts {
+    /// Normalized conjuncts the analyzer proved implied by their
+    /// statement's sibling conjuncts.
+    pub redundant_conjuncts: BTreeSet<Scalar>,
+}
+
+impl ProvenFacts {
+    pub fn is_empty(&self) -> bool {
+        self.redundant_conjuncts.is_empty()
+    }
+}
 
 /// Logical properties shared by all expressions of a group.
 #[derive(Debug, Clone)]
@@ -50,6 +72,9 @@ pub struct Memo {
     /// partial aggregates: (child group, keys, aggs) -> out rel.
     agg_out_cache: HashMap<String, cse_algebra::RelId>,
     root: Option<GroupId>,
+    /// Analyzer-proven facts (see [`ProvenFacts`]); empty unless the
+    /// pipeline ran qlint over the batch.
+    pub facts: ProvenFacts,
 }
 
 impl Memo {
@@ -62,6 +87,7 @@ impl Memo {
             dedup: HashMap::new(),
             agg_out_cache: HashMap::new(),
             root: None,
+            facts: ProvenFacts::default(),
         }
     }
 

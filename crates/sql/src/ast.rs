@@ -1,4 +1,13 @@
 //! Abstract syntax tree for the supported SQL subset.
+//!
+//! Every expression node carries the byte [`Span`] of the source text it
+//! was parsed from, so downstream analyzers (the `cse-lint` frontend
+//! linter in particular) can point diagnostics at exact offsets. Spans
+//! are *metadata*: equality of AST nodes deliberately ignores them, so
+//! a statement parsed from re-rendered SQL compares equal to the
+//! original.
+
+use crate::span::Span;
 
 /// Binary operators in the AST (comparisons and arithmetic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,9 +34,9 @@ pub enum AggName {
     Avg,
 }
 
-/// Expressions.
+/// Expression shapes (the payload of [`Expr`]).
 #[derive(Debug, Clone, PartialEq)]
-pub enum Expr {
+pub enum ExprKind {
     /// `qualifier.column` or bare `column`.
     Column {
         qualifier: Option<String>,
@@ -56,6 +65,27 @@ pub enum Expr {
     Subquery(Box<SelectStmt>),
 }
 
+/// An expression together with the source span it was parsed from.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+}
+
+// Equality ignores spans: the same expression parsed from different
+// offsets (or from re-rendered SQL) compares equal.
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
 /// One item of the select list.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SelectItem {
@@ -66,14 +96,22 @@ pub enum SelectItem {
 }
 
 /// A table reference in FROM.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FromItem {
     pub table: String,
     pub alias: Option<String>,
+    /// Span of `table [AS alias]` in the source.
+    pub span: Span,
+}
+
+impl PartialEq for FromItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.table == other.table && self.alias == other.alias
+    }
 }
 
 /// A SELECT statement.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SelectStmt {
     pub select: Vec<SelectItem>,
     pub from: Vec<FromItem>,
@@ -81,6 +119,19 @@ pub struct SelectStmt {
     pub group_by: Vec<Expr>,
     pub having: Option<Expr>,
     pub order_by: Vec<(Expr, /*desc=*/ bool)>,
+    /// Span of the whole statement in the source.
+    pub span: Span,
+}
+
+impl PartialEq for SelectStmt {
+    fn eq(&self, other: &Self) -> bool {
+        self.select == other.select
+            && self.from == other.from
+            && self.where_clause == other.where_clause
+            && self.group_by == other.group_by
+            && self.having == other.having
+            && self.order_by == other.order_by
+    }
 }
 
 /// A parsed statement.

@@ -1,5 +1,6 @@
 //! SQL tokenizer.
 
+use crate::span::Span;
 use std::fmt;
 
 /// SQL tokens.
@@ -55,6 +56,19 @@ impl fmt::Display for Token {
     }
 }
 
+/// A lexing failure with the byte range it occurred at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.span.start)
+    }
+}
+
 const KEYWORDS: &[&str] = &[
     "SELECT",
     "FROM",
@@ -83,11 +97,12 @@ const KEYWORDS: &[&str] = &[
     "DISTINCT",
 ];
 
-/// Tokenize SQL text. Returns an error message with position on bad input.
-pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+/// Tokenize SQL text, returning each token with the half-open byte span
+/// it was lexed from.
+pub fn tokenize_spanned(input: &str) -> Result<Vec<(Token, Span)>, LexError> {
     let bytes = input.as_bytes();
     let mut i = 0usize;
-    let mut out = Vec::new();
+    let mut out: Vec<(Token, Span)> = Vec::new();
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
@@ -99,77 +114,81 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                 }
             }
             ',' => {
-                out.push(Token::Comma);
+                out.push((Token::Comma, Span::new(i, i + 1)));
                 i += 1;
             }
             '.' => {
-                out.push(Token::Dot);
+                out.push((Token::Dot, Span::new(i, i + 1)));
                 i += 1;
             }
             '(' => {
-                out.push(Token::LParen);
+                out.push((Token::LParen, Span::new(i, i + 1)));
                 i += 1;
             }
             ')' => {
-                out.push(Token::RParen);
+                out.push((Token::RParen, Span::new(i, i + 1)));
                 i += 1;
             }
             ';' => {
-                out.push(Token::Semi);
+                out.push((Token::Semi, Span::new(i, i + 1)));
                 i += 1;
             }
             '*' => {
-                out.push(Token::Star);
+                out.push((Token::Star, Span::new(i, i + 1)));
                 i += 1;
             }
             '+' => {
-                out.push(Token::Plus);
+                out.push((Token::Plus, Span::new(i, i + 1)));
                 i += 1;
             }
             '-' => {
-                out.push(Token::Minus);
+                out.push((Token::Minus, Span::new(i, i + 1)));
                 i += 1;
             }
             '/' => {
-                out.push(Token::Slash);
+                out.push((Token::Slash, Span::new(i, i + 1)));
                 i += 1;
             }
             '=' => {
-                out.push(Token::Eq);
+                out.push((Token::Eq, Span::new(i, i + 1)));
                 i += 1;
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Token::Le);
+                    out.push((Token::Le, Span::new(i, i + 2)));
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    out.push(Token::Ne);
+                    out.push((Token::Ne, Span::new(i, i + 2)));
                     i += 2;
                 } else {
-                    out.push(Token::Lt);
+                    out.push((Token::Lt, Span::new(i, i + 1)));
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Token::Ge);
+                    out.push((Token::Ge, Span::new(i, i + 2)));
                     i += 2;
                 } else {
-                    out.push(Token::Gt);
+                    out.push((Token::Gt, Span::new(i, i + 1)));
                     i += 1;
                 }
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(Token::Ne);
+                out.push((Token::Ne, Span::new(i, i + 2)));
                 i += 2;
             }
             '\'' => {
+                let quote = i;
                 let start = i + 1;
                 let mut j = start;
                 let mut s = String::new();
                 loop {
                     if j >= bytes.len() {
-                        return Err(format!("unterminated string literal at byte {i}"));
+                        return Err(LexError {
+                            message: "unterminated string literal".to_string(),
+                            span: Span::new(quote, bytes.len()),
+                        });
                     }
                     if bytes[j] == b'\'' {
                         // doubled quote = escaped quote
@@ -183,7 +202,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                     s.push(bytes[j] as char);
                     j += 1;
                 }
-                out.push(Token::Str(s));
+                out.push((Token::Str(s), Span::new(quote, j + 1)));
                 i = j + 1;
             }
             '0'..='9' => {
@@ -202,14 +221,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                     i += 1;
                 }
                 let text = &input[start..i];
+                let span = Span::new(start, i);
                 if seen_dot {
-                    out.push(Token::Float(
-                        text.parse().map_err(|e| format!("bad float {text}: {e}"))?,
-                    ));
+                    let f = text.parse().map_err(|e| LexError {
+                        message: format!("bad float {text}: {e}"),
+                        span,
+                    })?;
+                    out.push((Token::Float(f), span));
                 } else {
-                    out.push(Token::Int(
-                        text.parse().map_err(|e| format!("bad int {text}: {e}"))?,
-                    ));
+                    let n = text.parse().map_err(|e| LexError {
+                        message: format!("bad int {text}: {e}"),
+                        span,
+                    })?;
+                    out.push((Token::Int(n), span));
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == 'Δ' => {
@@ -223,10 +247,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                 }
                 let word = &input[start..i];
                 let upper = word.to_ascii_uppercase();
+                let span = Span::new(start, i);
                 if KEYWORDS.contains(&upper.as_str()) {
-                    out.push(Token::Keyword(upper));
+                    out.push((Token::Keyword(upper), span));
                 } else {
-                    out.push(Token::Ident(word.to_string()));
+                    out.push((Token::Ident(word.to_string()), span));
                 }
             }
             c if (c as u32) >= 0x80 => {
@@ -241,12 +266,27 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                 {
                     i += 1;
                 }
-                out.push(Token::Ident(input[start..i].to_string()));
+                out.push((
+                    Token::Ident(input[start..i].to_string()),
+                    Span::new(start, i),
+                ));
             }
-            other => return Err(format!("unexpected character '{other}' at byte {i}")),
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    span: Span::new(i, i + 1),
+                })
+            }
         }
     }
     Ok(out)
+}
+
+/// Tokenize SQL text. Returns an error message with position on bad input.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    tokenize_spanned(input)
+        .map(|toks| toks.into_iter().map(|(t, _)| t).collect())
+        .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -309,5 +349,42 @@ mod tests {
         let toks = tokenize("SeLeCt SUM").unwrap();
         assert_eq!(toks[0], Token::Keyword("SELECT".into()));
         assert_eq!(toks[1], Token::Keyword("SUM".into()));
+    }
+
+    #[test]
+    fn spans_index_source_bytes() {
+        let src = "select a from t where a < 10";
+        let toks = tokenize_spanned(src).unwrap();
+        // Every span slices back to text that re-lexes to the same token.
+        for (tok, span) in &toks {
+            let text = span.slice(src);
+            assert!(!text.is_empty(), "empty slice for {tok:?}");
+            match tok {
+                Token::Ident(s) => assert_eq!(text, s),
+                Token::Int(i) => assert_eq!(text, i.to_string()),
+                Token::Keyword(k) => assert_eq!(text.to_ascii_uppercase(), *k),
+                _ => {}
+            }
+        }
+        // `10` sits at the end of the input.
+        let (last, span) = toks.last().unwrap();
+        assert_eq!(*last, Token::Int(10));
+        assert_eq!(span.to_pair(), (26, 28));
+    }
+
+    #[test]
+    fn string_spans_include_quotes() {
+        let src = "x = '1996-07-01'";
+        let toks = tokenize_spanned(src).unwrap();
+        let (tok, span) = &toks[2];
+        assert_eq!(*tok, Token::Str("1996-07-01".into()));
+        assert_eq!(span.slice(src), "'1996-07-01'");
+    }
+
+    #[test]
+    fn lex_error_carries_span() {
+        let err = tokenize_spanned("select a ? b").unwrap_err();
+        assert_eq!(err.span.to_pair(), (9, 10));
+        assert!(err.message.contains("unexpected character"));
     }
 }

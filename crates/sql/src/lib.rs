@@ -10,9 +10,13 @@ pub mod error;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod span;
 
-pub use ast::{AggName, BinOp, Expr, FromItem, SelectItem, SelectStmt, Statement};
+pub use ast::{AggName, BinOp, Expr, ExprKind, FromItem, SelectItem, SelectStmt, Statement};
 pub use error::SqlError;
-pub use lexer::{tokenize, Token};
-pub use lower::{lower_batch_sql, SqlLowerer};
-pub use parser::{parse_batch, parse_one};
+pub use lexer::{tokenize, tokenize_spanned, LexError, Token};
+pub use lower::{collect_conjunct_exprs, lower_batch_sql, LowerTrace, SqlLowerer};
+pub use parser::{
+    parse_batch, parse_batch_recovering, parse_one, ParseError, ParsedBatch, ParsedStatement,
+};
+pub use span::Span;

@@ -9,16 +9,31 @@
 
 use crate::ast::*;
 use crate::error::SqlError;
+use crate::span::Span;
 use cse_algebra::{
     AggExpr, AggFunc, ArithOp, BlockId, CmpOp, ColRef, LogicalPlan, PlanContext, RelId, Scalar,
     SortOrder,
 };
 use cse_storage::{Catalog, DataType, Value};
 
+/// Side-channel the lowerer fills in for downstream analyzers: which
+/// source spans the lowered predicate conjuncts and group keys came
+/// from. Reset per top-level statement ([`SqlLowerer::lower_select`]);
+/// nested subquery blocks append to the enclosing statement's trace.
+#[derive(Debug, Clone, Default)]
+pub struct LowerTrace {
+    /// Normalized WHERE-level conjuncts with their source spans.
+    pub pred_spans: Vec<(Scalar, Span)>,
+    /// Group-by key columns with their source spans.
+    pub key_spans: Vec<(ColRef, Span)>,
+}
+
 /// Lowers statements against a catalog, accumulating one shared context.
 pub struct SqlLowerer<'a> {
     pub catalog: &'a Catalog,
     pub ctx: PlanContext,
+    /// Span trace of the most recently lowered statement.
+    pub trace: LowerTrace,
 }
 
 /// Lower a whole SQL batch: returns the shared context and a `Batch` plan
@@ -79,11 +94,13 @@ impl<'a> SqlLowerer<'a> {
         SqlLowerer {
             catalog,
             ctx: PlanContext::new(),
+            trace: LowerTrace::default(),
         }
     }
 
     /// Lower one SELECT statement into a plan rooted at a Project.
     pub fn lower_select(&mut self, stmt: &SelectStmt) -> Result<LogicalPlan, SqlError> {
+        self.trace = LowerTrace::default();
         let block = self.ctx.new_block();
         self.lower_select_in_block(stmt, block)
     }
@@ -119,10 +136,25 @@ impl<'a> SqlLowerer<'a> {
             });
         }
 
-        // WHERE: lower predicate, pulling out scalar subqueries.
+        // WHERE: lower predicate, pulling out scalar subqueries. Lower
+        // top-level AST conjuncts one by one so each lowered conjunct can
+        // be traced back to its source span (`Scalar::and` flattens, so
+        // the combined predicate is identical to lowering the whole tree).
         let mut where_subs: Vec<LogicalPlan> = Vec::new();
         let where_pred = match &stmt.where_clause {
-            Some(e) => Some(self.lower_pred_with_subs(e, &scope, &mut where_subs, block)?),
+            Some(e) => {
+                let mut parts: Vec<&Expr> = Vec::new();
+                collect_conjunct_exprs(e, &mut parts);
+                let mut lowered = Vec::with_capacity(parts.len());
+                for part in parts {
+                    let s = self.lower_pred_with_subs(part, &scope, &mut where_subs, block)?;
+                    self.trace
+                        .pred_spans
+                        .push((s.clone().normalize(), part.span));
+                    lowered.push(s);
+                }
+                Some(Scalar::and(lowered))
+            }
             None => None,
         };
 
@@ -196,6 +228,7 @@ impl<'a> SqlLowerer<'a> {
         for g in &stmt.group_by {
             match self.lower_expr(g, &scope, &Mode::Pre)? {
                 Scalar::Col(c) => {
+                    self.trace.key_spans.push((c, g.span));
                     if !keys.contains(&c) {
                         keys.push(c)
                     }
@@ -343,10 +376,10 @@ impl<'a> SqlLowerer<'a> {
 
     /// ORDER BY aliases: `order by totaldisc desc` refers to a select item.
     fn resolve_alias(&self, e: &Expr, exprs: &[(String, Scalar)]) -> Option<Scalar> {
-        if let Expr::Column {
+        if let ExprKind::Column {
             qualifier: None,
             name,
-        } = e
+        } = &e.kind
         {
             return exprs
                 .iter()
@@ -360,9 +393,11 @@ impl<'a> SqlLowerer<'a> {
         if let Some(a) = alias {
             return a.to_string();
         }
-        match e {
-            Expr::Column { name, .. } => name.clone(),
-            Expr::Agg { func, .. } => format!("{func:?}").to_ascii_lowercase() + &idx.to_string(),
+        match &e.kind {
+            ExprKind::Column { name, .. } => name.clone(),
+            ExprKind::Agg { func, .. } => {
+                format!("{func:?}").to_ascii_lowercase() + &idx.to_string()
+            }
             _ => format!("col{idx}"),
         }
     }
@@ -405,25 +440,25 @@ impl<'a> SqlLowerer<'a> {
         subs: &mut Vec<LogicalPlan>,
         block: BlockId,
     ) -> Result<Scalar, SqlError> {
-        match e {
-            Expr::Subquery(stmt) => {
+        match &e.kind {
+            ExprKind::Subquery(stmt) => {
                 let (plan, value) = self.lower_scalar_subquery(stmt)?;
                 let _ = block;
                 subs.push(plan);
                 Ok(value)
             }
-            Expr::And(a, b) => Ok(Scalar::and([
+            ExprKind::And(a, b) => Ok(Scalar::and([
                 self.lower_expr_subs(a, scope, mode, subs, block)?,
                 self.lower_expr_subs(b, scope, mode, subs, block)?,
             ])),
-            Expr::Or(a, b) => Ok(Scalar::or([
+            ExprKind::Or(a, b) => Ok(Scalar::or([
                 self.lower_expr_subs(a, scope, mode, subs, block)?,
                 self.lower_expr_subs(b, scope, mode, subs, block)?,
             ])),
-            Expr::Not(a) => Ok(Scalar::Not(Box::new(
+            ExprKind::Not(a) => Ok(Scalar::Not(Box::new(
                 self.lower_expr_subs(a, scope, mode, subs, block)?,
             ))),
-            Expr::Binary(op, a, b) => {
+            ExprKind::Binary(op, a, b) => {
                 let la = self.lower_expr_subs(a, scope, mode, subs, block)?;
                 let lb = self.lower_expr_subs(b, scope, mode, subs, block)?;
                 self.lower_binary(*op, la, lb)
@@ -466,6 +501,7 @@ impl<'a> SqlLowerer<'a> {
             group_by: vec![],
             having: None,
             order_by: vec![],
+            span: stmt.span,
         };
         // Reuse the main path, then strip the Project and recover its expr.
         let lowered = self.lower_select_in_block(&inner, block)?;
@@ -491,8 +527,8 @@ impl<'a> SqlLowerer<'a> {
         scope: &[ScopeRel],
         mode: &Mode<'_>,
     ) -> Result<Scalar, SqlError> {
-        match e {
-            Expr::Column { qualifier, name } => {
+        match &e.kind {
+            ExprKind::Column { qualifier, name } => {
                 let col = self.resolve_column(qualifier.as_deref(), name, scope)?;
                 if let Mode::Post { keys, .. } = mode {
                     if !keys.contains(&col) {
@@ -503,24 +539,24 @@ impl<'a> SqlLowerer<'a> {
                 }
                 Ok(Scalar::Col(col))
             }
-            Expr::Int(i) => Ok(Scalar::int(*i)),
-            Expr::Float(f) => Ok(Scalar::lit(Value::Float(*f))),
-            Expr::Str(s) => Ok(Scalar::lit(Value::str(s))),
-            Expr::Binary(op, a, b) => {
+            ExprKind::Int(i) => Ok(Scalar::int(*i)),
+            ExprKind::Float(f) => Ok(Scalar::lit(Value::Float(*f))),
+            ExprKind::Str(s) => Ok(Scalar::lit(Value::str(s))),
+            ExprKind::Binary(op, a, b) => {
                 let la = self.lower_expr(a, scope, mode)?;
                 let lb = self.lower_expr(b, scope, mode)?;
                 self.lower_binary(*op, la, lb)
             }
-            Expr::And(a, b) => Ok(Scalar::and([
+            ExprKind::And(a, b) => Ok(Scalar::and([
                 self.lower_expr(a, scope, mode)?,
                 self.lower_expr(b, scope, mode)?,
             ])),
-            Expr::Or(a, b) => Ok(Scalar::or([
+            ExprKind::Or(a, b) => Ok(Scalar::or([
                 self.lower_expr(a, scope, mode)?,
                 self.lower_expr(b, scope, mode)?,
             ])),
-            Expr::Not(a) => Ok(Scalar::Not(Box::new(self.lower_expr(a, scope, mode)?))),
-            Expr::IsNull(a, negated) => {
+            ExprKind::Not(a) => Ok(Scalar::Not(Box::new(self.lower_expr(a, scope, mode)?))),
+            ExprKind::IsNull(a, negated) => {
                 let inner = Scalar::IsNull(Box::new(self.lower_expr(a, scope, mode)?));
                 Ok(if *negated {
                     Scalar::Not(Box::new(inner))
@@ -528,7 +564,7 @@ impl<'a> SqlLowerer<'a> {
                     inner
                 })
             }
-            Expr::Between {
+            ExprKind::Between {
                 expr,
                 lo,
                 hi,
@@ -546,7 +582,7 @@ impl<'a> SqlLowerer<'a> {
                     both
                 })
             }
-            Expr::Agg { func, arg } => match mode {
+            ExprKind::Agg { func, arg } => match mode {
                 Mode::Pre => Err(SqlError::Bind("aggregate not allowed here".into())),
                 Mode::Post { aggs, out, .. } => {
                     let replacement =
@@ -554,7 +590,7 @@ impl<'a> SqlLowerer<'a> {
                     Ok(replacement)
                 }
             },
-            Expr::Subquery(_) => Err(SqlError::Unsupported(
+            ExprKind::Subquery(_) => Err(SqlError::Unsupported(
                 "subquery not allowed in this position".into(),
             )),
         }
@@ -658,8 +694,8 @@ impl<'a> SqlLowerer<'a> {
         scope: &[ScopeRel],
         out: &mut Vec<AggExpr>,
     ) -> Result<(), SqlError> {
-        match e {
-            Expr::Agg { func, arg } => match func {
+        match &e.kind {
+            ExprKind::Agg { func, arg } => match func {
                 AggName::Avg => {
                     let a = arg
                         .as_deref()
@@ -681,22 +717,22 @@ impl<'a> SqlLowerer<'a> {
                     }
                 }
             },
-            Expr::Binary(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+            ExprKind::Binary(_, a, b) | ExprKind::And(a, b) | ExprKind::Or(a, b) => {
                 self.collect_aggs(a, scope, out)?;
                 self.collect_aggs(b, scope, out)?;
             }
-            Expr::Not(a) | Expr::IsNull(a, _) => self.collect_aggs(a, scope, out)?,
-            Expr::Between { expr, lo, hi, .. } => {
+            ExprKind::Not(a) | ExprKind::IsNull(a, _) => self.collect_aggs(a, scope, out)?,
+            ExprKind::Between { expr, lo, hi, .. } => {
                 self.collect_aggs(expr, scope, out)?;
                 self.collect_aggs(lo, scope, out)?;
                 self.collect_aggs(hi, scope, out)?;
             }
             // Subqueries keep their own aggregates.
-            Expr::Subquery(_)
-            | Expr::Column { .. }
-            | Expr::Int(_)
-            | Expr::Float(_)
-            | Expr::Str(_) => {}
+            ExprKind::Subquery(_)
+            | ExprKind::Column { .. }
+            | ExprKind::Int(_)
+            | ExprKind::Float(_)
+            | ExprKind::Str(_) => {}
         }
         Ok(())
     }
@@ -764,15 +800,26 @@ fn extract_join_preds(remaining: &mut Vec<Scalar>, covered: cse_algebra::RelSet)
 }
 
 fn contains_agg(e: &Expr) -> bool {
-    match e {
-        Expr::Agg { .. } => true,
-        Expr::Binary(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+    match &e.kind {
+        ExprKind::Agg { .. } => true,
+        ExprKind::Binary(_, a, b) | ExprKind::And(a, b) | ExprKind::Or(a, b) => {
             contains_agg(a) || contains_agg(b)
         }
-        Expr::Not(a) | Expr::IsNull(a, _) => contains_agg(a),
-        Expr::Between { expr, lo, hi, .. } => {
+        ExprKind::Not(a) | ExprKind::IsNull(a, _) => contains_agg(a),
+        ExprKind::Between { expr, lo, hi, .. } => {
             contains_agg(expr) || contains_agg(lo) || contains_agg(hi)
         }
         _ => false,
+    }
+}
+
+/// Split an AST predicate into its top-level conjuncts (the `AND` spine).
+pub fn collect_conjunct_exprs<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match &e.kind {
+        ExprKind::And(a, b) => {
+            collect_conjunct_exprs(a, out);
+            collect_conjunct_exprs(b, out);
+        }
+        _ => out.push(e),
     }
 }

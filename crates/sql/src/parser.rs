@@ -1,30 +1,115 @@
 //! Recursive-descent parser for the SQL subset.
+//!
+//! Two entry points: [`parse_batch`] (strict — any error fails the whole
+//! batch) and [`parse_batch_recovering`] (lint-friendly — a statement
+//! that fails to parse produces one [`ParseError`] and the parser skips
+//! to the next `;` so every other statement in the batch still parses).
+//! All errors carry byte spans into the source.
 
 use crate::ast::*;
-use crate::lexer::{tokenize, Token};
+use crate::lexer::{tokenize_spanned, Token};
+use crate::span::Span;
+use std::fmt;
+
+/// A parse failure with the byte range it occurred at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at bytes {}", self.message, self.span)
+    }
+}
+
+/// One successfully parsed statement of a recovering batch parse.
+#[derive(Debug, Clone)]
+pub struct ParsedStatement {
+    pub stmt: Statement,
+    /// Ordinal of the statement within the batch, counting statements that
+    /// failed to parse (so indices match source order).
+    pub index: usize,
+    /// Byte span of the statement text (excluding the trailing `;`).
+    pub span: Span,
+}
+
+/// Result of [`parse_batch_recovering`]: everything that parsed plus one
+/// error per statement that didn't.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedBatch {
+    pub statements: Vec<ParsedStatement>,
+    pub errors: Vec<ParseError>,
+}
 
 pub struct Parser {
     toks: Vec<Token>,
+    spans: Vec<Span>,
     pos: usize,
+    /// Byte length of the input (for end-of-input error spans).
+    eof: usize,
 }
 
-/// Parse a semicolon-separated batch of statements.
-pub fn parse_batch(sql: &str) -> Result<Vec<Statement>, String> {
-    let mut p = Parser {
-        toks: tokenize(sql)?,
-        pos: 0,
+/// Parse a semicolon-separated batch, recovering at statement boundaries:
+/// on an error the parser records it and skips past the next `;`, so one
+/// bad statement yields one diagnostic instead of aborting the batch.
+pub fn parse_batch_recovering(sql: &str) -> ParsedBatch {
+    let spanned = match tokenize_spanned(sql) {
+        Ok(t) => t,
+        Err(e) => {
+            return ParsedBatch {
+                statements: Vec::new(),
+                errors: vec![ParseError {
+                    message: e.message,
+                    span: e.span,
+                }],
+            }
+        }
     };
-    let mut out = Vec::new();
+    let (toks, spans): (Vec<Token>, Vec<Span>) = spanned.into_iter().unzip();
+    let mut p = Parser {
+        toks,
+        spans,
+        pos: 0,
+        eof: sql.len(),
+    };
+    let mut out = ParsedBatch::default();
+    let mut index = 0usize;
     while !p.at_end() {
         if p.eat(&Token::Semi) {
             continue;
         }
-        out.push(p.statement()?);
+        let start = p.cur_span();
+        match p.statement() {
+            Ok(stmt) => {
+                out.statements.push(ParsedStatement {
+                    stmt,
+                    index,
+                    span: start.merge(p.prev_span()),
+                });
+            }
+            Err(e) => {
+                out.errors.push(e);
+                p.recover_to_semi();
+            }
+        }
+        index += 1;
     }
-    if out.is_empty() {
+    out
+}
+
+/// Parse a semicolon-separated batch of statements (strict: the first
+/// error fails the whole batch).
+pub fn parse_batch(sql: &str) -> Result<Vec<Statement>, String> {
+    let batch = parse_batch_recovering(sql);
+    if let Some(e) = batch.errors.first() {
+        return Err(e.to_string());
+    }
+    if batch.statements.is_empty() {
         return Err("empty batch".into());
     }
-    Ok(out)
+    Ok(batch.statements.into_iter().map(|s| s.stmt).collect())
 }
 
 /// Parse exactly one statement.
@@ -45,12 +130,50 @@ impl Parser {
         self.toks.get(self.pos)
     }
 
-    fn next(&mut self) -> Result<Token, String> {
+    /// Span of the token at the cursor (or a zero-width span at EOF).
+    fn cur_span(&self) -> Span {
+        self.spans
+            .get(self.pos)
+            .copied()
+            .unwrap_or_else(|| Span::point(self.eof))
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        if self.pos == 0 {
+            Span::point(0)
+        } else {
+            self.spans
+                .get(self.pos - 1)
+                .copied()
+                .unwrap_or_else(|| Span::point(self.eof))
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span: self.cur_span(),
+        }
+    }
+
+    /// Skip forward past the next `;` (statement-level error recovery).
+    fn recover_to_semi(&mut self) {
+        while !self.at_end() {
+            let is_semi = matches!(self.peek(), Some(Token::Semi));
+            self.pos += 1;
+            if is_semi {
+                break;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
         let t = self
             .toks
             .get(self.pos)
             .cloned()
-            .ok_or("unexpected end of input")?;
+            .ok_or_else(|| self.err("unexpected end of input"))?;
         self.pos += 1;
         Ok(t)
     }
@@ -64,14 +187,14 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, t: &Token) -> Result<(), String> {
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(format!(
+            Err(self.err(format!(
                 "expected {t}, found {}",
                 self.peek().map(|x| x.to_string()).unwrap_or("EOF".into())
-            ))
+            )))
         }
     }
 
@@ -84,25 +207,29 @@ impl Parser {
         }
     }
 
-    fn expect_kw(&mut self, kw: &str) -> Result<(), String> {
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(format!(
+            Err(self.err(format!(
                 "expected {kw}, found {}",
                 self.peek().map(|x| x.to_string()).unwrap_or("EOF".into())
-            ))
+            )))
         }
     }
 
-    fn ident(&mut self) -> Result<String, String> {
-        match self.next()? {
-            Token::Ident(s) => Ok(s),
-            other => Err(format!("expected identifier, found {other}")),
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(_)) => match self.next()? {
+                Token::Ident(s) => Ok(s),
+                _ => unreachable!("peeked Ident"),
+            },
+            Some(other) => Err(self.err(format!("expected identifier, found {other}"))),
+            None => Err(self.err("expected identifier, found EOF")),
         }
     }
 
-    fn statement(&mut self) -> Result<Statement, String> {
+    fn statement(&mut self) -> Result<Statement, ParseError> {
         if self.eat_kw("CREATE") {
             self.expect_kw("MATERIALIZED")?;
             self.expect_kw("VIEW")?;
@@ -114,7 +241,8 @@ impl Parser {
         Ok(Statement::Select(self.select_stmt()?))
     }
 
-    fn select_stmt(&mut self) -> Result<SelectStmt, String> {
+    fn select_stmt(&mut self) -> Result<SelectStmt, ParseError> {
+        let start = self.cur_span();
         self.expect_kw("SELECT")?;
         let mut select = Vec::new();
         loop {
@@ -139,6 +267,7 @@ impl Parser {
         self.expect_kw("FROM")?;
         let mut from = Vec::new();
         loop {
+            let item_start = self.cur_span();
             let table = self.ident()?;
             let alias = if self.eat_kw("AS") {
                 Some(self.ident()?)
@@ -147,7 +276,11 @@ impl Parser {
             } else {
                 None
             };
-            from.push(FromItem { table, alias });
+            from.push(FromItem {
+                table,
+                alias,
+                span: item_start.merge(self.prev_span()),
+            });
             if !self.eat(&Token::Comma) {
                 break;
             }
@@ -196,46 +329,53 @@ impl Parser {
             group_by,
             having,
             order_by,
+            span: start.merge(self.prev_span()),
         })
     }
 
     /// expr := or_expr
-    fn expr(&mut self) -> Result<Expr, String> {
+    fn expr(&mut self) -> Result<Expr, ParseError> {
         self.or_expr()
     }
 
-    fn or_expr(&mut self) -> Result<Expr, String> {
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.and_expr()?;
         while self.eat_kw("OR") {
             let rhs = self.and_expr()?;
-            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Or(Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
 
-    fn and_expr(&mut self) -> Result<Expr, String> {
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.not_expr()?;
         while self.eat_kw("AND") {
             let rhs = self.not_expr()?;
-            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::And(Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
 
-    fn not_expr(&mut self) -> Result<Expr, String> {
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.cur_span();
         if self.eat_kw("NOT") {
-            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+            let inner = self.not_expr()?;
+            let span = start.merge(inner.span);
+            return Ok(Expr::new(ExprKind::Not(Box::new(inner)), span));
         }
         self.cmp_expr()
     }
 
-    fn cmp_expr(&mut self) -> Result<Expr, String> {
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
         let lhs = self.add_expr()?;
         // IS [NOT] NULL
         if self.eat_kw("IS") {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
-            return Ok(Expr::IsNull(Box::new(lhs), negated));
+            let span = lhs.span.merge(self.prev_span());
+            return Ok(Expr::new(ExprKind::IsNull(Box::new(lhs), negated), span));
         }
         // [NOT] BETWEEN a AND b
         let negated = if matches!(self.peek(), Some(Token::Keyword(k)) if k == "NOT") {
@@ -253,12 +393,16 @@ impl Parser {
             let lo = self.add_expr()?;
             self.expect_kw("AND")?;
             let hi = self.add_expr()?;
-            return Ok(Expr::Between {
-                expr: Box::new(lhs),
-                lo: Box::new(lo),
-                hi: Box::new(hi),
-                negated,
-            });
+            let span = lhs.span.merge(hi.span);
+            return Ok(Expr::new(
+                ExprKind::Between {
+                    expr: Box::new(lhs),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    negated,
+                },
+                span,
+            ));
         }
         let op = match self.peek() {
             Some(Token::Eq) => BinOp::Eq,
@@ -271,10 +415,14 @@ impl Parser {
         };
         self.pos += 1;
         let rhs = self.add_expr()?;
-        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+        let span = lhs.span.merge(rhs.span);
+        Ok(Expr::new(
+            ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            span,
+        ))
     }
 
-    fn add_expr(&mut self) -> Result<Expr, String> {
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.mul_expr()?;
         loop {
             let op = match self.peek() {
@@ -284,12 +432,13 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
 
-    fn mul_expr(&mut self) -> Result<Expr, String> {
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.unary_expr()?;
         loop {
             let op = match self.peek() {
@@ -299,37 +448,51 @@ impl Parser {
             };
             self.pos += 1;
             let rhs = self.unary_expr()?;
-            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
         }
         Ok(lhs)
     }
 
-    fn unary_expr(&mut self) -> Result<Expr, String> {
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let start = self.cur_span();
         if self.eat(&Token::Minus) {
             let inner = self.unary_expr()?;
-            return Ok(match inner {
-                Expr::Int(i) => Expr::Int(-i),
-                Expr::Float(f) => Expr::Float(-f),
-                other => Expr::Binary(BinOp::Sub, Box::new(Expr::Int(0)), Box::new(other)),
+            let span = start.merge(inner.span);
+            return Ok(match inner.kind {
+                ExprKind::Int(i) => Expr::new(ExprKind::Int(-i), span),
+                ExprKind::Float(f) => Expr::new(ExprKind::Float(-f), span),
+                other => Expr::new(
+                    ExprKind::Binary(
+                        BinOp::Sub,
+                        Box::new(Expr::new(ExprKind::Int(0), start)),
+                        Box::new(Expr::new(other, inner.span)),
+                    ),
+                    span,
+                ),
             });
         }
         self.primary()
     }
 
-    fn primary(&mut self) -> Result<Expr, String> {
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let start = self.cur_span();
         match self.next()? {
-            Token::Int(i) => Ok(Expr::Int(i)),
-            Token::Float(f) => Ok(Expr::Float(f)),
-            Token::Str(s) => Ok(Expr::Str(s)),
+            Token::Int(i) => Ok(Expr::new(ExprKind::Int(i), start)),
+            Token::Float(f) => Ok(Expr::new(ExprKind::Float(f), start)),
+            Token::Str(s) => Ok(Expr::new(ExprKind::Str(s), start)),
             Token::LParen => {
                 // Scalar subquery or parenthesized expression.
                 if matches!(self.peek(), Some(Token::Keyword(k)) if k == "SELECT") {
                     let sub = self.select_stmt()?;
                     self.expect(&Token::RParen)?;
-                    return Ok(Expr::Subquery(Box::new(sub)));
+                    let span = start.merge(self.prev_span());
+                    return Ok(Expr::new(ExprKind::Subquery(Box::new(sub)), span));
                 }
-                let e = self.expr()?;
+                let mut e = self.expr()?;
                 self.expect(&Token::RParen)?;
+                // Widen to cover the parentheses.
+                e.span = start.merge(self.prev_span());
                 Ok(e)
             }
             Token::Keyword(k) if matches!(k.as_str(), "SUM" | "COUNT" | "MIN" | "MAX" | "AVG") => {
@@ -343,35 +506,56 @@ impl Parser {
                 };
                 if func == AggName::Count && self.eat(&Token::Star) {
                     self.expect(&Token::RParen)?;
-                    return Ok(Expr::Agg { func, arg: None });
+                    let span = start.merge(self.prev_span());
+                    return Ok(Expr::new(ExprKind::Agg { func, arg: None }, span));
                 }
                 // DISTINCT is recognized but unsupported.
                 if self.eat_kw("DISTINCT") {
-                    return Err("DISTINCT aggregates are not supported".into());
+                    return Err(ParseError {
+                        message: "DISTINCT aggregates are not supported".into(),
+                        span: self.prev_span(),
+                    });
                 }
                 let arg = self.expr()?;
                 self.expect(&Token::RParen)?;
-                Ok(Expr::Agg {
-                    func,
-                    arg: Some(Box::new(arg)),
-                })
+                let span = start.merge(self.prev_span());
+                Ok(Expr::new(
+                    ExprKind::Agg {
+                        func,
+                        arg: Some(Box::new(arg)),
+                    },
+                    span,
+                ))
             }
-            Token::Keyword(k) if k == "NULL" => Err("bare NULL literal not supported".into()),
+            Token::Keyword(k) if k == "NULL" => Err(ParseError {
+                message: "bare NULL literal not supported".into(),
+                span: start,
+            }),
             Token::Ident(first) => {
                 if self.eat(&Token::Dot) {
                     let col = self.ident()?;
-                    Ok(Expr::Column {
-                        qualifier: Some(first),
-                        name: col,
-                    })
+                    let span = start.merge(self.prev_span());
+                    Ok(Expr::new(
+                        ExprKind::Column {
+                            qualifier: Some(first),
+                            name: col,
+                        },
+                        span,
+                    ))
                 } else {
-                    Ok(Expr::Column {
-                        qualifier: None,
-                        name: first,
-                    })
+                    Ok(Expr::new(
+                        ExprKind::Column {
+                            qualifier: None,
+                            name: first,
+                        },
+                        start,
+                    ))
                 }
             }
-            other => Err(format!("unexpected token {other}")),
+            other => Err(ParseError {
+                message: format!("unexpected token {other}"),
+                span: start,
+            }),
         }
     }
 }
@@ -415,7 +599,10 @@ mod tests {
                    order by totaldisc desc";
         let stmt = parse_one(sql).unwrap();
         let Statement::Select(s) = stmt else { panic!() };
-        assert!(matches!(s.having, Some(Expr::Binary(BinOp::Gt, _, _))));
+        assert!(matches!(
+            s.having.as_ref().map(|e| &e.kind),
+            Some(ExprKind::Binary(BinOp::Gt, _, _))
+        ));
         assert_eq!(s.order_by.len(), 1);
         assert!(s.order_by[0].1);
     }
@@ -440,7 +627,10 @@ mod tests {
     fn parses_between() {
         let stmt = parse_one("select a from t where a between 1 and 5").unwrap();
         let Statement::Select(s) = stmt else { panic!() };
-        assert!(matches!(s.where_clause, Some(Expr::Between { .. })));
+        assert!(matches!(
+            s.where_clause.as_ref().map(|e| &e.kind),
+            Some(ExprKind::Between { .. })
+        ));
     }
 
     #[test]
@@ -457,7 +647,10 @@ mod tests {
         let stmt = parse_one("select a from t where a < 1 + 2 * 3 and b = 4 or c = 5").unwrap();
         let Statement::Select(s) = stmt else { panic!() };
         // (a < 7-ish AND b=4) OR c=5 — top must be OR.
-        assert!(matches!(s.where_clause, Some(Expr::Or(_, _))));
+        assert!(matches!(
+            s.where_clause.as_ref().map(|e| &e.kind),
+            Some(ExprKind::Or(_, _))
+        ));
     }
 
     #[test]
@@ -465,5 +658,77 @@ mod tests {
         assert!(parse_one("selec a from t").is_err());
         assert!(parse_one("select from t").is_err());
         assert!(parse_batch("").is_err());
+    }
+
+    #[test]
+    fn expr_spans_point_at_source() {
+        let sql = "select a from t where a < 5 and b >= 10";
+        let Statement::Select(s) = parse_one(sql).unwrap() else {
+            panic!()
+        };
+        let w = s.where_clause.unwrap();
+        // The whole conjunction covers "a < 5 and b >= 10".
+        assert_eq!(w.span.slice(sql), "a < 5 and b >= 10");
+        let ExprKind::And(lhs, rhs) = w.kind else {
+            panic!()
+        };
+        assert_eq!(lhs.span.slice(sql), "a < 5");
+        assert_eq!(rhs.span.slice(sql), "b >= 10");
+    }
+
+    #[test]
+    fn statement_and_from_spans() {
+        let sql = "select a from t;  select b from u x;";
+        let batch = parse_batch_recovering(sql);
+        assert!(batch.errors.is_empty());
+        assert_eq!(batch.statements.len(), 2);
+        assert_eq!(batch.statements[0].span.slice(sql), "select a from t");
+        assert_eq!(batch.statements[1].index, 1);
+        assert_eq!(batch.statements[1].span.slice(sql), "select b from u x");
+        let Statement::Select(s) = &batch.statements[1].stmt else {
+            panic!()
+        };
+        assert_eq!(s.from[0].span.slice(sql), "u x");
+    }
+
+    #[test]
+    fn parse_error_carries_span() {
+        let sql = "select from t";
+        let batch = parse_batch_recovering(sql);
+        assert_eq!(batch.errors.len(), 1);
+        let e = &batch.errors[0];
+        // Error points at the FROM keyword where an expression was expected.
+        assert_eq!(e.span.slice(sql), "from");
+        assert!(e.message.contains("unexpected token"), "{e}");
+    }
+
+    #[test]
+    fn recovers_past_two_distinct_errors() {
+        // Four statements: #0 ok, #1 garbage head, #2 missing select list,
+        // #3 ok. Recovery must surface exactly the two errors and both
+        // good statements.
+        let sql = "select a from t; \
+                   selec oops from t; \
+                   select from t; \
+                   select b from u;";
+        let batch = parse_batch_recovering(sql);
+        assert_eq!(batch.statements.len(), 2, "{batch:?}");
+        assert_eq!(batch.errors.len(), 2, "{batch:?}");
+        assert_eq!(batch.statements[0].index, 0);
+        assert_eq!(batch.statements[1].index, 3);
+        // The two errors are distinct and each carries a span inside its
+        // own statement.
+        assert_ne!(batch.errors[0].message, batch.errors[1].message);
+        assert!(batch.errors[0].span.start < batch.errors[1].span.start);
+        // Strict mode still fails the whole batch.
+        assert!(parse_batch(sql).is_err());
+    }
+
+    #[test]
+    fn recovering_handles_lex_error() {
+        let batch = parse_batch_recovering("select a from t where a ? 3");
+        assert!(batch.statements.is_empty());
+        assert_eq!(batch.errors.len(), 1);
+        assert!(batch.errors[0].message.contains("unexpected character"));
     }
 }

@@ -1,0 +1,90 @@
+//! Byte spans into the original SQL text.
+//!
+//! Every token carries the half-open byte range `[start, end)` it was
+//! lexed from; the parser merges token spans upward so every AST node —
+//! and therefore every lint diagnostic derived from one — can point at
+//! the exact source offsets it talks about.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the analyzed SQL text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    pub const ZERO: Span = Span { start: 0, end: 0 };
+
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    /// Zero-width span at `at` (end-of-input errors).
+    pub fn point(at: usize) -> Self {
+        Span::new(at, at)
+    }
+
+    /// Smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        if other == Span::ZERO && self != Span::ZERO {
+            return self;
+        }
+        if self == Span::ZERO {
+            return other;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// As the `(start, end)` pair diagnostics carry.
+    pub fn to_pair(self) -> (u32, u32) {
+        (self.start, self.end)
+    }
+
+    /// The source text this span covers (empty if out of bounds).
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source
+            .get(self.start as usize..self.end as usize)
+            .unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn merge_with_zero_is_identity() {
+        let a = Span::new(3, 7);
+        assert_eq!(a.merge(Span::ZERO), a);
+        assert_eq!(Span::ZERO.merge(a), a);
+    }
+
+    #[test]
+    fn slice_extracts_source() {
+        let src = "select a from t";
+        assert_eq!(Span::new(7, 8).slice(src), "a");
+        assert_eq!(Span::new(7, 99).slice(src), "");
+    }
+}

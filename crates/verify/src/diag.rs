@@ -1,27 +1,13 @@
 //! Structured diagnostics: every verifier pass reports violations through
 //! these types so callers (pipeline, CLI, bench report, tests) can filter
 //! by rule and severity instead of parsing strings.
+//!
+//! The carrier types ([`Severity`], [`Diagnostic`], [`Report`]) live in the
+//! shared `cse-diag` crate so the frontend linter (`cse-lint`) can emit the
+//! same shape; this module re-exports them and keeps the verifier's own
+//! rule-id catalogue (the `lint/…` namespace belongs to `cse-lint`).
 
-use std::collections::BTreeSet;
-use std::fmt;
-
-/// How bad a finding is. `Error` means a soundness invariant is violated
-/// and the plan must not be executed; `Warning` flags suspicious but not
-/// provably wrong states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Severity {
-    Warning,
-    Error,
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Severity::Warning => write!(f, "warning"),
-            Severity::Error => write!(f, "error"),
-        }
-    }
-}
+pub use cse_diag::{Diagnostic, Report, Severity};
 
 /// Stable rule identifiers, one per invariant. Grouped by pass family.
 pub mod rules {
@@ -89,112 +75,10 @@ pub mod rules {
     ];
 }
 
-/// One finding: which rule fired, where, and why.
-#[derive(Debug, Clone)]
-pub struct Diagnostic {
-    pub severity: Severity,
-    /// Stable identifier from [`rules`].
-    pub rule_id: &'static str,
-    /// Group / candidate / plan path the finding refers to
-    /// (e.g. `G12`, `cse#3/member[1]`).
-    pub path: String,
-    pub message: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}: [{}] {}: {}",
-            self.severity, self.rule_id, self.path, self.message
-        )
-    }
-}
-
-/// The merged output of one or more verifier passes.
-#[derive(Debug, Clone, Default)]
-pub struct Report {
-    pub diagnostics: Vec<Diagnostic>,
-}
-
-impl Report {
-    pub fn new() -> Self {
-        Report::default()
-    }
-
-    /// Record an `Error`-severity finding.
-    pub fn error(
-        &mut self,
-        rule_id: &'static str,
-        path: impl Into<String>,
-        message: impl Into<String>,
-    ) {
-        self.diagnostics.push(Diagnostic {
-            severity: Severity::Error,
-            rule_id,
-            path: path.into(),
-            message: message.into(),
-        });
-    }
-
-    /// Record a `Warning`-severity finding.
-    pub fn warn(
-        &mut self,
-        rule_id: &'static str,
-        path: impl Into<String>,
-        message: impl Into<String>,
-    ) {
-        self.diagnostics.push(Diagnostic {
-            severity: Severity::Warning,
-            rule_id,
-            path: path.into(),
-            message: message.into(),
-        });
-    }
-
-    /// Fold another report's findings into this one.
-    pub fn merge(&mut self, other: Report) {
-        self.diagnostics.extend(other.diagnostics);
-    }
-
-    /// Number of `Error`-severity findings.
-    pub fn error_count(&self) -> usize {
-        self.diagnostics
-            .iter()
-            .filter(|d| d.severity == Severity::Error)
-            .count()
-    }
-
-    /// No findings at all (the acceptance state for healthy plans).
-    pub fn is_clean(&self) -> bool {
-        self.diagnostics.is_empty()
-    }
-
-    /// The distinct rules that fired.
-    pub fn fired_rules(&self) -> BTreeSet<&'static str> {
-        self.diagnostics.iter().map(|d| d.rule_id).collect()
-    }
-
-    /// Human-readable rendering, one diagnostic per line.
-    pub fn render(&self) -> String {
-        if self.is_clean() {
-            return "verification: clean (0 diagnostics)".to_string();
-        }
-        let mut s = format!(
-            "verification: {} diagnostic(s), {} error(s)\n",
-            self.diagnostics.len(),
-            self.error_count()
-        );
-        for d in &self.diagnostics {
-            s.push_str(&format!("  {d}\n"));
-        }
-        s
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     #[test]
     fn report_accumulates_and_renders() {

@@ -2,7 +2,7 @@
 //! engine, preloaded with a TPC-H instance.
 //!
 //! ```text
-//! cargo run --release --bin qsql [-- --sf 0.01] [--verify]
+//! cargo run --release --bin qsql [-- --sf 0.01] [--verify] [--lint[=deny]]
 //!     [--budget-ms N] [--no-cse-fallback-only] [--fail <site>:<prob>[:<seed>]]
 //!
 //! qsql> select c_mktsegment, count(*) as n from customer group by c_mktsegment;
@@ -22,6 +22,7 @@ use std::io::{BufRead, Write};
 fn main() {
     let mut sf = 0.01f64;
     let mut verify = false;
+    let mut lint = LintMode::Off;
     let mut budget_ms: Option<u64> = None;
     let mut fallback_only = false;
     let mut fail_specs: Vec<FailSpec> = Vec::new();
@@ -37,6 +38,20 @@ fn main() {
             // Run the cse-verify invariant passes on every statement (on by
             // default in debug builds; this forces them on in release).
             "--verify" => verify = true,
+            // Run the qlint static analyzer over every batch. `--lint`
+            // reports diagnostics and feeds facts to the optimizer;
+            // `--lint=deny` additionally rejects any batch with a
+            // warning-or-worse finding (the CI gate mode).
+            a if a == "--lint" || a.starts_with("--lint=") => {
+                let mode = a.strip_prefix("--lint=").unwrap_or("warn");
+                lint = match mode.parse() {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             // Optimization budget: wall-clock deadline for the CSE phase.
             // A tripped budget degrades (full → capped → baseline) and
             // reports the downgrade; it never fails the query.
@@ -63,7 +78,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown flag {other}; usage: qsql [--sf N] [--verify] \
+                    "unknown flag {other}; usage: qsql [--sf N] [--verify] [--lint[=deny]] \
                      [--budget-ms N] [--no-cse-fallback-only] [--fail site:prob[:seed]]"
                 );
                 std::process::exit(2);
@@ -75,6 +90,7 @@ fn main() {
     let mut config = CseConfig {
         verify: verify || defaults.verify,
         fallback_only,
+        lint,
         ..defaults
     };
     if let Some(ms) = budget_ms {
@@ -132,6 +148,7 @@ fn command(session: &Session, cmd: &str) -> bool {
         ":help" => {
             println!(
                 ":explain <sql>;   show the chosen plan and spools\n\
+                 :lint <sql>;      run the static analyzer without executing\n\
                  :tables           list catalog tables\n\
                  :quit             leave"
             );
@@ -148,6 +165,13 @@ fn command(session: &Session, cmd: &str) -> bool {
             Ok(s) => println!("{s}"),
             Err(e) => eprintln!("{e}"),
         },
+        ":lint" => {
+            let out = session.lint_batch(rest);
+            print!("{}", out.report.render_as("lint"));
+            if out.report.is_clean() {
+                println!();
+            }
+        }
         other => eprintln!("unknown command {other}; try :help"),
     }
     true
@@ -164,6 +188,12 @@ fn run(session: &Session, sql: &str) {
             // to stderr so results stay machine-consumable on stdout.
             for ev in &out.events {
                 eprintln!("-- degraded: {ev}");
+            }
+            // Lint diagnostics likewise go to stderr.
+            if let Some(l) = &out.report.lint {
+                if !l.is_clean() {
+                    eprint!("{}", l.render_as("-- lint"));
+                }
             }
             let spools = out.metrics.spool_reads.len();
             let verified = match &out.report.verification {

@@ -40,8 +40,10 @@ pub mod session;
 pub use cse_algebra as algebra;
 pub use cse_core as core;
 pub use cse_cost as cost;
+pub use cse_diag as diag;
 pub use cse_exec as exec;
 pub use cse_govern as govern;
+pub use cse_lint as lint;
 pub use cse_memo as memo;
 pub use cse_optimizer as optimizer;
 pub use cse_sql as sql;
@@ -62,6 +64,7 @@ pub mod prelude {
     pub use cse_govern::{
         Budget, DegradationEvent, ExecLimits, FailSpec, FailpointRegistry, Reason, Rung,
     };
+    pub use cse_lint::{lint_batch, LintMode, LintOutcome};
     pub use cse_storage::{Catalog, Table, Value};
     pub use cse_tpch::{generate_catalog, TpchConfig};
 }

@@ -96,6 +96,19 @@ impl Session {
         cse_core::optimize_sql(&self.catalog, sql, &self.config).map_err(Error::Planning)
     }
 
+    /// Run the qlint static analyzer over a SQL batch without optimizing
+    /// or executing it: parse (with recovery), lower, and report
+    /// contradictions, tautologies, redundant conjuncts, dead columns and
+    /// cross-statement sharing hints with stable rule ids and byte spans.
+    ///
+    /// This never fails: broken statements become `lint/parse-error` /
+    /// `lint/bind-error` diagnostics in the returned outcome. To make
+    /// findings gate execution, set [`cse_lint::LintMode`] on the
+    /// session's [`CseConfig::lint`] instead.
+    pub fn lint_batch(&self, sql: &str) -> cse_lint::LintOutcome {
+        cse_lint::lint_batch(&self.catalog, sql)
+    }
+
     /// Optimize and execute a SQL batch (statements separated by `;`),
     /// under the configured governance: optimization budget, fault
     /// injection and execution limits.
@@ -208,6 +221,34 @@ mod tests {
             Err(Error::Planning(m)) => assert!(m.contains("nope")),
             other => panic!("expected planning error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn lint_batch_reports_and_query_respects_mode() {
+        let mut s = session();
+        let out = s.lint_batch("select k from t where k < 5 and k > 10");
+        assert!(out
+            .report
+            .fired_rules()
+            .contains(cse_lint::rules::CONTRADICTION));
+        assert!(out.facts.unsat_statements.contains(&0));
+        // Deny mode rejects the same batch at planning time…
+        let mut cfg = s.config().clone();
+        cfg.lint = cse_lint::LintMode::Deny;
+        s.set_config(cfg);
+        match s.query("select k from t where k < 5 and k > 10") {
+            Err(Error::Planning(m)) => assert!(m.contains("lint denied"), "{m}"),
+            other => panic!("expected lint denial, got {other:?}"),
+        }
+        // …while warn mode executes it (to an empty result) and attaches
+        // the report.
+        let mut cfg = s.config().clone();
+        cfg.lint = cse_lint::LintMode::Warn;
+        s.set_config(cfg);
+        let out = s.query("select k from t where k < 5 and k > 10").unwrap();
+        assert!(out.results[0].rows.is_empty());
+        let lint = out.report.lint.as_ref().expect("lint report attached");
+        assert!(lint.fired_rules().contains(cse_lint::rules::CONTRADICTION));
     }
 
     #[test]

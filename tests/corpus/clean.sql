@@ -1,0 +1,10 @@
+-- Two dissimilar aggregates over different tables: the analyzer should
+-- have nothing to say (not even a share hint).
+select c_mktsegment, count(*) as n
+from customer
+group by c_mktsegment;
+
+select o_orderpriority, count(*) as n
+from orders
+where o_totalprice > 1000
+group by o_orderpriority;

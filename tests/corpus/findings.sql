@@ -1,0 +1,33 @@
+-- One statement per analyzer rule (plus a share-hint pair at the end).
+
+-- lint/contradiction: crossing ranges on o_totalprice.
+select o_orderkey
+from orders
+where o_totalprice < 100 and o_totalprice > 200;
+
+-- lint/tautology (c_acctbal = c_acctbal) and lint/redundant-pred
+-- (c_nationkey < 25 is implied by c_nationkey < 10).
+select c_custkey
+from customer
+where c_acctbal = c_acctbal and c_nationkey < 10 and c_nationkey < 25;
+
+-- lint/type-mismatch: a string column compared against an integer.
+select c_custkey
+from customer
+where c_name > 5;
+
+-- lint/dead-column: c_nationkey is grouped on but never projected.
+select c_mktsegment, count(*) as n
+from customer
+group by c_mktsegment, c_nationkey;
+
+-- lint/share-hint: same signature, compatible joins, different ranges.
+select c_nationkey, count(*) as n
+from customer
+where c_acctbal > 100
+group by c_nationkey;
+
+select c_nationkey, count(*) as n
+from customer
+where c_acctbal > 500
+group by c_nationkey;

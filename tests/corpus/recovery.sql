@@ -1,0 +1,8 @@
+-- The first statement is a syntax error; the parser must resynchronize
+-- at the ';' and still analyze the second statement (which carries a
+-- contradiction).
+select frobnicate from;
+
+select o_orderkey
+from orders
+where o_orderkey < 0 and o_orderkey > 10;

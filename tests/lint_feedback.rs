@@ -1,0 +1,116 @@
+//! End-to-end analyzer feedback: running a batch with qlint enabled
+//! changes the *plan* (smaller covering predicates, FALSE short-circuits)
+//! but never the *results*.
+
+use similar_subexpr::lint::rules;
+use similar_subexpr::prelude::*;
+use similar_subexpr::storage::{row, DataType, Schema};
+
+fn tiny_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    let mut t = Table::new(
+        "t",
+        Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]),
+    );
+    // v values straddle the 10 / 20 / 100 boundaries the queries use.
+    let rows = [
+        (1, 3),
+        (1, 9),
+        (1, 15),
+        (2, 7),
+        (2, 19),
+        (2, 25),
+        (3, 50),
+        (3, 99),
+        (3, 150),
+        (4, 5),
+    ];
+    for (k, v) in rows {
+        t.push(row(vec![Value::Int(k), Value::Int(v)])).unwrap();
+    }
+    cat.register_table(t).unwrap();
+    cat
+}
+
+/// Optimize + execute a batch under the given lint mode; return the
+/// result sets (row order normalized — plan shapes may differ) and the
+/// optimizer report.
+fn run(cat: &Catalog, sql: &str, lint: LintMode) -> (Vec<Vec<String>>, CseReport) {
+    let cfg = CseConfig {
+        lint,
+        ..CseConfig::default()
+    };
+    let o = optimize_sql(cat, sql, &cfg).expect("optimize");
+    let engine = Engine::new(cat, &o.ctx);
+    let out = engine.execute(&o.plan).expect("execute");
+    let normalized = out
+        .results
+        .iter()
+        .map(|rs| {
+            let mut rows: Vec<String> = rs.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows
+        })
+        .collect();
+    (normalized, o.report)
+}
+
+#[test]
+fn redundant_conjunct_facts_leave_results_unchanged() {
+    let cat = tiny_catalog();
+    // Both statements carry `v < 100` redundantly next to a tighter
+    // range; the batch shares a sharable (t, group-by-k) signature.
+    let sql = "select k, count(*) as n from t where v < 10 and v < 100 group by k;\n\
+               select k, count(*) as n from t where v < 20 and v < 100 group by k;";
+    let (r_off, rep_off) = run(&cat, sql, LintMode::Off);
+    let (r_on, rep_on) = run(&cat, sql, LintMode::Warn);
+
+    // The analyzer both reported the redundancy and fed it forward.
+    assert!(rep_off.lint.is_none());
+    let lint = rep_on.lint.expect("lint report attached in Warn mode");
+    assert!(
+        lint.diagnostics
+            .iter()
+            .any(|d| d.rule_id == rules::REDUNDANT_PRED),
+        "expected lint/redundant-pred, got: {:?}",
+        lint.diagnostics
+    );
+
+    // Results are identical statement by statement.
+    assert_eq!(r_off, r_on);
+}
+
+#[test]
+fn unsat_short_circuit_leaves_results_unchanged() {
+    let cat = tiny_catalog();
+    // Statement 0 is provably empty; statement 1 is a normal aggregate.
+    // With lint on, statement 0 executes as a constant-FALSE filter.
+    let sql = "select k from t where v < 5 and v > 10;\n\
+               select k, count(*) as n from t where v < 20 group by k;";
+    let (r_off, _) = run(&cat, sql, LintMode::Off);
+    let (r_on, rep_on) = run(&cat, sql, LintMode::Warn);
+
+    let lint = rep_on.lint.expect("lint report attached");
+    assert!(lint
+        .diagnostics
+        .iter()
+        .any(|d| d.rule_id == rules::CONTRADICTION));
+    assert!(
+        r_off[0].is_empty(),
+        "contradictory statement returns no rows"
+    );
+    assert_eq!(r_off, r_on);
+}
+
+#[test]
+fn unsat_scalar_aggregate_still_returns_one_row() {
+    let cat = tiny_catalog();
+    // A scalar aggregate over an empty selection must still produce its
+    // single row (count = 0) — the FALSE filter goes *below* the
+    // aggregate, never above it.
+    let sql = "select count(*) as n from t where v < 5 and v > 10;";
+    let (r_off, _) = run(&cat, sql, LintMode::Off);
+    let (r_on, _) = run(&cat, sql, LintMode::Warn);
+    assert_eq!(r_off[0].len(), 1, "scalar aggregate keeps its one row");
+    assert_eq!(r_off, r_on);
+}
