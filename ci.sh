@@ -31,13 +31,37 @@ if "${QLINT[@]}" --sf 0.001 --deny tests/corpus/findings.sql >/dev/null 2>&1; th
   exit 1
 fi
 
-# Fault-injection seed matrix: the adversarial robustness suite must hold
-# for every seed, not just the default. Each seed reshuffles which scans /
-# spools fail under probabilistic injection; correctness and event
-# reporting are asserted regardless.
+# Fault-injection seed matrix: the adversarial robustness suite and the
+# concurrent serving stress suite must hold for every seed, not just the
+# default. Each seed reshuffles which scans / spools / worker slots fail
+# under probabilistic injection; correctness, terminal outcomes, and
+# cross-worker-count determinism are asserted regardless.
 for seed in 1 7 42; do
   echo "==> robustness suite (CSE_FAIL_SEED=$seed)"
   CSE_FAIL_SEED=$seed cargo test -q --test robustness
+  echo "==> serving stress suite (CSE_FAIL_SEED=$seed)"
+  CSE_FAIL_SEED=$seed cargo test -q --test serve_stress
 done
+
+# qserve smoke: every corpus request must reach a terminal outcome
+# through the concurrent server. The findings corpus carries statements
+# qlint flags but the engine still executes, so it must fully complete;
+# the recovery corpus opens with a deliberate syntax error, which must be
+# classified PLAN_REJECTED (no retries) while the rest of the file is
+# still served.
+echo "==> qserve smoke (tests/corpus/*.sql)"
+QSERVE=(cargo run -q --release --bin qserve --)
+for f in tests/corpus/clean.sql tests/corpus/findings.sql; do
+  "${QSERVE[@]}" --sf 0.001 --workers 4 --block "$f" >/dev/null \
+    || { echo "qserve rejected a request from $f"; exit 1; }
+done
+if out=$("${QSERVE[@]}" --sf 0.001 --workers 4 --block tests/corpus/recovery.sql); then
+  echo "qserve accepted the broken statement in recovery.sql"
+  exit 1
+fi
+grep -q "PLAN_REJECTED" <<<"$out" \
+  || { echo "recovery.sql rejection missing PLAN_REJECTED: $out"; exit 1; }
+grep -q "done" <<<"$out" \
+  || { echo "recovery.sql healthy request was not served: $out"; exit 1; }
 
 echo "==> ci.sh: all green"

@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p cse-bench --bin report [-- <experiment>] [--sf <f>]`
 //! where `<experiment>` is one of `table1 table2 table3 table4 fig8
-//! viewmaint overhead verify lint robustness all` (default `all`).
+//! viewmaint overhead verify lint robustness serve all` (default `all`).
 
 use cse_bench::{experiments, print_table};
 
@@ -163,6 +163,35 @@ fn main() {
         assert!(
             rows.iter().all(|r| r.correct),
             "robustness scenarios must all stay correct"
+        );
+    }
+    if run_all || which == "serve" {
+        println!("\n=== serving: concurrent batch server (1/4/8 workers) ===");
+        println!(
+            "{:>7} {:>8} {:>9} {:>8} {:>7} {:>7} {:>10} {:>9} {:>9}",
+            "workers", "requests", "completed", "degraded", "shed", "retries", "rps", "p50", "p99"
+        );
+        let rows = experiments::serve_bench(&catalog, &[1, 4, 8], 24);
+        for r in &rows {
+            println!(
+                "{:>7} {:>8} {:>9} {:>8} {:>7} {:>7} {:>10.1} {:>7.2}ms {:>7.2}ms",
+                r.workers,
+                r.requests,
+                r.completed,
+                r.degraded,
+                r.shed,
+                r.retries,
+                r.throughput_rps,
+                r.p50.as_secs_f64() * 1e3,
+                r.p99.as_secs_f64() * 1e3
+            );
+        }
+        let json = experiments::serve_json(sf, &rows);
+        std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+        println!("wrote BENCH_serve.json");
+        assert!(
+            rows.iter().all(|r| r.completed == r.requests as u64),
+            "healthy serving runs must complete every request"
         );
     }
 }

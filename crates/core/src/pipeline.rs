@@ -22,8 +22,8 @@ use crate::view_match::build_substitute;
 use cse_algebra::{ColRef, LogicalPlan, PlanContext, Scalar};
 use cse_cost::{CostModel, StatsCatalog};
 use cse_govern::{
-    sites, Budget, BudgetClock, BudgetTrip, DegradationEvent, ExecLimits, FailpointRegistry,
-    Reason, Rung,
+    sites, Budget, BudgetClock, BudgetTrip, CancelToken, DegradationEvent, ExecLimits,
+    FailpointRegistry, Reason, Rung,
 };
 use cse_lint::{lint_batch, LintMode};
 use cse_memo::{explore, ExploreConfig, GroupId, Memo};
@@ -69,6 +69,12 @@ pub struct CseConfig {
     pub failpoints: FailpointRegistry,
     /// Per-statement execution limits, enforced by the engine.
     pub exec_limits: ExecLimits,
+    /// Cooperative cancellation for the whole request (explicit cancel or
+    /// watchdog deadline). Checked at the pipeline's stage boundaries and,
+    /// via the budget clock, inside the candidate-generation and
+    /// enumeration hot loops. Unlike a budget trip, a cancellation *fails*
+    /// the optimization — a canceled request must stop, not degrade.
+    pub cancel: CancelToken,
     /// qlint mode (`--lint[=deny]`): run the static analyzer over the SQL
     /// batch before optimization, report its diagnostics in
     /// [`CseReport::lint`], and feed proven facts forward (redundant
@@ -94,6 +100,7 @@ impl Default for CseConfig {
             fallback_only: false,
             failpoints: FailpointRegistry::from_env(),
             exec_limits: ExecLimits::none(),
+            cancel: CancelToken::never(),
             lint: LintMode::Off,
         }
     }
@@ -320,12 +327,16 @@ pub fn optimize_plan_with_facts(
         };
     }
     let t_start = Instant::now();
+    cfg.cancel.check("pipeline/entry").map_err(abort_message)?;
     let mut memo = Memo::new(ctx);
     memo.facts = facts;
     let root = memo.insert_plan(&plan);
     memo.set_root(root);
     explore(&mut memo, &cfg.explore);
     stage!("insert+explore", t_start);
+    cfg.cancel
+        .check("pipeline/explored")
+        .map_err(abort_message)?;
 
     // Pass 1+2 of the verifier: provenance + signature audit over the
     // explored query memo.
@@ -350,6 +361,9 @@ pub fn optimize_plan_with_facts(
     };
     let baseline_time = t_start.elapsed();
     stage!("baseline", t_start);
+    cfg.cancel
+        .check("pipeline/baseline")
+        .map_err(abort_message)?;
     let mut report = CseReport {
         baseline_cost: baseline.cost,
         final_cost: baseline.cost,
@@ -395,11 +409,18 @@ pub fn optimize_plan_with_facts(
     // never leak partial mutations into the next one, and the whole phase
     // runs under `catch_unwind` so an optimizer bug degrades the plan
     // instead of aborting the process.
+    //
+    // Unwind-safety audit (re-asserted when `CancelToken` landed): the
+    // closure borrows only state that is either consumed by the attempt
+    // (the memo clone), read-only (`stats`, `indexes`, `baseline`), or
+    // write-once-atomic (the token's cancel flag; the failpoint registry's
+    // mutex recovers poisoning via `into_inner`). No partially-mutated
+    // structure outlives a panicking attempt, so `AssertUnwindSafe` holds.
     let mut rung = Rung::FullCse;
     let mut phase: Option<PhaseOutput> = None;
     while rung != Rung::Baseline {
         let (eff, caps) = tighten(cfg, rung);
-        let clock = eff.budget.start();
+        let clock = eff.budget.start_with(&cfg.cancel);
         let attempt = catch_unwind(AssertUnwindSafe(|| {
             cse_phase(
                 memo.clone(),
@@ -416,6 +437,11 @@ pub fn optimize_plan_with_facts(
             Ok(Ok(out)) => {
                 phase = Some(out);
                 break;
+            }
+            Ok(Err(trip)) if trip.reason.is_cancellation() => {
+                // Cancellation aborts the request outright: descending the
+                // ladder would keep burning a canceled caller's wall-clock.
+                return Err(abort_message(trip));
             }
             Ok(Err(trip)) => {
                 let next = rung.next_down().unwrap_or(Rung::Baseline);
@@ -521,6 +547,18 @@ fn tighten(cfg: &CseConfig, rung: Rung) -> (CseConfig, RungCaps) {
         }
         Rung::Baseline => unreachable!("the baseline rung never runs the CSE phase"),
     }
+}
+
+/// Error text for a cancellation abort. The stable reason code leads so
+/// callers (and humans) can distinguish `REQ_CANCELED` / `REQ_DEADLINE`
+/// aborts from genuine planning failures.
+fn abort_message(trip: BudgetTrip) -> String {
+    format!(
+        "[{}] optimization aborted at {}: {}",
+        trip.reason.code(),
+        trip.stage,
+        trip.detail
+    )
 }
 
 /// Best-effort human-readable panic payload.

@@ -15,7 +15,7 @@
 use crate::error::ExecError;
 use crate::eval::{accepts, agg_input, eval, AggState, Layout};
 use cse_algebra::{AggExpr, ColRef, PlanContext, SortOrder};
-use cse_govern::{sites, DegradationEvent, ExecLimits, FailpointRegistry, Reason};
+use cse_govern::{sites, CancelToken, DegradationEvent, ExecLimits, FailpointRegistry, Reason};
 use cse_optimizer::{CseId, FullPlan, PhysicalPlan};
 use cse_storage::{Catalog, Row, Value};
 use std::collections::HashMap;
@@ -143,14 +143,23 @@ struct RunState<'p> {
     metrics: ExecMetrics,
     failpoints: &'p FailpointRegistry,
     limits: &'p ExecLimits,
+    /// Cooperative cancellation, checked at every operator boundary and
+    /// every [`CANCEL_STRIDE`] rows inside the scan/join loops.
+    cancel: &'p CancelToken,
     /// Rows / approximate bytes materialized by the current statement.
     rows_materialized: usize,
     bytes_materialized: usize,
     /// Set while retrying a statement against its baseline plan: both
     /// fault injection and limits are suppressed so recovery always
     /// terminates — recovery prioritizes answering over governing.
+    /// Cancellation is *not* suppressed: a watchdog must be able to stop
+    /// a runaway baseline retry too.
     recovering: bool,
 }
+
+/// How many rows an operator loop processes between cancellation checks.
+/// A power of two so the check compiles to a mask + branch.
+const CANCEL_STRIDE: usize = 4096;
 
 impl RunState<'_> {
     /// Evaluate an armed failpoint at `site` (no-op while recovering).
@@ -159,6 +168,26 @@ impl RunState<'_> {
             return Err(ExecError::Injected {
                 site: site.to_string(),
             });
+        }
+        Ok(())
+    }
+
+    /// Stop if the request was canceled or its deadline expired.
+    fn check_cancel(&self) -> Result<(), ExecError> {
+        if self.cancel.is_explicitly_canceled() {
+            return Err(ExecError::Canceled { deadline: false });
+        }
+        if self.cancel.deadline_expired() {
+            return Err(ExecError::Canceled { deadline: true });
+        }
+        Ok(())
+    }
+
+    /// Strided cancellation check for per-row loops.
+    #[inline]
+    fn check_cancel_at(&self, i: usize) -> Result<(), ExecError> {
+        if i.is_multiple_of(CANCEL_STRIDE) {
+            self.check_cancel()?;
         }
         Ok(())
     }
@@ -217,12 +246,54 @@ impl<'a> Engine<'a> {
         failpoints: &FailpointRegistry,
         limits: &ExecLimits,
     ) -> Result<ExecOutput, ExecError> {
+        self.execute_with(plan, failpoints, limits, &CancelToken::never(), true)
+    }
+
+    /// [`Engine::execute_governed`] plus cooperative cancellation: the
+    /// token is checked at every operator boundary and every
+    /// [`CANCEL_STRIDE`] rows inside scans and joins, so a watchdog can
+    /// stop a runaway batch without killing the executing thread.
+    pub fn execute_cancelable(
+        &self,
+        plan: &FullPlan,
+        failpoints: &FailpointRegistry,
+        limits: &ExecLimits,
+        cancel: &CancelToken,
+    ) -> Result<ExecOutput, ExecError> {
+        self.execute_with(plan, failpoints, limits, cancel, true)
+    }
+
+    /// Strict governance: like [`Engine::execute_cancelable`] but with the
+    /// in-engine baseline recovery *disabled* — a recoverable fault (an
+    /// injected failpoint trip, a breached limit) bubbles to the caller
+    /// instead of retrying the statement here. Serving layers use this to
+    /// own the retry policy (jittered backoff, attempt caps, structured
+    /// rejection) rather than hiding transient faults inside the engine.
+    pub fn execute_strict(
+        &self,
+        plan: &FullPlan,
+        failpoints: &FailpointRegistry,
+        limits: &ExecLimits,
+        cancel: &CancelToken,
+    ) -> Result<ExecOutput, ExecError> {
+        self.execute_with(plan, failpoints, limits, cancel, false)
+    }
+
+    fn execute_with(
+        &self,
+        plan: &FullPlan,
+        failpoints: &FailpointRegistry,
+        limits: &ExecLimits,
+        cancel: &CancelToken,
+        recover: bool,
+    ) -> Result<ExecOutput, ExecError> {
         let mut st = RunState {
             plan,
             spools: HashMap::new(),
             metrics: ExecMetrics::default(),
             failpoints,
             limits,
+            cancel,
             rows_materialized: 0,
             bytes_materialized: 0,
             recovering: false,
@@ -234,11 +305,12 @@ impl<'a> Engine<'a> {
         let mut results = Vec::with_capacity(statements.len());
         let mut events = Vec::new();
         for (i, stmt) in statements.iter().enumerate() {
+            st.check_cancel()?;
             st.rows_materialized = 0;
             st.bytes_materialized = 0;
             match self.deliver(stmt, &mut st) {
                 Ok(rs) => results.push(rs),
-                Err(e) if e.is_recoverable() => {
+                Err(e) if recover && e.is_recoverable() => {
                     let reason = match &e {
                         ExecError::Injected { .. } => Reason::ExecFaultInjected,
                         ExecError::ResourceBudget { what: "rows", .. } => Reason::ExecRowBudget,
@@ -321,6 +393,7 @@ impl<'a> Engine<'a> {
     /// by *every* operator, spool definitions included — a runaway join
     /// inside a spool trips the consumer statement that first reads it.
     fn run(&self, plan: &PhysicalPlan, st: &mut RunState<'_>) -> Result<Chunk, ExecError> {
+        st.check_cancel()?;
         let chunk = self.run_inner(plan, st)?;
         let bytes = chunk.rows.len() * chunk.cols.len().max(1) * std::mem::size_of::<Value>();
         st.charge(chunk.rows.len(), bytes)?;
@@ -343,7 +416,8 @@ impl<'a> Engine<'a> {
                 let lay = Layout::new(layout);
                 let mut rows = Vec::new();
                 st.metrics.base_rows_scanned += table.row_count();
-                for r in table.scan() {
+                for (i, r) in table.scan().enumerate() {
+                    st.check_cancel_at(i)?;
                     if let Some(p) = filter {
                         if !accepts(p, &lay, r) {
                             continue;
@@ -386,7 +460,8 @@ impl<'a> Engine<'a> {
                 };
                 match idx {
                     Some(idx) => {
-                        for rid in idx.range(lo_b, hi_b) {
+                        for (i, rid) in idx.range(lo_b, hi_b).enumerate() {
+                            st.check_cancel_at(i)?;
                             let r = &table.rows()[rid as usize];
                             if let Some(p) = residual {
                                 if !accepts(p, &lay, r) {
@@ -416,7 +491,8 @@ impl<'a> Engine<'a> {
                         let pos = lay.position(*col).ok_or_else(|| {
                             ExecError::MissingColumn(format!("index column {col}"))
                         })?;
-                        for r in table.scan() {
+                        for (i, r) in table.scan().enumerate() {
+                            st.check_cancel_at(i)?;
                             if !in_range(&r[pos]) {
                                 continue;
                             }
@@ -476,7 +552,8 @@ impl<'a> Engine<'a> {
                 }
                 let out_layout = Layout::new(layout);
                 let mut rows = Vec::new();
-                for rrow in &rchunk.rows {
+                for (pi, rrow) in rchunk.rows.iter().enumerate() {
+                    st.check_cancel_at(pi)?;
                     let k: Vec<Value> = rkeys.iter().map(|i| rrow[*i].clone()).collect();
                     if k.iter().any(Value::is_null) {
                         continue;
@@ -508,7 +585,8 @@ impl<'a> Engine<'a> {
                 let rchunk = self.run(right, st)?;
                 let out_layout = Layout::new(layout);
                 let mut rows = Vec::new();
-                for lrow in &lchunk.rows {
+                for (li, lrow) in lchunk.rows.iter().enumerate() {
+                    st.check_cancel_at(li)?;
                     for rrow in &rchunk.rows {
                         let mut vals: Vec<Value> = Vec::with_capacity(layout.len());
                         vals.extend(lrow.iter().cloned());

@@ -34,12 +34,19 @@ pub enum ExecError {
         limit: usize,
         used: usize,
     },
+    /// The request's cancellation token fired mid-execution (`deadline`
+    /// distinguishes an expired deadline from an explicit watchdog/client
+    /// cancel). Never recovered in-engine: cancellation must stop the
+    /// statement — baseline retry included — and bubble to the caller,
+    /// which may resubmit with a fresh deadline.
+    Canceled { deadline: bool },
 }
 
 impl ExecError {
     /// Can the statement be retried against the retained baseline plan?
     /// Injected faults and budget breaches are transient-by-construction;
-    /// everything else is a planning or catalog bug a retry cannot fix.
+    /// cancellation must abort, and everything else is a planning or
+    /// catalog bug a retry cannot fix.
     pub fn is_recoverable(&self) -> bool {
         matches!(
             self,
@@ -59,6 +66,8 @@ impl fmt::Display for ExecError {
             ExecError::ResourceBudget { what, limit, used } => {
                 write!(f, "{what} budget breached: {used} used, limit {limit}")
             }
+            ExecError::Canceled { deadline: true } => write!(f, "request deadline expired"),
+            ExecError::Canceled { deadline: false } => write!(f, "request canceled"),
         }
     }
 }

@@ -26,7 +26,8 @@
 use cse_storage::testkit::TestRng;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Canonical failpoint site names. Sites are dynamic strings in the
@@ -42,9 +43,25 @@ pub mod sites {
     /// Entry of the optimizer's CSE phase; a trip here *panics* on
     /// purpose, exercising the `catch_unwind` isolation of the ladder.
     pub const OPT_CSE_PHASE: &str = "opt.cse-phase";
+    /// A serving worker picking up a request (`cse-serve`); a trip here is
+    /// a transient worker fault the server retries with backoff.
+    pub const SERVE_WORKER: &str = "serve.worker";
 
-    /// Every site with an injection hook in the codebase.
-    pub const ALL: &[&str] = &[SPOOL_MATERIALIZE, SCAN_TABLE, SCAN_INDEX, OPT_CSE_PHASE];
+    /// Every site with an injection hook in the codebase. The drift test in
+    /// `tests/failpoint_drift.rs` arms each one and asserts it actually
+    /// trips, so a site listed here without a live hook fails CI.
+    pub const ALL: &[&str] = &[
+        SPOOL_MATERIALIZE,
+        SCAN_TABLE,
+        SCAN_INDEX,
+        OPT_CSE_PHASE,
+        SERVE_WORKER,
+    ];
+
+    /// Is `name` a known site?
+    pub fn is_known(name: &str) -> bool {
+        ALL.contains(&name)
+    }
 }
 
 /// A rung of the degradation ladder.
@@ -108,6 +125,10 @@ pub enum Reason {
     ExecRowBudget,
     /// The per-statement byte materialization budget was breached.
     ExecMemBudget,
+    /// The request was canceled explicitly (watchdog or client).
+    ReqCanceled,
+    /// The request's end-to-end deadline expired.
+    ReqDeadline,
 }
 
 impl Reason {
@@ -122,7 +143,16 @@ impl Reason {
             Reason::ExecFaultInjected => "EXEC_FAULT_INJECTED",
             Reason::ExecRowBudget => "EXEC_ROW_BUDGET",
             Reason::ExecMemBudget => "EXEC_MEM_BUDGET",
+            Reason::ReqCanceled => "REQ_CANCELED",
+            Reason::ReqDeadline => "REQ_DEADLINE",
         }
+    }
+
+    /// Cancellation reasons abort the whole request rather than walking the
+    /// degradation ladder: a canceled optimization must stop, not retry on
+    /// a cheaper rung.
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, Reason::ReqCanceled | Reason::ReqDeadline)
     }
 }
 
@@ -207,6 +237,92 @@ impl BudgetTrip {
     }
 }
 
+/// Cooperative cancellation: an explicit cancel flag (shared across clones)
+/// plus an optional hard deadline, checked at the optimizer's and the
+/// interpreter's loop boundaries.
+///
+/// Cloning shares the *flag* — a watchdog holding one clone can cancel the
+/// worker holding another — while [`CancelToken::with_new_deadline`] derives
+/// a retry-attempt token that keeps the shared flag but restarts the clock.
+/// The token is plain data (`Arc<AtomicBool>` + `Option<Instant>`), so it is
+/// `Send + Sync`, unwind-safe, and free when never canceled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never cancels (the default for unmanaged callers).
+    pub fn never() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token with a deadline `d` from now (plus the shared cancel flag).
+    pub fn with_deadline(d: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + d),
+        }
+    }
+
+    /// Derive a token sharing this token's cancel flag but with a fresh
+    /// deadline `d` from now (used per retry attempt).
+    pub fn with_new_deadline(&self, d: Duration) -> Self {
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Some(Instant::now() + d),
+        }
+    }
+
+    /// Request cancellation. Idempotent; observed by every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Was [`CancelToken::cancel`] called (on any clone)?
+    pub fn is_explicitly_canceled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Has the deadline passed?
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Should the bearer stop? (explicit cancel or expired deadline)
+    pub fn is_canceled(&self) -> bool {
+        self.is_explicitly_canceled() || self.deadline_expired()
+    }
+
+    /// Time left until the deadline (`None` = no deadline).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Trip if canceled. The explicit flag wins over the deadline so a
+    /// watchdog cancel is reported as `REQ_CANCELED` even when the deadline
+    /// has also passed by the time the loop checks.
+    pub fn check(&self, stage: &'static str) -> Result<(), BudgetTrip> {
+        if self.is_explicitly_canceled() {
+            return Err(BudgetTrip {
+                reason: Reason::ReqCanceled,
+                stage,
+                detail: "request canceled".to_string(),
+            });
+        }
+        if self.deadline_expired() {
+            return Err(BudgetTrip {
+                reason: Reason::ReqDeadline,
+                stage,
+                detail: "request deadline expired".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Optimization budget: every limit is optional; the default is unlimited
 /// (the paper's configuration).
 #[derive(Debug, Clone, Default)]
@@ -236,20 +352,29 @@ impl Budget {
 
     /// Start the clock: deadlines are measured from this call.
     pub fn start(&self) -> BudgetClock {
+        self.start_with(&CancelToken::never())
+    }
+
+    /// Start the clock with a cancellation token: every `check_time` call
+    /// in the optimizer hot loops then doubles as a cancellation point.
+    pub fn start_with(&self, cancel: &CancelToken) -> BudgetClock {
         BudgetClock {
             deadline: self.time_limit.map(|d| Instant::now() + d),
             max_memo_gexprs: self.max_memo_gexprs,
             max_candidates: self.max_candidates,
+            cancel: cancel.clone(),
         }
     }
 }
 
-/// A started budget: deadline instant plus the structural caps.
+/// A started budget: deadline instant plus the structural caps and the
+/// request's cancellation token.
 #[derive(Debug, Clone)]
 pub struct BudgetClock {
     deadline: Option<Instant>,
     pub max_memo_gexprs: Option<usize>,
     pub max_candidates: Option<usize>,
+    cancel: CancelToken,
 }
 
 impl BudgetClock {
@@ -259,6 +384,7 @@ impl BudgetClock {
             deadline: None,
             max_memo_gexprs: None,
             max_candidates: None,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -267,8 +393,12 @@ impl BudgetClock {
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
-    /// Trip if the deadline has passed.
+    /// Trip if the request was canceled or the budget deadline passed.
+    /// Cancellation is checked first — it aborts the request outright
+    /// (see [`Reason::is_cancellation`]) while a budget trip merely walks
+    /// the degradation ladder.
     pub fn check_time(&self, stage: &'static str) -> Result<(), BudgetTrip> {
+        self.cancel.check(stage)?;
         if self.expired() {
             return Err(BudgetTrip {
                 reason: Reason::OptDeadline,
@@ -364,6 +494,38 @@ impl FailSpec {
     }
 }
 
+/// Parse the full `CSE_FAIL` grammar: comma-separated `site:prob[:seed]`
+/// specs, optionally with the literal token `allow-unknown` anywhere in the
+/// list. Unknown site names are rejected with an error listing
+/// [`sites::ALL`] — a typo'd site used to arm nothing and silently pass —
+/// unless `allow-unknown` is present (the escape hatch tests use to inject
+/// at sites that only exist in a branch under development).
+pub fn parse_fail_specs(raw: &str) -> Result<Vec<FailSpec>, String> {
+    let parts: Vec<&str> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect();
+    let allow_unknown = parts.contains(&"allow-unknown");
+    let mut specs = Vec::new();
+    for part in parts {
+        if part == "allow-unknown" {
+            continue;
+        }
+        let spec = FailSpec::parse(part)?;
+        if !allow_unknown && !sites::is_known(&spec.site) {
+            return Err(format!(
+                "unknown failpoint site '{}'; known sites: {} \
+                 (add 'allow-unknown' to the spec list to bypass)",
+                spec.site,
+                sites::ALL.join(", ")
+            ));
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
 /// Mutable state of one armed site.
 #[derive(Debug)]
 struct ArmedSite {
@@ -380,13 +542,61 @@ struct ArmedSite {
 /// Armed sites draw from a per-site xorshift64* PRNG ([`TestRng`]) with an
 /// explicit seed, so a fixed seed matrix reproduces the exact same fault
 /// schedule on every machine.
-#[derive(Debug, Default)]
+///
+/// `Clone` *shares* the armed state (the map lives behind an `Arc`): every
+/// configuration clone — per-rung ladder attempts, per-worker configs in a
+/// server — draws from one process-wide fault schedule instead of each
+/// replaying the schedule from its seed. A deep per-site copy is available
+/// via [`FailpointRegistry::fork`] for callers that want replay semantics.
+#[derive(Debug, Default, Clone)]
 pub struct FailpointRegistry {
-    inner: Option<Mutex<BTreeMap<String, ArmedSite>>>,
+    inner: Option<Arc<Mutex<BTreeMap<String, ArmedSite>>>>,
 }
 
-impl Clone for FailpointRegistry {
-    fn clone(&self) -> Self {
+impl FailpointRegistry {
+    /// The branch-cheap default: nothing armed.
+    pub fn disabled() -> Self {
+        FailpointRegistry::default()
+    }
+
+    /// Registry with the given failpoints armed.
+    pub fn from_specs(specs: &[FailSpec]) -> Self {
+        let mut reg = FailpointRegistry::disabled();
+        for s in specs {
+            reg.arm(s.clone());
+        }
+        reg
+    }
+
+    /// Registry from the `CSE_FAIL` environment variable (validated
+    /// grammar, see [`parse_fail_specs`]). Unset or empty ⇒ disabled.
+    /// A malformed value is reported on stderr and ignored as a whole —
+    /// fault injection must never turn into a crash vector itself — but
+    /// binaries that want a hard failure should use
+    /// [`FailpointRegistry::from_env_checked`] and exit on the error.
+    pub fn from_env() -> Self {
+        match FailpointRegistry::from_env_checked() {
+            Ok(reg) => reg,
+            Err(e) => {
+                eprintln!("CSE_FAIL: {e} (ignored; nothing armed)");
+                FailpointRegistry::disabled()
+            }
+        }
+    }
+
+    /// Registry from the `CSE_FAIL` environment variable, rejecting unknown
+    /// site names and malformed probabilities with a descriptive error.
+    pub fn from_env_checked() -> Result<Self, String> {
+        let raw = match std::env::var("CSE_FAIL") {
+            Ok(v) if !v.trim().is_empty() => v,
+            _ => return Ok(FailpointRegistry::disabled()),
+        };
+        Ok(FailpointRegistry::from_specs(&parse_fail_specs(&raw)?))
+    }
+
+    /// A deep copy with private per-site PRNG state (replay semantics, the
+    /// pre-sharing behaviour of `Clone`).
+    pub fn fork(&self) -> Self {
         match &self.inner {
             None => FailpointRegistry { inner: None },
             Some(m) => {
@@ -406,57 +616,18 @@ impl Clone for FailpointRegistry {
                     })
                     .collect();
                 FailpointRegistry {
-                    inner: Some(Mutex::new(copied)),
+                    inner: Some(Arc::new(Mutex::new(copied))),
                 }
             }
         }
-    }
-}
-
-impl FailpointRegistry {
-    /// The branch-cheap default: nothing armed.
-    pub fn disabled() -> Self {
-        FailpointRegistry::default()
-    }
-
-    /// Registry with the given failpoints armed.
-    pub fn from_specs(specs: &[FailSpec]) -> Self {
-        let mut reg = FailpointRegistry::disabled();
-        for s in specs {
-            reg.arm(s.clone());
-        }
-        reg
-    }
-
-    /// Registry from the `CSE_FAIL` environment variable: comma-separated
-    /// `site:prob[:seed]` specs. Unset or empty ⇒ disabled; malformed
-    /// specs are reported on stderr and skipped (fault injection must
-    /// never turn into a crash vector itself).
-    pub fn from_env() -> Self {
-        let raw = match std::env::var("CSE_FAIL") {
-            Ok(v) if !v.trim().is_empty() => v,
-            _ => return FailpointRegistry::disabled(),
-        };
-        let mut reg = FailpointRegistry::disabled();
-        for part in raw.split(',') {
-            match FailSpec::parse(part.trim()) {
-                Ok(spec) => reg.arm(spec),
-                Err(e) => eprintln!("CSE_FAIL: {e} (ignored)"),
-            }
-        }
-        reg
     }
 
     /// Arm (or re-arm) one site.
     pub fn arm(&mut self, spec: FailSpec) {
         let map = self
             .inner
-            .get_or_insert_with(|| Mutex::new(BTreeMap::new()));
-        let guard = map.get_mut();
-        let guard = match guard {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
+            .get_or_insert_with(|| Arc::new(Mutex::new(BTreeMap::new())));
+        let mut guard = map.lock().unwrap_or_else(|p| p.into_inner());
         guard.insert(
             spec.site,
             ArmedSite {
@@ -466,6 +637,36 @@ impl FailpointRegistry {
                 trips: 0,
             },
         );
+    }
+
+    /// Re-arm a site on a *shared* handle (e.g. a running server's
+    /// registry). Returns false on a disabled registry — arming through a
+    /// shared reference requires the map to exist already, so a registry
+    /// explicitly built as disabled stays branch-cheap.
+    pub fn rearm(&self, spec: FailSpec) -> bool {
+        let Some(m) = &self.inner else {
+            return false;
+        };
+        let mut guard = m.lock().unwrap_or_else(|p| p.into_inner());
+        guard.insert(
+            spec.site,
+            ArmedSite {
+                probability: spec.probability,
+                rng: TestRng::new(spec.seed),
+                evaluations: 0,
+                trips: 0,
+            },
+        );
+        true
+    }
+
+    /// Disarm one site on a shared handle; returns whether it was armed.
+    pub fn disarm(&self, site: &str) -> bool {
+        let Some(m) = &self.inner else {
+            return false;
+        };
+        let mut guard = m.lock().unwrap_or_else(|p| p.into_inner());
+        guard.remove(site).is_some()
     }
 
     /// Anything armed at all?
@@ -626,6 +827,109 @@ mod tests {
         assert_eq!(Rung::CappedCse.next_down(), Some(Rung::Baseline));
         assert_eq!(Rung::Baseline.next_down(), None);
         assert!(Rung::FullCse < Rung::Baseline);
+    }
+
+    #[test]
+    fn cancel_token_explicit_and_deadline() {
+        let t = CancelToken::never();
+        assert!(!t.is_canceled());
+        assert!(t.check("x").is_ok());
+        let watchdog_handle = t.clone();
+        watchdog_handle.cancel();
+        assert!(t.is_explicitly_canceled(), "flag is shared across clones");
+        assert_eq!(t.check("x").unwrap_err().reason, Reason::ReqCanceled);
+
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        assert!(t.deadline_expired());
+        assert_eq!(t.check("x").unwrap_err().reason, Reason::ReqDeadline);
+        // A fresh-deadline child is live again but keeps the shared flag.
+        let child = t.with_new_deadline(Duration::from_secs(3600));
+        assert!(child.check("x").is_ok());
+        t.cancel();
+        assert_eq!(child.check("x").unwrap_err().reason, Reason::ReqCanceled);
+    }
+
+    #[test]
+    fn budget_clock_reports_cancellation_before_deadline() {
+        let cancel = CancelToken::never();
+        let clock = Budget::with_time_ms(0).start_with(&cancel);
+        // Deadline expired but not canceled: an ordinary budget trip.
+        assert_eq!(
+            clock.check_time("x").unwrap_err().reason,
+            Reason::OptDeadline
+        );
+        cancel.cancel();
+        let trip = clock.check_time("x").unwrap_err();
+        assert_eq!(trip.reason, Reason::ReqCanceled);
+        assert!(trip.reason.is_cancellation());
+        assert!(!Reason::OptDeadline.is_cancellation());
+    }
+
+    #[test]
+    fn clones_share_fault_schedule_and_forks_do_not() {
+        let mut reg = FailpointRegistry::disabled();
+        reg.arm(FailSpec {
+            site: sites::SCAN_TABLE.to_string(),
+            probability: 0.5,
+            seed: 42,
+        });
+        let fork = reg.fork();
+        let shared = reg.clone();
+        let a: Vec<bool> = (0..32)
+            .map(|_| reg.should_fail(sites::SCAN_TABLE))
+            .collect();
+        // The clone drew nothing itself, but its schedule advanced with the
+        // original; the fork replays from the same seed state.
+        let b: Vec<bool> = (0..32)
+            .map(|_| fork.should_fail(sites::SCAN_TABLE))
+            .collect();
+        assert_eq!(a, b, "fork replays the schedule");
+        assert_eq!(
+            shared.counters()[sites::SCAN_TABLE].0,
+            32,
+            "clone shares counters"
+        );
+    }
+
+    #[test]
+    fn rearm_and_disarm_on_shared_handles() {
+        let mut reg = FailpointRegistry::disabled();
+        assert!(!reg.rearm(FailSpec {
+            site: sites::SCAN_TABLE.to_string(),
+            probability: 1.0,
+            seed: 1,
+        }));
+        reg.arm(FailSpec {
+            site: sites::SCAN_TABLE.to_string(),
+            probability: 1.0,
+            seed: 1,
+        });
+        let handle = reg.clone();
+        assert!(handle.disarm(sites::SCAN_TABLE));
+        assert!(!reg.should_fail(sites::SCAN_TABLE));
+        assert!(handle.rearm(FailSpec {
+            site: sites::SCAN_INDEX.to_string(),
+            probability: 1.0,
+            seed: 1,
+        }));
+        assert!(reg.should_fail(sites::SCAN_INDEX));
+    }
+
+    #[test]
+    fn fail_grammar_rejects_unknown_sites_unless_allowed() {
+        let specs = parse_fail_specs("spool.materialize:1.0, scan.table:0.5:7").unwrap();
+        assert_eq!(specs.len(), 2);
+        let err = parse_fail_specs("spool.materialze:1.0").unwrap_err();
+        assert!(err.contains("unknown failpoint site"), "{err}");
+        for site in sites::ALL {
+            assert!(err.contains(site), "error must list {site}: {err}");
+        }
+        let specs = parse_fail_specs("allow-unknown,future.site:1.0").unwrap();
+        assert_eq!(specs[0].site, "future.site");
+        // Malformed probabilities stay rejected even with the escape hatch.
+        assert!(parse_fail_specs("allow-unknown,scan.table:2.0").is_err());
+        assert!(parse_fail_specs("scan.table:nope").is_err());
+        assert!(parse_fail_specs("").unwrap().is_empty());
     }
 
     #[test]

@@ -1,0 +1,811 @@
+//! The batch server: N worker threads over one shared catalog.
+//!
+//! Life of a request:
+//!
+//! 1. [`Server::submit`] assigns an id, wraps the SQL in a [`Request`] with
+//!    a request-level [`CancelToken`] (explicit cancels only) and pushes it
+//!    onto the bounded admission queue. A full queue either sheds
+//!    (`SHED_QUEUE_FULL`, [`AdmitPolicy::Shed`]) or blocks the submitter
+//!    ([`AdmitPolicy::Block`]).
+//! 2. A worker pops the request and runs up to `1 + max_retries` attempts.
+//!    Each attempt gets a *fresh* attempt-level token carrying the
+//!    per-attempt deadline; the watchdog thread propagates request-level
+//!    cancels onto it and cancels it when the deadline passes, so a runaway
+//!    attempt is stopped cooperatively — the worker thread survives.
+//! 3. Before planning, the breaker decides the attempt's [`Admission`]:
+//!    `Full` runs the whole CSE phase (and reports its downgrade bit back),
+//!    `BaselineOnly` forces the baseline rung, `Probe` runs full CSE and
+//!    reports health. Planning + execution then run under the session
+//!    pipeline; `strict_faults` selects [`Engine::execute_strict`] so
+//!    transient faults bubble here instead of being retried in-engine.
+//! 4. Transient failures (injected faults, breached limits, expired
+//!    attempt deadlines, `serve.worker` trips) are retried after a
+//!    deterministic jittered backoff; everything else — and exhausted
+//!    retries — becomes a structured [`Rejection`]. Success becomes a
+//!    [`BatchReply`]. Either way the submitter's [`Ticket`] resolves:
+//!    every request reaches exactly one terminal outcome.
+//!
+//! A worker that panics mid-request (an optimizer or engine bug outside
+//! the pipeline's own `catch_unwind`) converts the panic into an
+//! `EXEC_INTERNAL` rejection and keeps serving.
+
+use crate::breaker::{Admission, Breaker, BreakerConfig, BreakerSnapshot};
+use crate::queue::{BoundedQueue, PushError};
+use cse_core::CseConfig;
+use cse_exec::{Engine, ExecError, ExecMetrics, ResultSet};
+use cse_govern::{sites, CancelToken, DegradationEvent, FailpointRegistry, Rung};
+use cse_storage::testkit::TestRng;
+use cse_storage::Catalog;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What to do when the admission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitPolicy {
+    /// Refuse immediately with `SHED_QUEUE_FULL` (load shedding).
+    Shed,
+    /// Block the submitting thread until there is room (backpressure).
+    Block,
+}
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (each one independent optimizer + engine state).
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    pub admit: AdmitPolicy,
+    /// Per-*attempt* watchdog deadline. `None` disables the watchdog for
+    /// the request (explicit cancels still work).
+    pub deadline: Option<Duration>,
+    /// Retries after the first attempt; transient failures only.
+    pub max_retries: u32,
+    /// Base backoff; attempt `n` waits `base · 2^(n-1) · jitter`.
+    pub retry_backoff: Duration,
+    /// Seed for the deterministic backoff jitter (testkit PRNG, mixed with
+    /// the request id so concurrent requests do not share a schedule).
+    pub retry_seed: u64,
+    /// Use [`Engine::execute_strict`]: recoverable faults bubble to the
+    /// server's retry loop instead of being retried in-engine against the
+    /// baseline plan. Off reproduces the single-session behaviour
+    /// (faults recovered invisibly, never rejected).
+    pub strict_faults: bool,
+    pub breaker: BreakerConfig,
+    /// Base optimizer configuration. Its failpoint registry is shared
+    /// across all workers (one process-wide fault schedule); its cancel
+    /// token is replaced per attempt.
+    pub cse: CseConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            admit: AdmitPolicy::Shed,
+            deadline: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            retry_seed: 42,
+            strict_faults: true,
+            breaker: BreakerConfig::default(),
+            cse: CseConfig::default(),
+        }
+    }
+}
+
+/// Stable rejection reason codes — the serving layer's error ABI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Admission queue full under [`AdmitPolicy::Shed`].
+    ShedQueueFull,
+    /// Submitted after [`Server::drain`] closed the queue.
+    ShedShutdown,
+    /// Attempt deadline expired (watchdog), retries exhausted.
+    ReqDeadline,
+    /// The client canceled via [`Ticket::cancel`].
+    ReqCanceled,
+    /// Transient execution fault, retries exhausted.
+    ExecFault,
+    /// Planning failed deterministically (parse/bind/lint/verify).
+    PlanRejected,
+    /// Worker-side bug: a panic outside the pipeline's own isolation, or
+    /// a non-recoverable engine error.
+    ExecInternal,
+}
+
+impl RejectReason {
+    pub fn code(&self) -> &'static str {
+        match self {
+            RejectReason::ShedQueueFull => "SHED_QUEUE_FULL",
+            RejectReason::ShedShutdown => "SHED_SHUTDOWN",
+            RejectReason::ReqDeadline => "REQ_DEADLINE",
+            RejectReason::ReqCanceled => "REQ_CANCELED",
+            RejectReason::ExecFault => "EXEC_FAULT",
+            RejectReason::PlanRejected => "PLAN_REJECTED",
+            RejectReason::ExecInternal => "EXEC_INTERNAL",
+        }
+    }
+}
+
+/// A structured rejection: reason code + human detail + attempt count.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    pub id: u64,
+    pub reason: RejectReason,
+    pub detail: String,
+    /// Retries performed before giving up (0 for shed/immediate).
+    pub retries: u32,
+}
+
+/// A successfully served batch.
+#[derive(Debug)]
+pub struct BatchReply {
+    pub id: u64,
+    pub results: Vec<ResultSet>,
+    pub metrics: ExecMetrics,
+    /// Degradation-ladder rung the plan was produced on.
+    pub rung: Rung,
+    /// Planning + execution degradations, in order.
+    pub events: Vec<DegradationEvent>,
+    /// How the breaker admitted the successful attempt.
+    pub admission: Admission,
+    pub retries: u32,
+    /// Submit-to-reply wall clock.
+    pub latency: Duration,
+}
+
+/// Terminal outcome of a request.
+#[derive(Debug)]
+pub enum Outcome {
+    Done(BatchReply),
+    Rejected(Rejection),
+}
+
+impl Outcome {
+    pub fn is_done(&self) -> bool {
+        matches!(self, Outcome::Done(_))
+    }
+}
+
+/// Handle returned by [`Server::submit`].
+pub struct Ticket {
+    pub id: u64,
+    rx: mpsc::Receiver<Outcome>,
+    token: CancelToken,
+}
+
+impl Ticket {
+    /// Block until the request reaches its terminal outcome.
+    pub fn wait(self) -> Outcome {
+        self.rx.recv().unwrap_or_else(|_| {
+            // The worker dropped the reply channel without sending — only
+            // possible if a worker thread died outright, which the
+            // catch_unwind in the worker loop is there to prevent.
+            Outcome::Rejected(Rejection {
+                id: self.id,
+                reason: RejectReason::ExecInternal,
+                detail: "reply channel closed without an outcome".into(),
+                retries: 0,
+            })
+        })
+    }
+
+    /// Cooperatively cancel the request. Queued requests are rejected when
+    /// a worker picks them up; in-flight attempts are stopped at their next
+    /// cancellation point by the watchdog's propagation.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+}
+
+struct Request {
+    id: u64,
+    sql: String,
+    /// Request-level token: explicit cancels only (no deadline). Attempt
+    /// tokens are derived fresh per attempt.
+    token: CancelToken,
+    deadline: Option<Duration>,
+    submitted: Instant,
+    reply: mpsc::Sender<Outcome>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    submitted: u64,
+    completed: u64,
+    degraded: u64,
+    rejected: u64,
+    shed: u64,
+    retries: u64,
+    canceled: u64,
+    deadline_expired: u64,
+    exec_faults: u64,
+    worker_panics: u64,
+}
+
+/// Counter snapshot ([`Server::stats`]).
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    pub submitted: u64,
+    /// Requests that completed with a [`BatchReply`].
+    pub completed: u64,
+    /// Completed requests whose plan came off a lower rung or that carry
+    /// degradation events.
+    pub degraded: u64,
+    /// Requests rejected for any reason (includes shed).
+    pub rejected: u64,
+    /// Rejections with `SHED_QUEUE_FULL` / `SHED_SHUTDOWN`.
+    pub shed: u64,
+    /// Total retry attempts across all requests.
+    pub retries: u64,
+    /// Terminal `REQ_CANCELED` rejections.
+    pub canceled: u64,
+    /// Terminal `REQ_DEADLINE` rejections.
+    pub deadline_expired: u64,
+    /// Terminal `EXEC_FAULT` rejections.
+    pub exec_faults: u64,
+    /// Panics converted into `EXEC_INTERNAL` rejections.
+    pub worker_panics: u64,
+    pub breaker: BreakerSnapshot,
+}
+
+/// In-flight attempt registry for the watchdog: request id → (attempt
+/// token, request token, attempt deadline).
+type Inflight = HashMap<u64, (CancelToken, CancelToken, Option<Instant>)>;
+
+struct Shared {
+    catalog: Arc<Catalog>,
+    cfg: ServerConfig,
+    breaker: Breaker,
+    stats: Mutex<StatsInner>,
+    inflight: Mutex<Inflight>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn stats(&self) -> MutexGuard<'_, StatsInner> {
+        self.stats.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn inflight(&self) -> MutexGuard<'_, Inflight> {
+        self.inflight.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// The batch server. See the module docs for the request life cycle.
+pub struct Server {
+    shared: Arc<Shared>,
+    queue: Arc<BoundedQueue<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Server {
+    pub fn new(catalog: Arc<Catalog>, cfg: ServerConfig) -> Self {
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let breaker = Breaker::new(cfg.breaker.clone());
+        let workers_n = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            catalog,
+            cfg,
+            breaker,
+            stats: Mutex::new(StatsInner::default()),
+            inflight: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers_n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("cse-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &queue))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("cse-serve-watchdog".into())
+                    .spawn(move || watchdog_loop(&shared))
+                    .expect("spawn watchdog thread"),
+            )
+        };
+        Server {
+            shared,
+            queue,
+            workers,
+            watchdog,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Submit a SQL batch under the configured default deadline.
+    pub fn submit(&self, sql: &str) -> Result<Ticket, Rejection> {
+        self.submit_with_deadline(sql, self.shared.cfg.deadline)
+    }
+
+    /// Submit with an explicit per-attempt deadline override.
+    pub fn submit_with_deadline(
+        &self,
+        sql: &str,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, Rejection> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats().submitted += 1;
+        let token = CancelToken::never();
+        let (tx, rx) = mpsc::channel();
+        let req = Request {
+            id,
+            sql: sql.to_string(),
+            token: token.clone(),
+            deadline,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        let pushed = match self.shared.cfg.admit {
+            AdmitPolicy::Shed => self.queue.try_push(req),
+            AdmitPolicy::Block => self.queue.push_blocking(req),
+        };
+        match pushed {
+            Ok(()) => Ok(Ticket { id, rx, token }),
+            Err(e) => {
+                let reason = match e {
+                    PushError::Full(_) => RejectReason::ShedQueueFull,
+                    PushError::Closed(_) => RejectReason::ShedShutdown,
+                };
+                let mut s = self.shared.stats();
+                s.rejected += 1;
+                s.shed += 1;
+                Err(Rejection {
+                    id,
+                    reason,
+                    detail: format!("admission refused: {}", reason.code()),
+                    retries: 0,
+                })
+            }
+        }
+    }
+
+    /// The process-wide failpoint schedule (shared handle: `rearm` /
+    /// `disarm` here take effect in every worker immediately).
+    pub fn failpoints(&self) -> FailpointRegistry {
+        self.shared.cfg.cse.failpoints.clone()
+    }
+
+    pub fn breaker(&self) -> &Breaker {
+        &self.shared.breaker
+    }
+
+    pub fn stats(&self) -> ServerStats {
+        let breaker = self.shared.breaker.snapshot();
+        let s = self.shared.stats();
+        ServerStats {
+            submitted: s.submitted,
+            completed: s.completed,
+            degraded: s.degraded,
+            rejected: s.rejected,
+            shed: s.shed,
+            retries: s.retries,
+            canceled: s.canceled,
+            deadline_expired: s.deadline_expired,
+            exec_faults: s.exec_faults,
+            worker_panics: s.worker_panics,
+            breaker,
+        }
+    }
+
+    /// Racy queue depth, for monitoring only.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Stop admissions, finish everything already queued, join the workers
+    /// and the watchdog, and return the final counters. Idempotent;
+    /// submissions racing with the close are rejected `SHED_SHUTDOWN`.
+    pub fn drain(&mut self) -> ServerStats {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Watchdog tick: fine enough that deadline enforcement is prompt relative
+/// to the millisecond-scale deadlines the tests use, coarse enough to stay
+/// invisible in profiles.
+const WATCHDOG_TICK: Duration = Duration::from_micros(500);
+
+fn watchdog_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        {
+            let inflight = shared.inflight();
+            for (attempt, request, deadline) in inflight.values() {
+                // Propagate client cancels onto the running attempt; the
+                // attempt token's flag is fresh per attempt, so this is the
+                // only path by which an explicit cancel reaches hot loops.
+                if request.is_explicitly_canceled() {
+                    attempt.cancel();
+                }
+                // Belt-and-braces deadline enforcement: the attempt token
+                // carries the deadline and cooperative checks normally trip
+                // on it first; canceling here additionally stops code that
+                // only polls the flag.
+                if let Some(d) = deadline {
+                    if Instant::now() >= *d {
+                        attempt.cancel();
+                    }
+                }
+            }
+        }
+        std::thread::sleep(WATCHDOG_TICK);
+    }
+}
+
+fn worker_loop(shared: &Shared, queue: &BoundedQueue<Request>) {
+    while let Some(req) = queue.pop() {
+        // A panic anywhere in the attempt (outside the pipeline's own
+        // catch_unwind) must not kill the worker: convert it into a
+        // structured rejection and keep serving.
+        //
+        // Unwind safety: `process` mutates nothing that outlives it except
+        // the shared counters and the inflight map, both behind mutexes
+        // whose poisoning every reader recovers (`into_inner`), and the
+        // breaker, whose transitions are single-lock atomic.
+        let outcome = match catch_unwind(AssertUnwindSafe(|| process(shared, &req))) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                shared.inflight().remove(&req.id);
+                let mut s = shared.stats();
+                s.worker_panics += 1;
+                Outcome::Rejected(Rejection {
+                    id: req.id,
+                    reason: RejectReason::ExecInternal,
+                    detail: format!("worker panic: {}", panic_text(payload.as_ref())),
+                    retries: 0,
+                })
+            }
+        };
+        {
+            let mut s = shared.stats();
+            match &outcome {
+                Outcome::Done(reply) => {
+                    s.completed += 1;
+                    if reply.rung != Rung::FullCse || !reply.events.is_empty() {
+                        s.degraded += 1;
+                    }
+                    s.retries += u64::from(reply.retries);
+                }
+                Outcome::Rejected(rej) => {
+                    s.rejected += 1;
+                    s.retries += u64::from(rej.retries);
+                    match rej.reason {
+                        RejectReason::ReqCanceled => s.canceled += 1,
+                        RejectReason::ReqDeadline => s.deadline_expired += 1,
+                        RejectReason::ExecFault => s.exec_faults += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // The submitter may have dropped the ticket; that is not an error.
+        let _ = req.reply.send(outcome);
+    }
+}
+
+/// How one attempt ended, before retry policy is applied.
+enum AttemptEnd {
+    Done(Box<BatchReply>),
+    /// Transient: worth retrying (fault, breached limit, expired deadline).
+    Transient(RejectReason, String),
+    /// Terminal: retrying cannot help (client cancel, plan bug, engine bug).
+    Terminal(RejectReason, String),
+}
+
+fn process(shared: &Shared, req: &Request) -> Outcome {
+    let max_attempts = 1 + shared.cfg.max_retries;
+    // Deterministic jitter: one PRNG per request, seeded from the server
+    // seed and the request id, so a replay with the same ids sleeps the
+    // same schedule regardless of worker interleaving.
+    let mut rng = TestRng::new(shared.cfg.retry_seed ^ req.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match run_attempt(shared, req, attempt) {
+            AttemptEnd::Done(reply) => return Outcome::Done(*reply),
+            AttemptEnd::Terminal(reason, detail) => {
+                return Outcome::Rejected(Rejection {
+                    id: req.id,
+                    reason,
+                    detail,
+                    retries: attempt - 1,
+                })
+            }
+            AttemptEnd::Transient(reason, detail) => {
+                if attempt >= max_attempts {
+                    return Outcome::Rejected(Rejection {
+                        id: req.id,
+                        reason,
+                        detail: format!("retries exhausted ({}): {detail}", attempt - 1),
+                        retries: attempt - 1,
+                    });
+                }
+                let exp = 1u32 << (attempt - 1).min(8);
+                let jitter = 0.5 + rng.range_f64(0.0, 1.0);
+                let backoff = shared.cfg.retry_backoff.mul_f64(f64::from(exp) * jitter);
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+}
+
+fn run_attempt(shared: &Shared, req: &Request, attempt: u32) -> AttemptEnd {
+    // A request canceled while queued (or between attempts) stops here —
+    // no planning work on behalf of a gone client.
+    if req.token.is_explicitly_canceled() {
+        return AttemptEnd::Terminal(
+            RejectReason::ReqCanceled,
+            "canceled before the attempt started".into(),
+        );
+    }
+    // The serving layer's own failpoint: a transient worker-side fault
+    // (think: scratch-space allocation failure) before any planning work.
+    if shared.cfg.cse.failpoints.should_fail(sites::SERVE_WORKER) {
+        return AttemptEnd::Transient(
+            RejectReason::ExecFault,
+            format!("injected fault at {}", sites::SERVE_WORKER),
+        );
+    }
+
+    // Fresh attempt token: new flag (a previous attempt's watchdog cancel
+    // must not leak in), fresh deadline.
+    let attempt_token = match req.deadline {
+        Some(d) => CancelToken::with_deadline(d),
+        None => CancelToken::never(),
+    };
+    let deadline_at = req.deadline.map(|d| Instant::now() + d);
+    shared.inflight().insert(
+        req.id,
+        (attempt_token.clone(), req.token.clone(), deadline_at),
+    );
+    let end = run_attempt_inner(shared, req, &attempt_token, attempt);
+    shared.inflight().remove(&req.id);
+    end
+}
+
+fn run_attempt_inner(
+    shared: &Shared,
+    req: &Request,
+    attempt_token: &CancelToken,
+    attempt: u32,
+) -> AttemptEnd {
+    let admission = shared.breaker.admit();
+    let mut cfg = shared.cfg.cse.clone();
+    cfg.cancel = attempt_token.clone();
+    if admission == Admission::BaselineOnly {
+        // Forced baseline (not `enable_cse = false`): the skip is recorded
+        // as an OPT_FORCED degradation in the reply, so clients can see
+        // they were served under an open breaker.
+        cfg.fallback_only = true;
+    }
+
+    let optimized = match cse_core::optimize_sql(&shared.catalog, &req.sql, &cfg) {
+        Ok(o) => o,
+        Err(msg) => {
+            if admission == Admission::Probe {
+                shared.breaker.record_probe(false);
+            }
+            return classify_plan_failure(req, attempt_token, msg);
+        }
+    };
+    // Breaker bookkeeping happens on planning success, before execution:
+    // the breaker tracks CSE-*phase* health, and execution faults have
+    // their own retry channel.
+    match admission {
+        Admission::Full => shared
+            .breaker
+            .record(optimized.report.rung != Rung::FullCse),
+        Admission::Probe => shared
+            .breaker
+            .record_probe(optimized.report.rung == Rung::FullCse),
+        Admission::BaselineOnly => {}
+    }
+
+    let engine = Engine::new(&shared.catalog, &optimized.ctx);
+    let run = if shared.cfg.strict_faults {
+        engine.execute_strict(
+            &optimized.plan,
+            &cfg.failpoints,
+            &cfg.exec_limits,
+            attempt_token,
+        )
+    } else {
+        engine.execute_cancelable(
+            &optimized.plan,
+            &cfg.failpoints,
+            &cfg.exec_limits,
+            attempt_token,
+        )
+    };
+    match run {
+        Ok(out) => {
+            let mut events = optimized.report.degradations.clone();
+            events.extend(out.events);
+            AttemptEnd::Done(Box::new(BatchReply {
+                id: req.id,
+                results: out.results,
+                metrics: out.metrics,
+                rung: optimized.report.rung,
+                events,
+                admission,
+                retries: attempt - 1,
+                latency: req.submitted.elapsed(),
+            }))
+        }
+        Err(ExecError::Canceled { .. }) => cancellation_end(req),
+        Err(e) if e.is_recoverable() => {
+            AttemptEnd::Transient(RejectReason::ExecFault, e.to_string())
+        }
+        Err(e) => AttemptEnd::Terminal(RejectReason::ExecInternal, e.to_string()),
+    }
+}
+
+/// Classify a planning failure. Cancellation aborts surface as `Err`
+/// strings from the pipeline; the token states — not the message text —
+/// decide between the client-cancel and deadline paths. Everything else is
+/// a deterministic planning failure that retrying cannot fix.
+fn classify_plan_failure(req: &Request, attempt_token: &CancelToken, msg: String) -> AttemptEnd {
+    if attempt_token.is_canceled() {
+        cancellation_end(req)
+    } else {
+        AttemptEnd::Terminal(RejectReason::PlanRejected, msg)
+    }
+}
+
+/// A canceled attempt is terminal when the *client* canceled and transient
+/// (retry with a fresh deadline) when the watchdog deadline fired.
+fn cancellation_end(req: &Request) -> AttemptEnd {
+    if req.token.is_explicitly_canceled() {
+        AttemptEnd::Terminal(RejectReason::ReqCanceled, "canceled by client".into())
+    } else {
+        AttemptEnd::Transient(RejectReason::ReqDeadline, "attempt deadline expired".into())
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cse_storage::{row, DataType, Schema, Table, Value};
+
+    fn catalog() -> Arc<Catalog> {
+        let mut t = Table::new(
+            "t",
+            Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]),
+        );
+        for i in 0..50 {
+            t.push(row(vec![Value::Int(i % 5), Value::Int(i)])).unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register_table(t).unwrap();
+        Arc::new(c)
+    }
+
+    #[test]
+    fn serves_batches_on_multiple_workers() {
+        let mut server = Server::new(
+            catalog(),
+            ServerConfig {
+                workers: 3,
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..12)
+            .map(|_| {
+                server
+                    .submit(
+                        "select k, sum(v) as s from t group by k; \
+                         select k, count(v) as c from t group by k",
+                    )
+                    .expect("admitted")
+            })
+            .collect();
+        for t in tickets {
+            match t.wait() {
+                Outcome::Done(reply) => {
+                    assert_eq!(reply.results.len(), 2);
+                    assert_eq!(reply.results[0].rows.len(), 5);
+                }
+                Outcome::Rejected(r) => panic!("unexpected rejection: {r:?}"),
+            }
+        }
+        let stats = server.drain();
+        assert_eq!(stats.submitted, 12);
+        assert_eq!(stats.completed, 12);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn zero_deadline_rejects_with_req_deadline_after_retries() {
+        let mut server = Server::new(
+            catalog(),
+            ServerConfig {
+                workers: 1,
+                max_retries: 1,
+                deadline: Some(Duration::ZERO),
+                retry_backoff: Duration::from_micros(100),
+                ..ServerConfig::default()
+            },
+        );
+        let t = server.submit("select k from t").expect("admitted");
+        match t.wait() {
+            Outcome::Rejected(r) => {
+                assert_eq!(r.reason, RejectReason::ReqDeadline);
+                assert_eq!(r.retries, 1);
+            }
+            Outcome::Done(_) => panic!("a zero deadline cannot be met"),
+        }
+        let stats = server.drain();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.retries, 1);
+    }
+
+    #[test]
+    fn submit_after_drain_is_shed_shutdown() {
+        let mut server = Server::new(catalog(), ServerConfig::default());
+        server.drain();
+        match server.submit("select k from t") {
+            Err(r) => assert_eq!(r.reason, RejectReason::ShedShutdown),
+            Ok(_) => panic!("closed server must not admit"),
+        }
+        assert_eq!(server.stats().shed, 1);
+    }
+
+    #[test]
+    fn plan_errors_reject_without_retries() {
+        let mut server = Server::new(
+            catalog(),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let t = server.submit("select nope from t").expect("admitted");
+        match t.wait() {
+            Outcome::Rejected(r) => {
+                assert_eq!(r.reason, RejectReason::PlanRejected);
+                assert_eq!(r.retries, 0, "deterministic failures never retry");
+            }
+            Outcome::Done(_) => panic!("unknown column must fail planning"),
+        }
+        server.drain();
+    }
+}

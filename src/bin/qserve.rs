@@ -1,0 +1,226 @@
+//! `qserve` — drive the concurrent batch server from the command line,
+//! preloaded with a TPC-H instance.
+//!
+//! ```text
+//! cargo run --release --bin qserve -- [--sf 0.01] [--workers N] [--queue N]
+//!     [--block] [--deadline-ms N] [--retries N] [--lenient]
+//!     [--fail <site>:<prob>[:<seed>]] [file.sql ...]
+//! ```
+//!
+//! Each input file (or stdin when no files are given) is split into
+//! *requests* on blank lines; each request is a batch of `;`-separated
+//! statements that is optimized **together**, so similar subexpressions
+//! across its statements are detected and shared. All requests are
+//! submitted up front and served concurrently by the worker pool.
+//!
+//! Per-request outcomes go to stdout, one line each:
+//!
+//! ```text
+//! req 3: done 2 stmt(s) [14 rows] rung=full-cse retries=0 in 11.2ms
+//! req 7: rejected [EXEC_FAULT] retries exhausted (2): injected fault ...
+//! ```
+//!
+//! The final server counters (completed/shed/retries/breaker) go to
+//! stderr, keeping stdout machine-consumable.
+
+use similar_subexpr::prelude::*;
+use std::io::Read as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut sf = 0.01f64;
+    let mut workers = 4usize;
+    let mut queue = 64usize;
+    let mut admit = AdmitPolicy::Shed;
+    let mut deadline_ms: Option<u64> = None;
+    let mut retries = 2u32;
+    let mut strict = true;
+    let mut fail_specs: Vec<FailSpec> = Vec::new();
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sf" => {
+                sf = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sf expects a number");
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers expects an integer");
+            }
+            "--queue" => {
+                queue = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--queue expects an integer");
+            }
+            // Block submitters on a full queue instead of shedding.
+            "--block" => admit = AdmitPolicy::Block,
+            // Per-attempt watchdog deadline.
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--deadline-ms expects an integer"),
+                );
+            }
+            "--retries" => {
+                retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--retries expects an integer");
+            }
+            // Recover transient faults inside the engine (single-session
+            // behaviour) instead of retrying at the serving layer.
+            "--lenient" => strict = false,
+            // Full CSE_FAIL grammar: comma-separated site:prob[:seed]
+            // specs, unknown sites rejected unless `allow-unknown` leads.
+            "--fail" => {
+                let spec = args.next().expect("--fail expects site:prob[:seed]");
+                match similar_subexpr::govern::parse_fail_specs(&spec) {
+                    Ok(s) => fail_specs.extend(s),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!(
+                    "unknown flag {other}; usage: qserve [--sf N] [--workers N] [--queue N] \
+                     [--block] [--deadline-ms N] [--retries N] [--lenient] \
+                     [--fail site:prob[:seed]] [file.sql ...]"
+                );
+                std::process::exit(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+
+    let requests = read_requests(&files);
+    if requests.is_empty() {
+        eprintln!("no requests (empty input)");
+        return;
+    }
+
+    eprintln!("loading TPC-H at SF={sf} ...");
+    let catalog = Arc::new(generate_catalog(&TpchConfig::new(sf)));
+    let mut cse = CseConfig::default();
+    for s in fail_specs {
+        cse.failpoints.arm(s);
+    }
+    let config = ServerConfig {
+        workers,
+        queue_capacity: queue,
+        admit,
+        deadline: deadline_ms.map(Duration::from_millis),
+        max_retries: retries,
+        strict_faults: strict,
+        cse,
+        ..ServerConfig::default()
+    };
+    let mut server = Server::new(catalog, config);
+    eprintln!(
+        "serving {} request(s) on {workers} worker(s), queue={queue} ...",
+        requests.len()
+    );
+
+    let mut tickets = Vec::new();
+    for sql in &requests {
+        match server.submit(sql) {
+            Ok(t) => tickets.push(Ok(t)),
+            Err(r) => tickets.push(Err(r)),
+        }
+    }
+    let mut failed = 0usize;
+    for t in tickets {
+        let outcome = match t {
+            Ok(ticket) => ticket.wait(),
+            Err(r) => Outcome::Rejected(r),
+        };
+        match outcome {
+            Outcome::Done(reply) => {
+                let rows: usize = reply.results.iter().map(|r| r.rows.len()).sum();
+                println!(
+                    "req {}: done {} stmt(s) [{} rows] rung={} retries={} in {:.1?}",
+                    reply.id,
+                    reply.results.len(),
+                    rows,
+                    reply.rung.as_str(),
+                    reply.retries,
+                    reply.latency
+                );
+                for ev in &reply.events {
+                    eprintln!("-- req {} degraded: {ev}", reply.id);
+                }
+            }
+            Outcome::Rejected(r) => {
+                failed += 1;
+                println!(
+                    "req {}: rejected [{}] {} (retries={})",
+                    r.id,
+                    r.reason.code(),
+                    r.detail,
+                    r.retries
+                );
+            }
+        }
+    }
+    let stats = server.drain();
+    eprintln!(
+        "-- served {}/{} (degraded {}), rejected {} (shed {}), retries {}, \
+         breaker: {} (trips {}, probes {}, baseline-served {})",
+        stats.completed,
+        stats.submitted,
+        stats.degraded,
+        stats.rejected,
+        stats.shed,
+        stats.retries,
+        stats.breaker.state.as_str(),
+        stats.breaker.trips,
+        stats.breaker.probes,
+        stats.breaker.baseline_served
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Split input into requests on blank lines; `--`-prefixed lines are
+/// comments. No files means stdin.
+fn read_requests(files: &[String]) -> Vec<String> {
+    let mut texts = Vec::new();
+    if files.is_empty() {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        texts.push(buf);
+    } else {
+        for f in files {
+            texts.push(std::fs::read_to_string(f).unwrap_or_else(|e| {
+                eprintln!("cannot read {f}: {e}");
+                std::process::exit(2);
+            }));
+        }
+    }
+    let mut requests = Vec::new();
+    for text in texts {
+        for block in text.split("\n\n") {
+            let sql: String = block
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("--"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            if !sql.trim().is_empty() {
+                requests.push(sql);
+            }
+        }
+    }
+    requests
+}

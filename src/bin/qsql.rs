@@ -64,12 +64,12 @@ fn main() {
             }
             // Skip the CSE phase outright and report it as OPT_FORCED.
             "--no-cse-fallback-only" => fallback_only = true,
-            // Arm a deterministic failpoint (repeatable):
-            // --fail spool.materialize:1.0:42
+            // Arm deterministic failpoints (repeatable, full CSE_FAIL
+            // grammar): --fail spool.materialize:1.0:42
             "--fail" => {
                 let spec = args.next().expect("--fail expects site:prob[:seed]");
-                match FailSpec::parse(&spec) {
-                    Ok(s) => fail_specs.push(s),
+                match similar_subexpr::govern::parse_fail_specs(&spec) {
+                    Ok(s) => fail_specs.extend(s),
                     Err(e) => {
                         eprintln!("{e}");
                         std::process::exit(2);

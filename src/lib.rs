@@ -46,6 +46,7 @@ pub use cse_govern as govern;
 pub use cse_lint as lint;
 pub use cse_memo as memo;
 pub use cse_optimizer as optimizer;
+pub use cse_serve as serve;
 pub use cse_sql as sql;
 pub use cse_storage as storage;
 pub use cse_tpch as tpch;
@@ -62,9 +63,13 @@ pub mod prelude {
     };
     pub use cse_exec::{Engine, ExecOutput, ResultSet};
     pub use cse_govern::{
-        Budget, DegradationEvent, ExecLimits, FailSpec, FailpointRegistry, Reason, Rung,
+        Budget, CancelToken, DegradationEvent, ExecLimits, FailSpec, FailpointRegistry, Reason,
+        Rung,
     };
     pub use cse_lint::{lint_batch, LintMode, LintOutcome};
+    pub use cse_serve::{
+        AdmitPolicy, Outcome, RejectReason, Server, ServerConfig, ServerStats, Ticket,
+    };
     pub use cse_storage::{Catalog, Table, Value};
     pub use cse_tpch::{generate_catalog, TpchConfig};
 }

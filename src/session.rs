@@ -7,7 +7,7 @@
 
 use cse_core::{CseConfig, CseReport, MaintenanceReport, Optimized};
 use cse_exec::{Engine, ExecMetrics, ResultSet};
-use cse_govern::DegradationEvent;
+use cse_govern::{CancelToken, DegradationEvent};
 use cse_storage::{Catalog, Row, Table};
 use std::fmt;
 
@@ -120,6 +120,41 @@ impl Session {
                 &optimized.plan,
                 &self.config.failpoints,
                 &self.config.exec_limits,
+            )
+            .map_err(|e| Error::Execution(e.to_string()))?;
+        let mut events = optimized.report.degradations.clone();
+        events.extend(out.events);
+        Ok(BatchOutcome {
+            results: out.results,
+            report: optimized.report,
+            metrics: out.metrics,
+            events,
+        })
+    }
+
+    /// [`Session::query`] under a cancellation token: the token is checked
+    /// cooperatively at the optimizer's stage boundaries and hot loops and
+    /// every few thousand rows inside the interpreter, so an expired
+    /// deadline or an explicit [`CancelToken::cancel`] (e.g. from a
+    /// watchdog thread) stops the batch promptly without killing the
+    /// calling thread. A canceled request fails with a `REQ_CANCELED` /
+    /// `REQ_DEADLINE` message rather than degrading.
+    pub fn query_with_cancel(
+        &self,
+        sql: &str,
+        cancel: &CancelToken,
+    ) -> Result<BatchOutcome, Error> {
+        let mut config = self.config.clone();
+        config.cancel = cancel.clone();
+        let optimized =
+            cse_core::optimize_sql(&self.catalog, sql, &config).map_err(Error::Planning)?;
+        let engine = Engine::new(&self.catalog, &optimized.ctx);
+        let out = engine
+            .execute_cancelable(
+                &optimized.plan,
+                &config.failpoints,
+                &config.exec_limits,
+                cancel,
             )
             .map_err(|e| Error::Execution(e.to_string()))?;
         let mut events = optimized.report.degradations.clone();

@@ -1,0 +1,383 @@
+//! Adversarial concurrency suite for the batch server: a fault storm over
+//! 8 workers must leave every request with a structured terminal outcome
+//! (no hangs, no worker deaths), results must be identical across worker
+//! counts, explicit cancels and deadlines must reject with their reason
+//! codes, and a forced circuit-breaker trip must serve baseline-only plans
+//! until the half-open probe recovers.
+//!
+//! The fault-injection seed comes from `CSE_FAIL_SEED` (default 42) so CI
+//! can sweep a seed matrix; every assertion here must hold for *any* seed.
+
+use similar_subexpr::govern::sites;
+use similar_subexpr::prelude::*;
+use similar_subexpr::serve::{Admission, BreakerConfig, BreakerState};
+use std::sync::Arc;
+use std::time::Duration;
+
+const Q1: &str = "select c_nationkey, sum(l_extendedprice) as le \
+     from customer, orders, lineitem \
+     where c_custkey = o_custkey and o_orderkey = l_orderkey \
+       and c_nationkey < 20 \
+     group by c_nationkey";
+const Q2: &str = "select c_nationkey, sum(l_quantity) as lq \
+     from customer, orders, lineitem \
+     where c_custkey = o_custkey and o_orderkey = l_orderkey \
+       and c_nationkey < 25 \
+     group by c_nationkey";
+
+fn cse_batch() -> String {
+    format!("{Q1};\n{Q2};")
+}
+
+/// The request mix: sharing-rich batches interleaved with light queries.
+fn request_mix(n: usize) -> Vec<String> {
+    let light = [
+        "select c_mktsegment, count(*) as n from customer group by c_mktsegment".to_string(),
+        "select o_orderstatus, sum(o_totalprice) as s from orders group by o_orderstatus"
+            .to_string(),
+    ];
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                cse_batch()
+            } else {
+                light[(i / 2) % light.len()].clone()
+            }
+        })
+        .collect()
+}
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(generate_catalog(&TpchConfig::new(0.002)))
+}
+
+fn seed() -> u64 {
+    std::env::var("CSE_FAIL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Ungoverned no-CSE reference results for one request.
+fn reference(catalog: &Catalog, sql: &str) -> Vec<ResultSet> {
+    let optimized = optimize_sql(catalog, sql, &CseConfig::no_cse()).expect("reference optimize");
+    Engine::new(catalog, &optimized.ctx)
+        .execute(&optimized.plan)
+        .expect("reference execute")
+        .results
+}
+
+fn assert_matches(got: &[ResultSet], want: &[ResultSet], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: statement count");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(g.approx_eq(w, 1e-9), "{what}: statement {i} diverged");
+    }
+}
+
+fn storm(seed: u64) -> FailpointRegistry {
+    let spec = |site: &str, probability: f64| FailSpec {
+        site: site.to_string(),
+        probability,
+        seed,
+    };
+    FailpointRegistry::from_specs(&[
+        spec(sites::SPOOL_MATERIALIZE, 0.5),
+        spec(sites::SCAN_TABLE, 0.3),
+        spec(sites::SERVE_WORKER, 0.2),
+    ])
+}
+
+/// The headline acceptance test: 8 workers under a fault storm, every
+/// request reaches exactly one structured terminal outcome, no worker
+/// dies, and every *completed* request is still correct. Runs in both
+/// server modes: lenient (in-engine recovery — nothing may be rejected)
+/// and strict (server-owned retries — rejections allowed, but only with
+/// the `EXEC_FAULT` code and an exhausted retry count).
+#[test]
+fn fault_storm_on_8_workers_yields_terminal_outcomes() {
+    let catalog = catalog();
+    let sqls = request_mix(24);
+    let refs: Vec<Vec<ResultSet>> = sqls.iter().map(|s| reference(&catalog, s)).collect();
+    for strict in [false, true] {
+        let mut server = Server::new(
+            Arc::clone(&catalog),
+            ServerConfig {
+                workers: 8,
+                queue_capacity: 8,
+                admit: AdmitPolicy::Block,
+                max_retries: 3,
+                retry_backoff: Duration::from_micros(200),
+                strict_faults: strict,
+                cse: CseConfig {
+                    failpoints: storm(seed()),
+                    ..CseConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<_> = sqls
+            .iter()
+            .map(|sql| server.submit(sql).expect("blocking admission"))
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            match t.wait() {
+                Outcome::Done(reply) => {
+                    assert_matches(
+                        &reply.results,
+                        &refs[i],
+                        &format!("strict={strict} req {i}"),
+                    );
+                }
+                Outcome::Rejected(r) => {
+                    assert!(strict, "lenient mode recovers every fault in-engine: {r:?}");
+                    assert_eq!(
+                        r.reason,
+                        RejectReason::ExecFault,
+                        "only transient-fault rejections are legal here: {r:?}"
+                    );
+                    assert_eq!(r.retries, 3, "must exhaust retries first: {r:?}");
+                }
+            }
+        }
+        let stats = server.drain();
+        assert_eq!(stats.submitted, 24);
+        assert_eq!(stats.completed + stats.rejected, 24, "no request may hang");
+        assert_eq!(stats.worker_panics, 0, "no worker may die");
+        if !strict {
+            assert_eq!(stats.rejected, 0);
+        }
+    }
+}
+
+/// Concurrency must not change answers: the same request set through 1
+/// and 8 workers yields identical per-request results, under fault
+/// injection, across the CI seed matrix {1, 7, 42}.
+#[test]
+fn results_identical_across_worker_counts_and_seeds() {
+    let catalog = catalog();
+    let sqls = request_mix(12);
+    for fault_seed in [1u64, 7, 42] {
+        let run = |workers: usize| -> Vec<Vec<ResultSet>> {
+            let mut server = Server::new(
+                Arc::clone(&catalog),
+                ServerConfig {
+                    workers,
+                    queue_capacity: 4,
+                    admit: AdmitPolicy::Block,
+                    // Lenient mode: faults are recovered in-engine, so
+                    // every request completes in both runs and the
+                    // comparison is total.
+                    strict_faults: false,
+                    cse: CseConfig {
+                        failpoints: storm(fault_seed),
+                        ..CseConfig::default()
+                    },
+                    ..ServerConfig::default()
+                },
+            );
+            let tickets: Vec<_> = sqls
+                .iter()
+                .map(|sql| server.submit(sql).expect("blocking admission"))
+                .collect();
+            let results = tickets
+                .into_iter()
+                .map(|t| match t.wait() {
+                    Outcome::Done(reply) => reply.results,
+                    Outcome::Rejected(r) => panic!("lenient run rejected: {r:?}"),
+                })
+                .collect();
+            server.drain();
+            results
+        };
+        let single = run(1);
+        let eight = run(8);
+        for (i, (a, b)) in single.iter().zip(eight.iter()).enumerate() {
+            assert_eq!(a.len(), b.len(), "seed {fault_seed} req {i}");
+            for (j, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert!(
+                    x.approx_eq(y, 1e-9),
+                    "seed {fault_seed} req {i} stmt {j}: 1-worker and 8-worker diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Forced breaker trip: a permanently panicking CSE phase trips the
+/// breaker, subsequent requests are served baseline-only (visible in the
+/// reply's admission + OPT_FORCED event), and after the fault is disarmed
+/// the half-open probe runs full CSE and closes the breaker again.
+#[test]
+fn breaker_trips_serves_baseline_and_recovers_via_probe() {
+    let catalog = catalog();
+    let want = reference(&catalog, &cse_batch());
+    // Generous cooldown: on a loaded single-core CI box the test thread
+    // can lose tens of milliseconds between requests, and a cooldown that
+    // elapses "spuriously" turns an expected baseline-only admission into
+    // a (failing) probe. The phases below tolerate that reordering, but a
+    // longer cooldown keeps the common path deterministic.
+    let cooldown = Duration::from_millis(200);
+    let mut server = Server::new(
+        Arc::clone(&catalog),
+        ServerConfig {
+            workers: 1, // sequential: breaker transitions are deterministic
+            breaker: BreakerConfig {
+                enabled: true,
+                window: 8,
+                min_samples: 4,
+                trip_ratio: 0.5,
+                cooldown,
+            },
+            cse: CseConfig {
+                failpoints: FailpointRegistry::from_specs(&[FailSpec {
+                    site: sites::OPT_CSE_PHASE.to_string(),
+                    probability: 1.0,
+                    seed: seed(),
+                }]),
+                ..CseConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let ask = |server: &Server| -> similar_subexpr::serve::BatchReply {
+        match server.submit(&cse_batch()).expect("admitted").wait() {
+            Outcome::Done(reply) => reply,
+            Outcome::Rejected(r) => panic!("breaker scenario must not reject: {r:?}"),
+        }
+    };
+
+    // Phase 1: the panicking CSE phase degrades every request to the
+    // baseline rung (worker survives each panic) until the breaker trips.
+    for _ in 0..4 {
+        let reply = ask(&server);
+        assert_eq!(reply.admission, Admission::Full);
+        assert_eq!(reply.rung, Rung::Baseline);
+        assert!(reply.events.iter().any(|e| e.reason.code() == "OPT_PANIC"));
+        assert_matches(&reply.results, &want, "degraded phase");
+    }
+    assert_eq!(server.breaker().state(), BreakerState::Open);
+
+    // Phase 2: while the fault persists the breaker never serves a
+    // full-CSE plan. The common admission is BaselineOnly (OPT_FORCED —
+    // the CSE phase is not even attempted); if the cooldown happens to
+    // elapse between requests, the admission is a probe that fails
+    // against the armed fault and re-opens the breaker. Either way every
+    // answer stays correct on the baseline rung.
+    let mut saw_baseline_only = false;
+    for _ in 0..4 {
+        let reply = ask(&server);
+        assert_ne!(
+            reply.admission,
+            Admission::Full,
+            "breaker must stay engaged while the fault persists"
+        );
+        assert_eq!(reply.rung, Rung::Baseline);
+        if reply.admission == Admission::BaselineOnly {
+            saw_baseline_only = true;
+            assert!(reply.events.iter().any(|e| e.reason.code() == "OPT_FORCED"));
+            assert!(!reply.events.iter().any(|e| e.reason.code() == "OPT_PANIC"));
+        }
+        assert_matches(&reply.results, &want, "open-breaker phase");
+    }
+    assert!(
+        saw_baseline_only,
+        "an open breaker must serve baseline-only between probes"
+    );
+
+    // Phase 3: fix the fault (shared registry handle), wait out the
+    // cooldown; the next admission becomes the half-open probe, runs the
+    // full CSE phase, and closes the breaker. A late phase-2 failed probe
+    // may have just restarted the cooldown, so allow a few rounds.
+    assert!(server.failpoints().disarm(sites::OPT_CSE_PHASE));
+    let mut recovered = false;
+    for _ in 0..3 {
+        std::thread::sleep(cooldown + Duration::from_millis(50));
+        let reply = ask(&server);
+        if reply.admission == Admission::Probe {
+            assert_eq!(reply.rung, Rung::FullCse, "healthy probe runs full CSE");
+            assert_matches(&reply.results, &want, "probe");
+            recovered = true;
+            break;
+        }
+        assert_eq!(reply.admission, Admission::BaselineOnly);
+    }
+    assert!(recovered, "the half-open probe must run once cooled down");
+    assert_eq!(server.breaker().state(), BreakerState::Closed);
+
+    // Phase 4: recovered — full admission again.
+    let healthy = ask(&server);
+    assert_eq!(healthy.admission, Admission::Full);
+    assert_eq!(healthy.rung, Rung::FullCse);
+    assert_matches(&healthy.results, &want, "recovered");
+
+    let stats = server.drain();
+    // At least the initial trip and the successful probe; a cooldown that
+    // races a phase-2 request adds a failed probe plus re-trip on top.
+    assert!(stats.breaker.trips >= 1);
+    assert!(stats.breaker.probes >= 1);
+    assert!(stats.breaker.baseline_served >= 1);
+    assert_eq!(stats.worker_panics, 0, "pipeline isolation held");
+}
+
+/// An explicit client cancel on a queued request rejects it with
+/// `REQ_CANCELED` — the cancel is terminal, never retried.
+#[test]
+fn explicit_cancel_rejects_with_req_canceled() {
+    let catalog = catalog();
+    let mut server = Server::new(
+        Arc::clone(&catalog),
+        ServerConfig {
+            workers: 1,
+            max_retries: 5,
+            ..ServerConfig::default()
+        },
+    );
+    // Occupy the single worker with a heavy batch, then cancel a queued
+    // request before the worker can reach it.
+    let busy = server.submit(&cse_batch()).expect("admitted");
+    let victim = server.submit(&cse_batch()).expect("admitted");
+    victim.cancel();
+    match victim.wait() {
+        Outcome::Rejected(r) => {
+            assert_eq!(r.reason, RejectReason::ReqCanceled);
+            assert_eq!(r.retries, 0, "explicit cancels never retry");
+        }
+        Outcome::Done(_) => panic!("canceled request must not complete"),
+    }
+    assert!(busy.wait().is_done());
+    let stats = server.drain();
+    assert_eq!(stats.canceled, 1);
+}
+
+/// Watchdog deadlines: a deadline far too short to plan the batch expires
+/// every attempt; the request is retried (fresh deadline each time), then
+/// rejected `REQ_DEADLINE` — and the worker is alive for the next request.
+#[test]
+fn watchdog_deadline_rejects_then_worker_serves_again() {
+    let catalog = catalog();
+    let mut server = Server::new(
+        Arc::clone(&catalog),
+        ServerConfig {
+            workers: 1,
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(100),
+            ..ServerConfig::default()
+        },
+    );
+    let doomed = server
+        .submit_with_deadline(&cse_batch(), Some(Duration::from_micros(1)))
+        .expect("admitted");
+    match doomed.wait() {
+        Outcome::Rejected(r) => {
+            assert_eq!(r.reason, RejectReason::ReqDeadline);
+            assert_eq!(r.retries, 2);
+        }
+        Outcome::Done(_) => panic!("a 1µs deadline cannot plan a join batch"),
+    }
+    // The same worker must serve an undeadlined request afterwards.
+    let ok = server.submit(&cse_batch()).expect("admitted");
+    assert!(ok.wait().is_done(), "worker must survive deadline cancels");
+    let stats = server.drain();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.completed, 1);
+}
