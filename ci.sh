@@ -31,6 +31,30 @@ if "${QLINT[@]}" --sf 0.001 --deny tests/corpus/findings.sql >/dev/null 2>&1; th
   exit 1
 fi
 
+# qconc gate: the lock-discipline analyzer over the serving-layer crates.
+# The full report (including which findings the allowlist covered, and
+# why) must match the golden file byte-for-byte, and deny mode must pass —
+# i.e. every finding is either fixed or carries a checked-in justification,
+# and no allowlist entry is stale.
+echo "==> qconc (lock discipline: golden file + deny gate)"
+cargo run -q --release --bin qconc | diff -u tests/corpus/qconc.golden - \
+  || { echo "qconc output drifted (regenerate tests/corpus/qconc.golden if intended)"; exit 1; }
+cargo run -q --release --bin qconc -- --deny >/dev/null
+
+# Interleaving explorer: the exhaustive suites over the queue / breaker /
+# cancel models run as part of `cargo test` above; the deep seeded
+# sampling arm is opt-in because it is slow. Set QCONC_SAMPLE=seed[:n]
+# (e.g. QCONC_SAMPLE=7:20000) to run it.
+if [[ -n "${QCONC_SAMPLE:-}" ]]; then
+  echo "==> qconc deep sampling arm (QCONC_SAMPLE=$QCONC_SAMPLE)"
+  QCONC_SAMPLE="$QCONC_SAMPLE" cargo test -q -p cse-conc env_gated_deep_sampling_arm
+fi
+
+# The lock-stats instrumentation build must stay green even though the
+# default build compiles it out.
+echo "==> lock-stats feature build"
+cargo build -q --features lock-stats -p cse-bench -p cse-serve -p cse-conc
+
 # Fault-injection seed matrix: the adversarial robustness suite and the
 # concurrent serving stress suite must hold for every seed, not just the
 # default. Each seed reshuffles which scans / spools / worker slots fail

@@ -186,6 +186,23 @@ fn main() {
                 r.p99.as_secs_f64() * 1e3
             );
         }
+        if rows.first().is_some_and(|r| r.lock_stats_recorded) {
+            println!("per-lock contention (lock-stats build):");
+            for r in &rows {
+                for site in &r.lock_sites {
+                    println!(
+                        "  workers={:<2} {:<14} acquisitions={:<7} contended={:<6} hold={:.2}ms",
+                        r.workers,
+                        site.site,
+                        site.acquisitions,
+                        site.contended,
+                        site.hold_nanos as f64 / 1e6
+                    );
+                }
+            }
+        } else {
+            println!("per-lock contention: not measured (build with --features lock-stats)");
+        }
         let json = experiments::serve_json(sf, &rows);
         std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
         println!("wrote BENCH_serve.json");

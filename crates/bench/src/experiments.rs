@@ -377,6 +377,13 @@ pub struct ServePoint {
     /// Latency percentiles over completed requests (submit → reply).
     pub p50: Duration,
     pub p99: Duration,
+    /// Per-lock acquisition/contention/hold-time counters from the
+    /// server's `TrackedMutex` sites (queue, breaker, inflight table).
+    /// All zeros unless built with `--features lock-stats`;
+    /// [`ServePoint::lock_stats_recorded`] distinguishes "not measured"
+    /// from "uncontended".
+    pub lock_sites: Vec<cse_serve::LockSiteStats>,
+    pub lock_stats_recorded: bool,
 }
 
 /// The serving benchmark's request mix: paper batches (heavy, sharing-rich)
@@ -428,6 +435,7 @@ pub fn serve_bench(catalog: &Catalog, worker_counts: &[usize], requests: usize) 
             }
             let elapsed = started.elapsed();
             let stats = server.drain();
+            let lock_sites = server.lock_stats();
             latencies.sort();
             let pct = |p: f64| -> Duration {
                 let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
@@ -445,6 +453,8 @@ pub fn serve_bench(catalog: &Catalog, worker_counts: &[usize], requests: usize) 
                 throughput_rps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
                 p50: pct(0.50),
                 p99: pct(0.99),
+                lock_sites,
+                lock_stats_recorded: cse_serve::lock_stats_recording(),
             }
         })
         .collect()
@@ -462,7 +472,8 @@ pub fn serve_json(sf: f64, rows: &[ServePoint]) -> String {
             s,
             "    {{\"workers\": {}, \"requests\": {}, \"completed\": {}, \"degraded\": {}, \
              \"rejected\": {}, \"shed\": {}, \"retries\": {}, \"breaker_trips\": {}, \
-             \"throughput_rps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+             \"throughput_rps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"lock_stats_recorded\": {}, \"lock_sites\": [",
             r.workers,
             r.requests,
             r.completed,
@@ -474,7 +485,21 @@ pub fn serve_json(sf: f64, rows: &[ServePoint]) -> String {
             r.throughput_rps,
             r.p50.as_secs_f64() * 1e3,
             r.p99.as_secs_f64() * 1e3,
+            r.lock_stats_recorded,
         );
+        for (j, site) in r.lock_sites.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"site\": \"{}\", \"acquisitions\": {}, \"contended\": {}, \
+                 \"hold_nanos\": {}}}",
+                if j == 0 { "" } else { ", " },
+                site.site,
+                site.acquisitions,
+                site.contended,
+                site.hold_nanos,
+            );
+        }
+        s.push_str("]}");
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ]\n}\n");

@@ -1,0 +1,356 @@
+//! The deterministic interleaving explorer ("shuttle-lite").
+//!
+//! The serving layer's stress tests throw seeded fault storms at the real
+//! server and assert outcomes — probabilistic coverage of schedules. This
+//! module turns that into *systematic* coverage: a concurrent structure is
+//! modeled as a step-function state machine over a fixed set of logical
+//! threads, and every interleaving of their atomic steps (up to a bound)
+//! is enumerated by depth-first search. Each mutex-protected operation of
+//! the real code is one atomic step in the model — sound for code whose
+//! critical sections are single lock acquire/release pairs, which is
+//! exactly the discipline `conc/` rules enforce.
+//!
+//! Invariants are checked in **every** reachable state, a final check runs
+//! at the end of every complete schedule, and a state where some thread is
+//! unfinished but nothing can step is reported as a deadlock (this is how
+//! lost-wakeup bugs surface in a condvar model). Violations carry the
+//! exact schedule (thread-id sequence) that produced them, so a failure
+//! replays deterministically with [`replay`].
+//!
+//! Beyond the exhaustive bound, [`sample`] draws random schedules from the
+//! testkit PRNG — the same seeded xorshift the fault-injection registry
+//! uses — for cheap depth beyond what exhaustive enumeration can afford.
+
+use cse_storage::testkit::TestRng;
+
+/// A concurrent system modeled as logical threads over shared state.
+///
+/// `step(tid)` must only be called when `enabled(tid)` is true and
+/// `done(tid)` is false; it performs one atomic transition. A thread that
+/// is not done and not enabled is *blocked* (modeling a condvar wait or a
+/// full/empty bounded queue).
+pub trait Model: Clone {
+    fn threads(&self) -> usize;
+    fn enabled(&self, tid: usize) -> bool;
+    fn done(&self, tid: usize) -> bool;
+    fn step(&mut self, tid: usize);
+    /// Checked in every reachable state.
+    fn invariant(&self) -> Result<(), String>;
+    /// Checked once per complete schedule (all threads done).
+    fn final_check(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A failed exploration: what broke and the schedule that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub message: String,
+    /// Thread ids in step order; replaying them from the initial state
+    /// reproduces the violation deterministically.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [schedule: {:?}]", self.message, self.schedule)
+    }
+}
+
+/// Exploration statistics (also the proof-of-coverage numbers the tests
+/// assert on, so a refactor that silently shrinks the state space fails).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Explored {
+    /// Complete schedules enumerated.
+    pub schedules: u64,
+    /// Total steps executed across all schedules.
+    pub steps: u64,
+    /// Longest schedule seen.
+    pub max_depth: usize,
+}
+
+/// Exhaustively enumerate every interleaving of `initial`'s threads.
+///
+/// `max_schedules` bounds the search: exceeding it is an error (the
+/// exhaustive suites must remain exhaustive — if a model grows past its
+/// budget, shrink the model, don't silently truncate coverage).
+pub fn explore<M: Model>(initial: &M, max_schedules: u64) -> Result<Explored, Box<Violation>> {
+    explore_with(initial, max_schedules, |_| {})
+}
+
+/// [`explore`] with an observer invoked on every *final* state (after its
+/// `final_check` passed). Tests use this to assert reachability — e.g.
+/// "some schedule sheds and some schedule admits everything" — on top of
+/// the universally-checked invariants.
+pub fn explore_with<M: Model>(
+    initial: &M,
+    max_schedules: u64,
+    mut on_final: impl FnMut(&M),
+) -> Result<Explored, Box<Violation>> {
+    let mut stats = Explored::default();
+    let mut schedule = Vec::new();
+    dfs(
+        initial,
+        &mut schedule,
+        &mut stats,
+        max_schedules,
+        &mut on_final,
+    )?;
+    Ok(stats)
+}
+
+fn dfs<M: Model>(
+    state: &M,
+    schedule: &mut Vec<usize>,
+    stats: &mut Explored,
+    max_schedules: u64,
+    on_final: &mut impl FnMut(&M),
+) -> Result<(), Box<Violation>> {
+    if let Err(msg) = state.invariant() {
+        return Err(Box::new(Violation {
+            message: format!("invariant violated: {msg}"),
+            schedule: schedule.clone(),
+        }));
+    }
+    let runnable: Vec<usize> = (0..state.threads())
+        .filter(|&t| !state.done(t) && state.enabled(t))
+        .collect();
+    if runnable.is_empty() {
+        let all_done = (0..state.threads()).all(|t| state.done(t));
+        if !all_done {
+            let blocked: Vec<usize> = (0..state.threads()).filter(|&t| !state.done(t)).collect();
+            return Err(Box::new(Violation {
+                message: format!("deadlock: threads {blocked:?} blocked with nothing runnable"),
+                schedule: schedule.clone(),
+            }));
+        }
+        if let Err(msg) = state.final_check() {
+            return Err(Box::new(Violation {
+                message: format!("final check failed: {msg}"),
+                schedule: schedule.clone(),
+            }));
+        }
+        on_final(state);
+        stats.schedules += 1;
+        stats.max_depth = stats.max_depth.max(schedule.len());
+        if stats.schedules > max_schedules {
+            return Err(Box::new(Violation {
+                message: format!(
+                    "schedule budget exceeded ({max_schedules}); shrink the model so the \
+                     exhaustive bound stays exhaustive"
+                ),
+                schedule: schedule.clone(),
+            }));
+        }
+        return Ok(());
+    }
+    for tid in runnable {
+        let mut next = state.clone();
+        next.step(tid);
+        stats.steps += 1;
+        schedule.push(tid);
+        dfs(&next, schedule, stats, max_schedules, on_final)?;
+        schedule.pop();
+    }
+    Ok(())
+}
+
+/// Replay one specific schedule (e.g. from a [`Violation`]) against a
+/// fresh copy of the model, returning the final state. Panics only via
+/// the model's own `step` preconditions if the schedule is not valid for
+/// this model.
+pub fn replay<M: Model>(initial: &M, schedule: &[usize]) -> Result<M, Box<Violation>> {
+    let mut state = initial.clone();
+    for (i, &tid) in schedule.iter().enumerate() {
+        if let Err(msg) = state.invariant() {
+            return Err(Box::new(Violation {
+                message: format!("invariant violated during replay: {msg}"),
+                schedule: schedule[..i].to_vec(),
+            }));
+        }
+        if state.done(tid) || !state.enabled(tid) {
+            return Err(Box::new(Violation {
+                message: format!("schedule step {i}: thread {tid} is not runnable"),
+                schedule: schedule[..=i].to_vec(),
+            }));
+        }
+        state.step(tid);
+    }
+    Ok(state)
+}
+
+/// Randomly sample `n` schedules using the seeded testkit PRNG: the
+/// probabilistic arm for models whose exhaustive bound is too small to be
+/// interesting. Checks the same invariants, deadlock condition and final
+/// checks as [`explore`].
+pub fn sample<M: Model>(initial: &M, seed: u64, n: u64) -> Result<Explored, Box<Violation>> {
+    let mut rng = TestRng::new(seed);
+    let mut stats = Explored::default();
+    for _ in 0..n {
+        let mut state = initial.clone();
+        let mut schedule = Vec::new();
+        loop {
+            if let Err(msg) = state.invariant() {
+                return Err(Box::new(Violation {
+                    message: format!("invariant violated: {msg}"),
+                    schedule,
+                }));
+            }
+            let runnable: Vec<usize> = (0..state.threads())
+                .filter(|&t| !state.done(t) && state.enabled(t))
+                .collect();
+            if runnable.is_empty() {
+                let all_done = (0..state.threads()).all(|t| state.done(t));
+                if !all_done {
+                    let blocked: Vec<usize> =
+                        (0..state.threads()).filter(|&t| !state.done(t)).collect();
+                    return Err(Box::new(Violation {
+                        message: format!("deadlock: threads {blocked:?} blocked"),
+                        schedule,
+                    }));
+                }
+                if let Err(msg) = state.final_check() {
+                    return Err(Box::new(Violation {
+                        message: format!("final check failed: {msg}"),
+                        schedule,
+                    }));
+                }
+                break;
+            }
+            let tid = *rng.pick(&runnable);
+            state.step(tid);
+            stats.steps += 1;
+            schedule.push(tid);
+        }
+        stats.schedules += 1;
+        stats.max_depth = stats.max_depth.max(schedule.len());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads each increment a shared "register" twice via a
+    /// read-modify-write split into two steps — the textbook lost-update
+    /// race. The explorer must find schedules where updates are lost, so
+    /// the *final* assertion here is on the set of reachable outcomes.
+    #[derive(Clone)]
+    struct RmwRace {
+        value: u32,
+        /// Per thread: (loads done, stores done, stashed read).
+        pc: [(u8, u8, u32); 2],
+    }
+
+    impl Model for RmwRace {
+        fn threads(&self) -> usize {
+            2
+        }
+        fn enabled(&self, _tid: usize) -> bool {
+            true
+        }
+        fn done(&self, tid: usize) -> bool {
+            self.pc[tid].1 == 1
+        }
+        fn step(&mut self, tid: usize) {
+            let (loads, stores, stash) = self.pc[tid];
+            if loads == 0 {
+                self.pc[tid] = (1, stores, self.value);
+            } else {
+                self.value = stash + 1;
+                self.pc[tid] = (loads, 1, stash);
+            }
+        }
+        fn invariant(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn explorer_finds_the_lost_update_interleaving() {
+        // 2 threads x 2 steps: 4!/(2!2!) = 6 schedules.
+        let init = RmwRace {
+            value: 0,
+            pc: [(0, 0, 0); 2],
+        };
+        let stats = explore(&init, 100).expect("no invariant to violate");
+        assert_eq!(stats.schedules, 6);
+        assert_eq!(stats.max_depth, 4);
+        // Replay a racy schedule: both load before either stores.
+        let racy = replay(&init, &[0, 1, 0, 1]).expect("valid schedule");
+        assert_eq!(racy.value, 1, "one update lost");
+        let serial = replay(&init, &[0, 0, 1, 1]).expect("valid schedule");
+        assert_eq!(serial.value, 2);
+    }
+
+    /// A model that deadlocks: thread 0 waits for a flag only thread 1
+    /// sets, but thread 1 waits for thread 0 first.
+    #[derive(Clone, Debug)]
+    struct Deadlock {
+        a: bool,
+        b: bool,
+    }
+
+    impl Model for Deadlock {
+        fn threads(&self) -> usize {
+            2
+        }
+        fn enabled(&self, tid: usize) -> bool {
+            if tid == 0 {
+                self.b
+            } else {
+                self.a
+            }
+        }
+        fn done(&self, _tid: usize) -> bool {
+            self.a && self.b
+        }
+        fn step(&mut self, tid: usize) {
+            if tid == 0 {
+                self.a = true;
+            } else {
+                self.b = true;
+            }
+        }
+        fn invariant(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn deadlocks_are_reported_with_their_schedule() {
+        let err = explore(&Deadlock { a: false, b: false }, 100).expect_err("must deadlock");
+        assert!(err.message.contains("deadlock"), "{err}");
+        assert!(err.schedule.is_empty(), "deadlocked in the initial state");
+    }
+
+    #[test]
+    fn schedule_budget_is_a_hard_error() {
+        let init = RmwRace {
+            value: 0,
+            pc: [(0, 0, 0); 2],
+        };
+        let err = explore(&init, 3).expect_err("6 schedules > budget of 3");
+        assert!(err.message.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let init = RmwRace {
+            value: 0,
+            pc: [(0, 0, 0); 2],
+        };
+        let a = sample(&init, 7, 50).expect("clean");
+        let b = sample(&init, 7, 50).expect("clean");
+        assert_eq!(a, b, "same seed, same walk");
+        assert_eq!(a.schedules, 50);
+    }
+
+    #[test]
+    fn replay_rejects_invalid_schedules() {
+        let init = Deadlock { a: false, b: false };
+        let err = replay(&init, &[0]).expect_err("thread 0 is blocked initially");
+        assert!(err.message.contains("not runnable"), "{err}");
+    }
+}

@@ -1,0 +1,351 @@
+//! A minimal hand-rolled Rust token scanner.
+//!
+//! The discipline analyzer ([`crate::discipline`]) does not need a real
+//! parser — it needs identifiers, punctuation and brace structure with
+//! byte-accurate spans, and it needs comments, strings, char literals and
+//! lifetimes to *not* masquerade as code. That is exactly what this lexer
+//! produces; everything else (numbers, operators it does not care about)
+//! is passed through as opaque punctuation or skipped.
+//!
+//! The repo builds offline, so this stays dependency-free by design: no
+//! `syn`, no `proc-macro2`. The cost is that the analyzer is token-level
+//! and intra-procedural; the benefit is that it runs on any source state,
+//! even mid-refactor files that do not parse yet.
+
+/// One token with its half-open byte span `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: u32,
+    pub end: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `let`, `lock`, ...). Raw identifiers
+    /// (`r#type`) carry their unprefixed name.
+    Ident(String),
+    /// Single punctuation byte (`{`, `}`, `(`, `)`, `;`, `.`, `:`, ...).
+    /// Multi-byte operators arrive as consecutive tokens (`::` is `:`,`:`).
+    Punct(u8),
+    /// String / char / byte literal (contents discarded).
+    Literal,
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+    /// Numeric literal (value discarded).
+    Number,
+}
+
+impl Tok {
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenize `src`. Never fails: malformed trailing constructs (an
+/// unterminated string or comment) consume the rest of the input as one
+/// literal, which is the right behaviour for an analyzer that must keep
+/// going on files mid-edit.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < n {
+            if b[i + 1] == b'/' {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        let start = i;
+        // Raw strings / raw identifiers / byte strings: r"..."; r#"..."#;
+        // br#"..."#; b"..."; r#ident.
+        if (c == b'r' || c == b'b') && i + 1 < n {
+            let (prefix_len, is_raw) = match (c, b.get(i + 1)) {
+                (b'r', Some(&b'"')) | (b'r', Some(&b'#')) => (1, true),
+                (b'b', Some(&b'"')) => (1, false),
+                (b'b', Some(&b'r')) if matches!(b.get(i + 2), Some(&b'"') | Some(&b'#')) => {
+                    (2, true)
+                }
+                _ => (0, false),
+            };
+            if prefix_len > 0 {
+                let mut j = i + prefix_len;
+                let mut hashes = 0usize;
+                while j < n && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if is_raw && hashes > 0 && j < n && is_ident_start(b[j]) {
+                    // Raw identifier `r#type`: emit the bare name.
+                    let id_start = j;
+                    while j < n && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident(src[id_start..j].to_string()),
+                        start: start as u32,
+                        end: j as u32,
+                    });
+                    i = j;
+                    continue;
+                }
+                if j < n && b[j] == b'"' {
+                    // Raw (or plain byte) string: scan for `"` + hashes.
+                    j += 1;
+                    'scan: while j < n {
+                        if b[j] == b'"' {
+                            let mut k = 0usize;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == b'#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        if !is_raw && b[j] == b'\\' {
+                            j += 1; // skip escaped char in b"..."
+                        }
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        start: start as u32,
+                        end: j as u32,
+                    });
+                    i = j;
+                    continue;
+                }
+                // `r` / `b` not followed by a string: fall through to the
+                // identifier path below.
+            }
+        }
+        // Plain strings.
+        if c == b'"' {
+            let mut j = i + 1;
+            while j < n {
+                if b[j] == b'\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == b'"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                start: start as u32,
+                end: j.min(n) as u32,
+            });
+            i = j.min(n);
+            continue;
+        }
+        // Lifetimes vs char literals.
+        if c == b'\'' {
+            // `'static`, `'a` — lifetime when an ident follows and is not
+            // closed by another quote (that would be a char like 'a').
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 2;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == b'\'' && j == i + 2 {
+                    // 'x' — single-char literal.
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        start: start as u32,
+                        end: (j + 1) as u32,
+                    });
+                    i = j + 1;
+                } else {
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        start: start as u32,
+                        end: j as u32,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Escaped or punctuation char literal: '\n', '\'', '{', ...
+            let mut j = i + 1;
+            if j < n && b[j] == b'\\' {
+                j += 2;
+            } else {
+                j += 1;
+            }
+            while j < n && b[j] != b'\'' {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                start: start as u32,
+                end: (j + 1).min(n) as u32,
+            });
+            i = (j + 1).min(n);
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident(src[i..j].to_string()),
+                start: start as u32,
+                end: j as u32,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers. A `.` continues the number only when followed by a
+        // digit, so range expressions (`0..10`) stay three tokens.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            loop {
+                if j < n && (is_ident_continue(b[j])) {
+                    j += 1;
+                    continue;
+                }
+                if j + 1 < n && b[j] == b'.' && b[j + 1].is_ascii_digit() && b[j - 1] != b'.' {
+                    j += 1;
+                    continue;
+                }
+                break;
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                start: start as u32,
+                end: j as u32,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: one punctuation byte.
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            start: start as u32,
+            end: (i + 1) as u32,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // let g = self.lock(); not code
+            /* nested /* block */ lock() */
+            let s = "lock() inside a string";
+            let r = r#"raw "lock" string"#;
+            let c = '{'; let esc = '\'';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"lock".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(lifetimes, 2);
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(lits, 1, "'x' is a char literal");
+    }
+
+    #[test]
+    fn braces_balance_in_real_code() {
+        let src = "impl T { fn a(&self) { if x { y(); } } fn b() {} }";
+        let toks = lex(src);
+        let open = toks.iter().filter(|t| t.is_punct(b'{')).count();
+        let close = toks.iter().filter(|t| t.is_punct(b'}')).count();
+        assert_eq!(open, close);
+        assert_eq!(open, 4);
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let src = "let guard = q.lock();";
+        let toks = lex(src);
+        let lock = toks.iter().find(|t| t.is_ident("lock")).expect("lock tok");
+        assert_eq!(&src[lock.start as usize..lock.end as usize], "lock");
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_numbers() {
+        let toks = lex("for i in 0..10 { a[i] = 1.5; }");
+        let numbers = toks.iter().filter(|t| t.kind == TokKind::Number).count();
+        assert_eq!(numbers, 3, "0, 10 and 1.5");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_bare() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+}

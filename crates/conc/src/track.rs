@@ -1,0 +1,326 @@
+//! Feature-gated lock instrumentation: [`TrackedMutex`].
+//!
+//! The static rules in [`crate::discipline`] say where locks are *taken*;
+//! this module measures what they *cost*. A `TrackedMutex` wraps
+//! `std::sync::Mutex` and — when the `lock-stats` feature is on — records
+//! per-site acquisition counts, contention counts (a `lock()` whose
+//! initial `try_lock` would have blocked), and total hold time. With the
+//! feature off every recording site compiles to nothing and the wrapper
+//! is a plain poison-recovering mutex, so production builds pay nothing.
+//!
+//! The serve bench arm builds with `--features lock-stats` and emits these
+//! counters into `BENCH_serve.json`, which is how the ROADMAP's
+//! multi-worker contention claim stops being a guess: the report names
+//! the exact lock site and its would-block count at each worker level.
+//!
+//! Condvar compatibility: `std::sync::Condvar::wait` consumes the real
+//! `MutexGuard`, so [`TrackedGuard::wait_on`] hands the inner guard to the
+//! condvar and accounts the wait as a hold-time *pause* — time parked on a
+//! condvar is not time holding the lock.
+
+#[cfg(feature = "lock-stats")]
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(feature = "lock-stats")]
+use std::time::Instant;
+
+/// Point-in-time counters for one lock site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockSiteStats {
+    /// Site label (static, e.g. `"serve.queue"`).
+    pub site: &'static str,
+    /// Successful acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that would have blocked (another holder was inside).
+    pub contended: u64,
+    /// Total nanoseconds the lock was held (condvar waits excluded).
+    pub hold_nanos: u64,
+}
+
+impl LockSiteStats {
+    #[cfg(not(feature = "lock-stats"))]
+    fn named(site: &'static str) -> Self {
+        LockSiteStats {
+            site,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(feature = "lock-stats")]
+#[derive(Debug, Default)]
+struct SiteCounters {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    hold_nanos: AtomicU64,
+}
+
+/// A mutex that knows its name and (with `lock-stats`) counts its use.
+///
+/// Poison-recovering by construction — every caller in this repo uses the
+/// `unwrap_or_else(|p| p.into_inner())` pattern, so the wrapper bakes it
+/// in rather than re-spelling it at each site.
+#[derive(Debug)]
+pub struct TrackedMutex<T> {
+    site: &'static str,
+    inner: Mutex<T>,
+    #[cfg(feature = "lock-stats")]
+    counters: SiteCounters,
+}
+
+impl<T> TrackedMutex<T> {
+    pub fn new(site: &'static str, value: T) -> Self {
+        TrackedMutex {
+            site,
+            inner: Mutex::new(value),
+            #[cfg(feature = "lock-stats")]
+            counters: SiteCounters::default(),
+        }
+    }
+
+    pub fn site(&self) -> &'static str {
+        self.site
+    }
+
+    /// Acquire, recovering from poisoning, recording contention and hold
+    /// time when `lock-stats` is enabled.
+    pub fn lock(&self) -> TrackedGuard<'_, T> {
+        #[cfg(feature = "lock-stats")]
+        {
+            // A failed try_lock is the contention signal: somebody else
+            // was inside. TryLockError::Poisoned counts as acquirable.
+            let guard = match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    self.counters.contended.fetch_add(1, Ordering::Relaxed);
+                    self.inner.lock().unwrap_or_else(|p| p.into_inner())
+                }
+            };
+            self.counters.acquisitions.fetch_add(1, Ordering::Relaxed);
+            TrackedGuard {
+                owner: self,
+                guard: Some(guard),
+                held_since: Some(Instant::now()),
+                accrued_nanos: 0,
+            }
+        }
+        #[cfg(not(feature = "lock-stats"))]
+        {
+            TrackedGuard {
+                guard: Some(self.inner.lock().unwrap_or_else(|p| p.into_inner())),
+            }
+        }
+    }
+
+    /// Current counters. With `lock-stats` off this is all zeros — callers
+    /// (the bench emitter) can still compile against it unconditionally.
+    pub fn stats(&self) -> LockSiteStats {
+        #[cfg(feature = "lock-stats")]
+        {
+            LockSiteStats {
+                site: self.site,
+                acquisitions: self.counters.acquisitions.load(Ordering::Relaxed),
+                contended: self.counters.contended.load(Ordering::Relaxed),
+                hold_nanos: self.counters.hold_nanos.load(Ordering::Relaxed),
+            }
+        }
+        #[cfg(not(feature = "lock-stats"))]
+        {
+            LockSiteStats::named(self.site)
+        }
+    }
+
+    /// Whether the build is actually recording (lets report emitters label
+    /// zero counters as "not measured" instead of "uncontended").
+    pub const fn recording() -> bool {
+        cfg!(feature = "lock-stats")
+    }
+}
+
+/// Free-function form of [`TrackedMutex::recording`] for callers with no
+/// `T` at hand (report emitters, benches).
+pub const fn lock_stats_recording() -> bool {
+    cfg!(feature = "lock-stats")
+}
+
+/// Guard returned by [`TrackedMutex::lock`]. Derefs to the protected
+/// value; dropping it releases the lock and banks the hold time.
+pub struct TrackedGuard<'a, T> {
+    #[cfg(feature = "lock-stats")]
+    owner: &'a TrackedMutex<T>,
+    #[cfg(feature = "lock-stats")]
+    held_since: Option<Instant>,
+    #[cfg(feature = "lock-stats")]
+    accrued_nanos: u64,
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<'a, T> TrackedGuard<'a, T> {
+    /// Park on `cv`, releasing the lock; hold-time accounting pauses for
+    /// the duration of the wait and resumes on wakeup.
+    pub fn wait_on(mut self, cv: &Condvar) -> Self {
+        #[cfg(feature = "lock-stats")]
+        {
+            if let Some(t) = self.held_since.take() {
+                self.accrued_nanos += t.elapsed().as_nanos() as u64;
+            }
+        }
+        let inner = self.guard.take().expect("guard present until drop");
+        let inner = cv.wait(inner).unwrap_or_else(|p| p.into_inner());
+        self.guard = Some(inner);
+        #[cfg(feature = "lock-stats")]
+        {
+            self.held_since = Some(Instant::now());
+        }
+        self
+    }
+
+    /// Timed variant of [`Self::wait_on`]; the bool is the condvar's
+    /// timed-out flag.
+    pub fn wait_timeout_on(mut self, cv: &Condvar, dur: std::time::Duration) -> (Self, bool) {
+        #[cfg(feature = "lock-stats")]
+        {
+            if let Some(t) = self.held_since.take() {
+                self.accrued_nanos += t.elapsed().as_nanos() as u64;
+            }
+        }
+        let inner = self.guard.take().expect("guard present until drop");
+        let (inner, timeout) = match cv.wait_timeout(inner, dur) {
+            Ok((g, to)) => (g, to.timed_out()),
+            Err(p) => {
+                let (g, to) = p.into_inner();
+                (g, to.timed_out())
+            }
+        };
+        self.guard = Some(inner);
+        #[cfg(feature = "lock-stats")]
+        {
+            self.held_since = Some(Instant::now());
+        }
+        (self, timeout)
+    }
+}
+
+impl<'a, T> std::ops::Deref for TrackedGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<'a, T> std::ops::DerefMut for TrackedGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<'a, T> Drop for TrackedGuard<'a, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "lock-stats")]
+        {
+            let mut nanos = self.accrued_nanos;
+            if let Some(t) = self.held_since.take() {
+                nanos += t.elapsed().as_nanos() as u64;
+            }
+            self.owner
+                .counters
+                .hold_nanos
+                .fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_acquisitions_when_recording() {
+        let m = TrackedMutex::new("test.site", 0u32);
+        for _ in 0..5 {
+            *m.lock() += 1;
+        }
+        assert_eq!(*m.lock(), 5);
+        let s = m.stats();
+        assert_eq!(s.site, "test.site");
+        if TrackedMutex::<u32>::recording() {
+            assert_eq!(s.acquisitions, 6);
+        } else {
+            assert_eq!(
+                s,
+                LockSiteStats {
+                    site: "test.site",
+                    ..Default::default()
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn contention_is_observed_across_threads() {
+        let m = Arc::new(TrackedMutex::new("test.contended", 0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let mut g = m.lock();
+                    *g += 1;
+                    // Stretch the critical section so try_lock collisions
+                    // actually happen.
+                    std::hint::black_box(&mut *g);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(*m.lock(), 800);
+        if TrackedMutex::<u64>::recording() {
+            let s = m.stats();
+            assert_eq!(s.acquisitions, 801);
+        }
+    }
+
+    #[test]
+    fn condvar_wait_roundtrips_the_guard() {
+        let m = Arc::new(TrackedMutex::new("test.cv", false));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let waiter = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while !*g {
+                g = g.wait_on(&cv2);
+            }
+            *g
+        });
+        // Let the waiter park, then flip the flag.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        *m.lock() = true;
+        cv.notify_all();
+        assert!(waiter.join().expect("waiter exits"));
+    }
+
+    #[test]
+    fn poisoned_tracked_mutex_recovers() {
+        let m = Arc::new(TrackedMutex::new("test.poison", 7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the inner mutex");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "lock() recovers from poisoning");
+    }
+
+    #[test]
+    fn timed_wait_reports_timeout() {
+        let m = TrackedMutex::new("test.timeout", ());
+        let cv = Condvar::new();
+        let g = m.lock();
+        let (_g, timed_out) = g.wait_timeout_on(&cv, std::time::Duration::from_millis(1));
+        assert!(timed_out);
+    }
+}

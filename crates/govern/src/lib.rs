@@ -940,4 +940,86 @@ mod tests {
         assert!(text.contains("statement 1"));
         assert!(text.contains("full-cse -> baseline"));
     }
+
+    #[test]
+    fn deadline_exactly_now_counts_as_expired() {
+        // The boundary is inclusive (`now >= deadline`): a zero-duration
+        // deadline is expired at the instant it is minted, with no window
+        // in which an attempt could sneak past it.
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.deadline_expired());
+        assert!(t.is_canceled());
+        assert!(!t.is_explicitly_canceled(), "deadline is not a cancel");
+        let trip = t.check("boundary").expect_err("zero deadline trips");
+        assert_eq!(trip.reason, Reason::ReqDeadline);
+    }
+
+    #[test]
+    fn cancel_then_deadline_classifies_as_canceled() {
+        // Explicit cancel happens first, deadline expires afterwards: the
+        // explicit flag must win classification (REQ_CANCELED), matching
+        // the serve layer's terminal-outcome rules.
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        t.cancel();
+        assert!(t.deadline_expired() && t.is_explicitly_canceled());
+        let trip = t.check("both-tripped").expect_err("canceled");
+        assert_eq!(trip.reason, Reason::ReqCanceled, "explicit cancel wins");
+    }
+
+    #[test]
+    fn deadline_then_cancel_reclassifies_on_the_next_check() {
+        // Deadline expires first and is observed as REQ_DEADLINE; a later
+        // explicit cancel flips subsequent checks to REQ_CANCELED — the
+        // flag dominates regardless of event order, so retry classification
+        // never races the client's cancel.
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        let first = t.check("pre-cancel").expect_err("deadline expired");
+        assert_eq!(first.reason, Reason::ReqDeadline);
+        t.cancel();
+        let second = t.check("post-cancel").expect_err("now canceled");
+        assert_eq!(second.reason, Reason::ReqCanceled);
+    }
+
+    #[test]
+    fn derived_deadline_shares_the_cancel_flag_not_the_deadline() {
+        let parent = CancelToken::with_deadline(Duration::ZERO);
+        let fresh = parent.with_new_deadline(Duration::from_secs(3600));
+        assert!(parent.deadline_expired());
+        assert!(!fresh.deadline_expired(), "per-attempt deadline is fresh");
+        assert!(!fresh.is_canceled());
+        parent.cancel();
+        assert!(
+            fresh.is_explicitly_canceled(),
+            "flag is shared across derivations"
+        );
+    }
+
+    #[test]
+    fn poisoned_registry_lock_recovers() {
+        let reg = FailpointRegistry::from_specs(&[FailSpec {
+            site: sites::SCAN_TABLE.to_string(),
+            probability: 1.0,
+            seed: 1,
+        }]);
+        // Poison the registry's mutex: panic while holding the guard on
+        // another thread (tests live in the same module, so the private
+        // `inner` field is reachable).
+        let map = Arc::clone(reg.inner.as_ref().expect("armed registry has a map"));
+        let _ = std::thread::spawn(move || {
+            let _guard = map.lock().expect("first locker sees no poison");
+            panic!("poison the failpoint registry");
+        })
+        .join();
+        // Every shared-handle operation recovers instead of wedging the
+        // fault schedule for all workers.
+        assert!(reg.should_fail(sites::SCAN_TABLE), "p=1.0 still trips");
+        assert!(reg.disarm(sites::SCAN_TABLE));
+        assert!(!reg.should_fail(sites::SCAN_TABLE));
+        assert!(reg.rearm(FailSpec {
+            site: sites::SCAN_TABLE.to_string(),
+            probability: 0.0,
+            seed: 2,
+        }));
+        assert_eq!(reg.counters()[sites::SCAN_TABLE], (0, 0), "rearm resets");
+    }
 }

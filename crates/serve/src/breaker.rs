@@ -22,12 +22,15 @@
 //!             probe downgraded / failed ──▶ Open again
 //! ```
 //!
-//! The mutex around the state recovers from poisoning (`into_inner`),
-//! matching the convention in `cse-govern`: a panicking worker must not
-//! freeze admission policy for the whole server.
+//! The mutex around the state is a tracked, poison-recovering wrapper
+//! ([`TrackedMutex`]), matching the convention in `cse-govern`: a
+//! panicking worker must not freeze admission policy for the whole
+//! server, and `lock-stats` builds report this lock's contention. The
+//! trip/probe/close protocol itself is model-checked exhaustively by
+//! `cse_conc::models::BreakerModel` (single half-open probe invariant).
 
+use cse_conc::{LockSiteStats, TrackedGuard, TrackedMutex};
 use std::collections::VecDeque;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Breaker tuning.
@@ -120,25 +123,33 @@ pub struct BreakerSnapshot {
 #[derive(Debug)]
 pub struct Breaker {
     cfg: BreakerConfig,
-    inner: Mutex<Inner>,
+    inner: TrackedMutex<Inner>,
 }
 
 impl Breaker {
     pub fn new(cfg: BreakerConfig) -> Self {
         Breaker {
             cfg,
-            inner: Mutex::new(Inner {
-                state: St::Closed,
-                window: VecDeque::new(),
-                trips: 0,
-                probes: 0,
-                baseline_served: 0,
-            }),
+            inner: TrackedMutex::new(
+                "serve.breaker",
+                Inner {
+                    state: St::Closed,
+                    window: VecDeque::new(),
+                    trips: 0,
+                    probes: 0,
+                    baseline_served: 0,
+                },
+            ),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    fn lock(&self) -> TrackedGuard<'_, Inner> {
+        self.inner.lock()
+    }
+
+    /// This breaker's lock counters (zeros unless built with `lock-stats`).
+    pub fn lock_site_stats(&self) -> LockSiteStats {
+        self.inner.stats()
     }
 
     /// Decide what the next request may do.

@@ -1,17 +1,28 @@
 //! The bounded admission queue.
 //!
-//! A minimal MPMC queue built from `Mutex<VecDeque>` + two condvars — the
-//! build environment has no crossbeam, and the server needs exactly three
-//! behaviours from it: bounded capacity with an *immediate* full signal
-//! (so admission control can shed), an optional blocking push
-//! (backpressure), and a close that lets consumers drain what was already
-//! admitted before they exit.
+//! A minimal MPMC queue built from a tracked mutex over a `VecDeque` plus
+//! two condvars — the build environment has no crossbeam, and the server
+//! needs exactly three behaviours from it: bounded capacity with an
+//! *immediate* full signal (so admission control can shed), an optional
+//! blocking push (backpressure), and a close that lets consumers drain
+//! what was already admitted before they exit.
 //!
-//! All lock acquisitions recover from poisoning (`into_inner`): a panicking
-//! producer or consumer must not wedge the whole server.
+//! The mutex is a [`TrackedMutex`], so `lock-stats` builds report this
+//! queue's acquisition/contention/hold-time counters per site; the
+//! semantics of these operations are model-checked exhaustively by
+//! `cse_conc::models::QueueModel`. Lock acquisitions recover from
+//! poisoning (built into the tracked wrapper): a panicking producer or
+//! consumer must not wedge the whole server. Poison recovery is sound
+//! here because every critical section leaves `Inner` consistent at every
+//! statement boundary — a `VecDeque` push/pop either happens or does not.
+//!
+//! Test expectations on push/pop results use `expect` with context rather
+//! than bare `unwrap()`: when a queue invariant breaks, the panic message
+//! should say which behaviour died, not `Option::unwrap` on line N.
 
+use cse_conc::{LockSiteStats, TrackedGuard, TrackedMutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::Condvar;
 
 /// Why a push was refused.
 #[derive(Debug)]
@@ -30,7 +41,7 @@ struct Inner<T> {
 
 /// A bounded, closeable MPMC queue.
 pub struct BoundedQueue<T> {
-    inner: Mutex<Inner<T>>,
+    inner: TrackedMutex<Inner<T>>,
     not_empty: Condvar,
     not_full: Condvar,
 }
@@ -38,18 +49,26 @@ pub struct BoundedQueue<T> {
 impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
-            inner: Mutex::new(Inner {
-                items: VecDeque::new(),
-                capacity: capacity.max(1),
-                closed: false,
-            }),
+            inner: TrackedMutex::new(
+                "serve.queue",
+                Inner {
+                    items: VecDeque::new(),
+                    capacity: capacity.max(1),
+                    closed: false,
+                },
+            ),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    fn lock(&self) -> TrackedGuard<'_, Inner<T>> {
+        self.inner.lock()
+    }
+
+    /// This queue's lock counters (zeros unless built with `lock-stats`).
+    pub fn lock_site_stats(&self) -> LockSiteStats {
+        self.inner.stats()
     }
 
     /// Admit `item` if there is room, else refuse immediately.
@@ -81,7 +100,7 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            g = self.not_full.wait(g).unwrap_or_else(|p| p.into_inner());
+            g = g.wait_on(&self.not_full);
         }
     }
 
@@ -99,7 +118,7 @@ impl<T> BoundedQueue<T> {
             if g.closed {
                 return None;
             }
-            g = self.not_empty.wait(g).unwrap_or_else(|p| p.into_inner());
+            g = g.wait_on(&self.not_empty);
         }
     }
 
@@ -130,8 +149,10 @@ mod tests {
     #[test]
     fn shed_when_full_and_drain_after_close() {
         let q = BoundedQueue::new(2);
-        q.try_push(1).unwrap();
-        q.try_push(2).unwrap();
+        q.try_push(1)
+            .expect("queue with capacity 2 admits the first item");
+        q.try_push(2)
+            .expect("queue with capacity 2 admits the second item");
         match q.try_push(3) {
             Err(PushError::Full(3)) => {}
             other => panic!("expected Full, got {other:?}"),
@@ -150,7 +171,7 @@ mod tests {
     #[test]
     fn blocking_push_applies_backpressure() {
         let q = Arc::new(BoundedQueue::new(1));
-        q.try_push(10).unwrap();
+        q.try_push(10).expect("empty queue admits");
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.push_blocking(11).is_ok())
@@ -158,7 +179,7 @@ mod tests {
         // The producer is blocked until we make room.
         std::thread::sleep(std::time::Duration::from_millis(10));
         assert_eq!(q.pop(), Some(10));
-        assert!(producer.join().expect("producer thread"));
+        assert!(producer.join().expect("producer thread exits cleanly"));
         assert_eq!(q.pop(), Some(11));
     }
 
@@ -171,6 +192,25 @@ mod tests {
         };
         std::thread::sleep(std::time::Duration::from_millis(10));
         q.close();
-        assert_eq!(consumer.join().expect("consumer thread"), None);
+        assert_eq!(
+            consumer.join().expect("consumer thread exits cleanly"),
+            None
+        );
+    }
+
+    #[test]
+    fn poisoned_queue_lock_recovers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).expect("empty queue admits");
+        let q2 = Arc::clone(&q);
+        let _ = std::thread::spawn(move || {
+            let _g = q2.lock();
+            panic!("poison the queue mutex");
+        })
+        .join();
+        // Every entry point recovers the poisoned lock and keeps serving.
+        q.try_push(2).expect("poisoned queue still admits");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
     }
 }

@@ -31,6 +31,7 @@
 
 use crate::breaker::{Admission, Breaker, BreakerConfig, BreakerSnapshot};
 use crate::queue::{BoundedQueue, PushError};
+use cse_conc::{LockSiteStats, TrackedGuard, TrackedMutex};
 use cse_core::CseConfig;
 use cse_exec::{Engine, ExecError, ExecMetrics, ResultSet};
 use cse_govern::{sites, CancelToken, DegradationEvent, FailpointRegistry, Rung};
@@ -39,7 +40,7 @@ use cse_storage::Catalog;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -212,21 +213,47 @@ struct Request {
     token: CancelToken,
     deadline: Option<Duration>,
     submitted: Instant,
-    reply: mpsc::Sender<Outcome>,
+    /// Bounded (capacity 1): exactly one terminal outcome is ever sent per
+    /// request, so the send never blocks and the channel never grows.
+    reply: mpsc::SyncSender<Outcome>,
 }
 
+/// A lock-free statistics counter. Relaxed is sufficient: each counter is
+/// an independent monotonic tally, never used to establish happens-before
+/// with any other memory — snapshots are explicitly racy totals.
 #[derive(Debug, Default)]
-struct StatsInner {
-    submitted: u64,
-    completed: u64,
-    degraded: u64,
-    rejected: u64,
-    shed: u64,
-    retries: u64,
-    canceled: u64,
-    deadline_expired: u64,
-    exec_faults: u64,
-    worker_panics: u64,
+struct Counter(AtomicU64);
+
+impl Counter {
+    fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Server counters. Formerly a `Mutex<StatsInner>` that every request
+/// locked several times on its hot path — the contention `qconc`'s
+/// `conc/hot-path-lock` rule now rejects. Independent atomic counters
+/// need no critical section at all.
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: Counter,
+    completed: Counter,
+    degraded: Counter,
+    rejected: Counter,
+    shed: Counter,
+    retries: Counter,
+    canceled: Counter,
+    deadline_expired: Counter,
+    exec_faults: Counter,
+    worker_panics: Counter,
 }
 
 /// Counter snapshot ([`Server::stats`]).
@@ -263,18 +290,14 @@ struct Shared {
     catalog: Arc<Catalog>,
     cfg: ServerConfig,
     breaker: Breaker,
-    stats: Mutex<StatsInner>,
-    inflight: Mutex<Inflight>,
+    stats: Stats,
+    inflight: TrackedMutex<Inflight>,
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    fn stats(&self) -> MutexGuard<'_, StatsInner> {
-        self.stats.lock().unwrap_or_else(|p| p.into_inner())
-    }
-
-    fn inflight(&self) -> MutexGuard<'_, Inflight> {
-        self.inflight.lock().unwrap_or_else(|p| p.into_inner())
+    fn inflight(&self) -> TrackedGuard<'_, Inflight> {
+        self.inflight.lock()
     }
 }
 
@@ -296,8 +319,8 @@ impl Server {
             catalog,
             cfg,
             breaker,
-            stats: Mutex::new(StatsInner::default()),
-            inflight: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+            inflight: TrackedMutex::new("serve.inflight", HashMap::new()),
             shutdown: AtomicBool::new(false),
         });
         let workers = (0..workers_n)
@@ -333,16 +356,25 @@ impl Server {
         self.submit_with_deadline(sql, self.shared.cfg.deadline)
     }
 
+    /// Allocate the next request id. Relaxed suffices: the counter only
+    /// needs uniqueness/monotonicity, not ordering against other memory.
+    fn next_request_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Submit with an explicit per-attempt deadline override.
     pub fn submit_with_deadline(
         &self,
         sql: &str,
         deadline: Option<Duration>,
     ) -> Result<Ticket, Rejection> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shared.stats().submitted += 1;
+        let id = self.next_request_id();
+        self.shared.stats.submitted.bump();
         let token = CancelToken::never();
-        let (tx, rx) = mpsc::channel();
+        // Capacity 1 is exact, not an optimization: the worker sends one
+        // outcome and drops the sender, so a bounded rendezvous slot is
+        // all a ticket ever needs (`conc/unbounded-channel`).
+        let (tx, rx) = mpsc::sync_channel(1);
         let req = Request {
             id,
             sql: sql.to_string(),
@@ -362,9 +394,8 @@ impl Server {
                     PushError::Full(_) => RejectReason::ShedQueueFull,
                     PushError::Closed(_) => RejectReason::ShedShutdown,
                 };
-                let mut s = self.shared.stats();
-                s.rejected += 1;
-                s.shed += 1;
+                self.shared.stats.rejected.bump();
+                self.shared.stats.shed.bump();
                 Err(Rejection {
                     id,
                     reason,
@@ -387,20 +418,33 @@ impl Server {
 
     pub fn stats(&self) -> ServerStats {
         let breaker = self.shared.breaker.snapshot();
-        let s = self.shared.stats();
+        let s = &self.shared.stats;
         ServerStats {
-            submitted: s.submitted,
-            completed: s.completed,
-            degraded: s.degraded,
-            rejected: s.rejected,
-            shed: s.shed,
-            retries: s.retries,
-            canceled: s.canceled,
-            deadline_expired: s.deadline_expired,
-            exec_faults: s.exec_faults,
-            worker_panics: s.worker_panics,
+            submitted: s.submitted.get(),
+            completed: s.completed.get(),
+            degraded: s.degraded.get(),
+            rejected: s.rejected.get(),
+            shed: s.shed.get(),
+            retries: s.retries.get(),
+            canceled: s.canceled.get(),
+            deadline_expired: s.deadline_expired.get(),
+            exec_faults: s.exec_faults.get(),
+            worker_panics: s.worker_panics.get(),
             breaker,
         }
+    }
+
+    /// Per-site lock counters for the server's three mutexes (admission
+    /// queue, breaker, inflight table). All zeros unless the build enables
+    /// the `lock-stats` feature; `cse_conc::TrackedMutex::recording()`
+    /// says which. The serve bench arm emits these into `BENCH_serve.json`
+    /// so multi-worker contention claims come with evidence attached.
+    pub fn lock_stats(&self) -> Vec<LockSiteStats> {
+        vec![
+            self.queue.lock_site_stats(),
+            self.shared.breaker.lock_site_stats(),
+            self.shared.inflight.stats(),
+        ]
     }
 
     /// Racy queue depth, for monitoring only.
@@ -437,23 +481,27 @@ const WATCHDOG_TICK: Duration = Duration::from_micros(500);
 
 fn watchdog_loop(shared: &Shared) {
     while !shared.shutdown.load(Ordering::SeqCst) {
-        {
-            let inflight = shared.inflight();
-            for (attempt, request, deadline) in inflight.values() {
-                // Propagate client cancels onto the running attempt; the
-                // attempt token's flag is fresh per attempt, so this is the
-                // only path by which an explicit cancel reaches hot loops.
-                if request.is_explicitly_canceled() {
+        // Clone-out: snapshot the inflight entries under the lock (token
+        // clones are cheap Arc bumps), then act on them outside it. The
+        // critical section stays O(workers) with no token method calls
+        // inside, so a worker inserting/removing its attempt entry never
+        // waits behind a watchdog sweep.
+        let entries: Vec<(CancelToken, CancelToken, Option<Instant>)> =
+            shared.inflight().values().cloned().collect();
+        for (attempt, request, deadline) in &entries {
+            // Propagate client cancels onto the running attempt; the
+            // attempt token's flag is fresh per attempt, so this is the
+            // only path by which an explicit cancel reaches hot loops.
+            if request.is_explicitly_canceled() {
+                attempt.cancel();
+            }
+            // Belt-and-braces deadline enforcement: the attempt token
+            // carries the deadline and cooperative checks normally trip
+            // on it first; canceling here additionally stops code that
+            // only polls the flag.
+            if let Some(d) = deadline {
+                if Instant::now() >= *d {
                     attempt.cancel();
-                }
-                // Belt-and-braces deadline enforcement: the attempt token
-                // carries the deadline and cooperative checks normally trip
-                // on it first; canceling here additionally stops code that
-                // only polls the flag.
-                if let Some(d) = deadline {
-                    if Instant::now() >= *d {
-                        attempt.cancel();
-                    }
                 }
             }
         }
@@ -468,15 +516,15 @@ fn worker_loop(shared: &Shared, queue: &BoundedQueue<Request>) {
         // structured rejection and keep serving.
         //
         // Unwind safety: `process` mutates nothing that outlives it except
-        // the shared counters and the inflight map, both behind mutexes
-        // whose poisoning every reader recovers (`into_inner`), and the
-        // breaker, whose transitions are single-lock atomic.
+        // the shared counters (independent atomics), the inflight map
+        // (behind a poison-recovering tracked mutex whose sections are
+        // single map operations), and the breaker, whose transitions are
+        // single-lock atomic.
         let outcome = match catch_unwind(AssertUnwindSafe(|| process(shared, &req))) {
             Ok(outcome) => outcome,
             Err(payload) => {
                 shared.inflight().remove(&req.id);
-                let mut s = shared.stats();
-                s.worker_panics += 1;
+                shared.stats.worker_panics.bump();
                 Outcome::Rejected(Rejection {
                     id: req.id,
                     reason: RejectReason::ExecInternal,
@@ -485,25 +533,23 @@ fn worker_loop(shared: &Shared, queue: &BoundedQueue<Request>) {
                 })
             }
         };
-        {
-            let mut s = shared.stats();
-            match &outcome {
-                Outcome::Done(reply) => {
-                    s.completed += 1;
-                    if reply.rung != Rung::FullCse || !reply.events.is_empty() {
-                        s.degraded += 1;
-                    }
-                    s.retries += u64::from(reply.retries);
+        let s = &shared.stats;
+        match &outcome {
+            Outcome::Done(reply) => {
+                s.completed.bump();
+                if reply.rung != Rung::FullCse || !reply.events.is_empty() {
+                    s.degraded.bump();
                 }
-                Outcome::Rejected(rej) => {
-                    s.rejected += 1;
-                    s.retries += u64::from(rej.retries);
-                    match rej.reason {
-                        RejectReason::ReqCanceled => s.canceled += 1,
-                        RejectReason::ReqDeadline => s.deadline_expired += 1,
-                        RejectReason::ExecFault => s.exec_faults += 1,
-                        _ => {}
-                    }
+                s.retries.add(u64::from(reply.retries));
+            }
+            Outcome::Rejected(rej) => {
+                s.rejected.bump();
+                s.retries.add(u64::from(rej.retries));
+                match rej.reason {
+                    RejectReason::ReqCanceled => s.canceled.bump(),
+                    RejectReason::ReqDeadline => s.deadline_expired.bump(),
+                    RejectReason::ExecFault => s.exec_faults.bump(),
+                    _ => {}
                 }
             }
         }

@@ -1,0 +1,191 @@
+//! `qconc` — the lock-discipline gate for the serving layer.
+//!
+//! ```text
+//! cargo run --release --bin qconc -- [--deny] [--spans] [--allow FILE] [--root DIR] [path ...]
+//! ```
+//!
+//! Scans the concurrency-relevant crates (`crates/{serve,govern,exec,core}/src`
+//! and `src/`) with the token-level analyzer in `cse-conc`, filters the
+//! findings through the checked-in allowlist (`qconc.allow` at the root by
+//! default), and prints a deterministic report. Without `--spans` the
+//! output omits byte offsets, so the golden file stays stable under
+//! unrelated edits; entries in the allowlist are keyed by
+//! `(rule, file suffix, function)` for the same reason. Allowlist entries
+//! that no longer match anything are reported as `conc/stale-allow`.
+//!
+//! Exit status:
+//!
+//! - `0` — scanned everything; without `--deny`, findings are informational;
+//! - `1` — `--deny` was set and at least one non-allowlisted finding
+//!   (or stale allowlist entry) survived;
+//! - `2` — usage error or unreadable file.
+
+use cse_conc::discipline::DisciplineConfig;
+use cse_conc::{apply_allowlist, parse_allowlist, scan_file, stale_finding, Finding};
+use cse_diag::{Report, Severity};
+use std::path::{Path, PathBuf};
+
+/// Directories scanned when no explicit paths are given, relative to
+/// `--root`: the crates that share locks with the server, plus the
+/// binaries.
+const DEFAULT_SCAN: &[&str] = &[
+    "crates/serve/src",
+    "crates/govern/src",
+    "crates/exec/src",
+    "crates/core/src",
+    "src",
+];
+
+fn main() {
+    let mut deny = false;
+    let mut spans = false;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--spans" => spans = true,
+            "--allow" => {
+                allow_path = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--allow expects a path")),
+                ));
+            }
+            "--root" => {
+                root = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--root expects a path")),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                usage(&format!("unknown flag {flag}"));
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    // Collect the files to scan, sorted for deterministic output.
+    let mut files: Vec<PathBuf> = Vec::new();
+    if paths.is_empty() {
+        for dir in DEFAULT_SCAN {
+            collect_rs(&root.join(dir), &mut files);
+        }
+    } else {
+        for p in &paths {
+            if p.is_dir() {
+                collect_rs(p, &mut files);
+            } else {
+                files.push(p.clone());
+            }
+        }
+    }
+    files.sort();
+    files.dedup();
+    if files.is_empty() {
+        eprintln!("qconc: nothing to scan under {}", root.display());
+        std::process::exit(2);
+    }
+
+    let allow_file = allow_path.unwrap_or_else(|| root.join("qconc.allow"));
+    let entries = if allow_file.exists() {
+        let text = read_or_die(&allow_file);
+        match parse_allowlist(&text) {
+            Ok(e) => e,
+            Err(msg) => {
+                eprintln!("qconc: {}: {msg}", allow_file.display());
+                std::process::exit(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let cfg = DisciplineConfig::repo_default();
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &files {
+        let src = read_or_die(f);
+        // Report paths relative to the root so the golden file does not
+        // depend on where the checkout lives.
+        let rel = f
+            .strip_prefix(&root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(scan_file(&rel, &src, &cfg));
+    }
+
+    let filtered = apply_allowlist(findings, &entries);
+    let mut report = Report::new();
+    for f in &filtered.denied {
+        push(&mut report, f, spans);
+    }
+    for e in &filtered.stale {
+        push(&mut report, &stale_finding(e), spans);
+    }
+
+    println!("== qconc: {} file(s) scanned ==", files.len());
+    let rendered = report.render_as("qconc");
+    if rendered.ends_with('\n') {
+        print!("{rendered}");
+    } else {
+        println!("{rendered}");
+    }
+    if !filtered.allowed.is_empty() {
+        println!(
+            "allowed: {} finding(s) via {}",
+            filtered.allowed.len(),
+            allow_file.display()
+        );
+        for (f, justification) in &filtered.allowed {
+            println!("  [{}] {}: {justification}", f.rule, f.path());
+        }
+    }
+
+    if deny && !report.is_clean() {
+        eprintln!(
+            "qconc: denied ({} finding(s) not covered by the allowlist)",
+            report.diagnostics.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn push(report: &mut Report, f: &Finding, spans: bool) {
+    match (f.severity, spans) {
+        (Severity::Error, true) => report.error_at(f.rule, f.path(), &f.message, f.span),
+        (Severity::Error, false) => report.error(f.rule, f.path(), &f.message),
+        (Severity::Note, true) => report.note_at(f.rule, f.path(), &f.message, f.span),
+        (Severity::Note, false) => report.note(f.rule, f.path(), &f.message),
+        (_, true) => report.warn_at(f.rule, f.path(), &f.message, f.span),
+        (_, false) => report.warn(f.rule, f.path(), &f.message),
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in rd.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn read_or_die(p: &Path) -> String {
+    std::fs::read_to_string(p).unwrap_or_else(|e| {
+        eprintln!("qconc: {}: {e}", p.display());
+        std::process::exit(2);
+    })
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("qconc: {msg}");
+    eprintln!("usage: qconc [--deny] [--spans] [--allow FILE] [--root DIR] [path ...]");
+    std::process::exit(2)
+}
