@@ -41,10 +41,18 @@ cargo run -q --release --bin qconc | diff -u tests/corpus/qconc.golden - \
   || { echo "qconc output drifted (regenerate tests/corpus/qconc.golden if intended)"; exit 1; }
 cargo run -q --release --bin qconc -- --deny >/dev/null
 
+# The breaker is the serving layer's hottest lock (every admit() crosses
+# it); it must stay clean under the discipline rules with NO allowlist
+# entries at all — a regression that needs a justification here is a
+# regression, full stop.
+echo "==> qconc (breaker: allowlist-free)"
+cargo run -q --release --bin qconc -- --deny --allow /dev/null \
+  crates/serve/src/breaker.rs >/dev/null
+
 # Interleaving explorer: the exhaustive suites over the queue / breaker /
-# cancel models run as part of `cargo test` above; the deep seeded
-# sampling arm is opt-in because it is slow. Set QCONC_SAMPLE=seed[:n]
-# (e.g. QCONC_SAMPLE=7:20000) to run it.
+# cancel / memory-governor models run as part of `cargo test` above; the
+# deep seeded sampling arm is opt-in because it is slow. Set
+# QCONC_SAMPLE=seed[:n] (e.g. QCONC_SAMPLE=7:20000) to run it.
 if [[ -n "${QCONC_SAMPLE:-}" ]]; then
   echo "==> qconc deep sampling arm (QCONC_SAMPLE=$QCONC_SAMPLE)"
   QCONC_SAMPLE="$QCONC_SAMPLE" cargo test -q -p cse-conc env_gated_deep_sampling_arm
@@ -65,7 +73,24 @@ for seed in 1 7 42; do
   CSE_FAIL_SEED=$seed cargo test -q --test robustness
   echo "==> serving stress suite (CSE_FAIL_SEED=$seed)"
   CSE_FAIL_SEED=$seed cargo test -q --test serve_stress
+  echo "==> memory storm suite (CSE_FAIL_SEED=$seed)"
+  CSE_FAIL_SEED=$seed cargo test -q --test memory_storm
 done
+
+# Overload smoke: a 500-request open-loop run at 1x/2x/4x saturation.
+# The harness itself asserts the robustness contract — every request
+# reaches exactly one terminal outcome, every rejection carries a
+# load-shedding reason code (SHED_MEMORY / SHED_QUEUE_FULL /
+# REQ_DEADLINE), zero worker panics — so a nonzero exit here means the
+# contract broke. The JSON goes to a scratch path: the committed
+# BENCH_overload.json is regenerated deliberately, not by CI.
+echo "==> overload smoke (500 requests, open loop)"
+overload_out=$(mktemp)
+cargo run -q --release -p cse-bench --bin report -- overload \
+  --sf 0.002 --requests 500 --out "$overload_out" >/dev/null
+grep -q '"multiplier": 4' "$overload_out" \
+  || { echo "overload smoke missing the 4x point"; exit 1; }
+rm -f "$overload_out"
 
 # qserve smoke: every corpus request must reach a terminal outcome
 # through the concurrent server. The findings corpus carries statements

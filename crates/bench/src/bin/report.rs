@@ -3,7 +3,10 @@
 //!
 //! Usage: `cargo run --release -p cse-bench --bin report [-- <experiment>] [--sf <f>]`
 //! where `<experiment>` is one of `table1 table2 table3 table4 fig8
-//! viewmaint overhead verify lint robustness serve all` (default `all`).
+//! viewmaint overhead verify lint robustness serve overload all`
+//! (default `all`). The `overload` arm also honours `--requests <n>`
+//! (default 10000), `--seed <u64>` (default 42) and `--out <path>`
+//! (default `BENCH_overload.json`).
 
 use cse_bench::{experiments, print_table};
 
@@ -11,12 +14,27 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut sf = experiments::DEFAULT_SF;
+    let mut requests = 10_000usize;
+    let mut seed = 42u64;
+    let mut out = "BENCH_overload.json".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--sf" => {
                 i += 1;
                 sf = args[i].parse().expect("--sf expects a number");
+            }
+            "--requests" => {
+                i += 1;
+                requests = args[i].parse().expect("--requests expects an integer");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed expects a u64");
+            }
+            "--out" => {
+                i += 1;
+                out = args[i].clone();
             }
             other => which = other.to_string(),
         }
@@ -210,5 +228,42 @@ fn main() {
             rows.iter().all(|r| r.completed == r.requests as u64),
             "healthy serving runs must complete every request"
         );
+    }
+    // Not part of `all`: a 10k-request open-loop run takes a while and
+    // its numbers only mean something at a fixed machine + seed.
+    if which == "overload" {
+        println!("\n=== overload: open-loop arrivals at 1x/2x/4x saturation ===");
+        println!(
+            "{:>4} {:>10} {:>9} {:>8} {:>9} {:>9} {:>9} {:>10} {:>9} {:>9}",
+            "mult",
+            "offered",
+            "completed",
+            "degraded",
+            "shed_mem",
+            "shed_q",
+            "deadline",
+            "goodput",
+            "p50",
+            "p99"
+        );
+        let rows = experiments::overload(&catalog, requests, seed);
+        for r in &rows {
+            println!(
+                "{:>4} {:>8.1}/s {:>9} {:>8} {:>9} {:>9} {:>9} {:>8.1}/s {:>7.2}ms {:>7.2}ms",
+                r.multiplier,
+                r.offered_rps,
+                r.completed,
+                r.degraded,
+                r.shed_memory,
+                r.shed_queue,
+                r.deadline_expired,
+                r.goodput_rps,
+                r.p50.as_secs_f64() * 1e3,
+                r.p99.as_secs_f64() * 1e3
+            );
+        }
+        let json = experiments::overload_json(sf, seed, &rows);
+        std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+        println!("wrote {out}");
     }
 }

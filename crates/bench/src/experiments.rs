@@ -5,6 +5,7 @@
 use crate::harness::{self, RunOutcome};
 use crate::workloads;
 use cse_core::{create_materialized_view, maintain_insert, CseConfig};
+use cse_storage::testkit::TestRng;
 use cse_storage::{Catalog, Row};
 use cse_tpch::{generate_catalog, TpchConfig};
 use std::time::{Duration, Instant};
@@ -384,6 +385,9 @@ pub struct ServePoint {
     /// from "uncontended".
     pub lock_sites: Vec<cse_serve::LockSiteStats>,
     pub lock_stats_recorded: bool,
+    /// Largest per-request execution memory high-water mark
+    /// (`ExecMetrics::peak_bytes`, final attempt only) observed this point.
+    pub peak_bytes_max: usize,
 }
 
 /// The serving benchmark's request mix: paper batches (heavy, sharing-rich)
@@ -427,9 +431,13 @@ pub fn serve_bench(catalog: &Catalog, worker_counts: &[usize], requests: usize) 
                 .map(|sql| server.submit(sql).expect("blocking admission never sheds"))
                 .collect();
             let mut latencies: Vec<Duration> = Vec::new();
+            let mut peak_bytes_max = 0usize;
             for t in tickets {
                 match t.wait() {
-                    Outcome::Done(reply) => latencies.push(reply.latency),
+                    Outcome::Done(reply) => {
+                        peak_bytes_max = peak_bytes_max.max(reply.metrics.peak_bytes);
+                        latencies.push(reply.latency);
+                    }
                     Outcome::Rejected(r) => panic!("healthy bench run rejected: {r:?}"),
                 }
             }
@@ -455,6 +463,7 @@ pub fn serve_bench(catalog: &Catalog, worker_counts: &[usize], requests: usize) 
                 p99: pct(0.99),
                 lock_sites,
                 lock_stats_recorded: cse_serve::lock_stats_recording(),
+                peak_bytes_max,
             }
         })
         .collect()
@@ -473,7 +482,7 @@ pub fn serve_json(sf: f64, rows: &[ServePoint]) -> String {
             "    {{\"workers\": {}, \"requests\": {}, \"completed\": {}, \"degraded\": {}, \
              \"rejected\": {}, \"shed\": {}, \"retries\": {}, \"breaker_trips\": {}, \
              \"throughput_rps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-             \"lock_stats_recorded\": {}, \"lock_sites\": [",
+             \"peak_bytes_max\": {}, \"lock_stats_recorded\": {}, \"lock_sites\": [",
             r.workers,
             r.requests,
             r.completed,
@@ -485,6 +494,7 @@ pub fn serve_json(sf: f64, rows: &[ServePoint]) -> String {
             r.throughput_rps,
             r.p50.as_secs_f64() * 1e3,
             r.p99.as_secs_f64() * 1e3,
+            r.peak_bytes_max,
             r.lock_stats_recorded,
         );
         for (j, site) in r.lock_sites.iter().enumerate() {
@@ -498,6 +508,278 @@ pub fn serve_json(sf: f64, rows: &[ServePoint]) -> String {
                 site.contended,
                 site.hold_nanos,
             );
+        }
+        s.push_str("]}");
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Latency-histogram bucket upper bounds, in milliseconds (the last
+/// bucket is open-ended). Powers of two so the buckets are stable across
+/// runs and machines.
+pub const OVERLOAD_BUCKETS_MS: [f64; 13] = [
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+];
+
+/// One operating point of the open-loop overload experiment: Poisson
+/// arrivals at `multiplier` times the measured saturation throughput.
+#[derive(Debug)]
+pub struct OverloadPoint {
+    pub multiplier: f64,
+    /// Target arrival rate (requests/second) this point offered.
+    pub offered_rps: f64,
+    pub requests: usize,
+    pub completed: u64,
+    /// Completed but off a lower rung / with degradation events.
+    pub degraded: u64,
+    /// `SHED_MEMORY`: admission-time pressure sheds plus exhausted
+    /// reservations.
+    pub shed_memory: u64,
+    /// `SHED_QUEUE_FULL` sheds at submit time.
+    pub shed_queue: u64,
+    /// `REQ_DEADLINE`: watchdog-expired attempts, retries exhausted.
+    pub deadline_expired: u64,
+    /// Any other rejection (must stay zero — asserted by the harness).
+    pub other_rejected: u64,
+    /// Completed requests per second of wall clock (the goodput curve the
+    /// admission controller exists to defend).
+    pub goodput_rps: f64,
+    /// Latency percentiles over *completed* requests.
+    pub p50: Duration,
+    pub p99: Duration,
+    /// Completed-request latency counts per [`OVERLOAD_BUCKETS_MS`] bucket
+    /// (one extra open-ended bucket at the end).
+    pub histogram: Vec<u64>,
+    /// Largest `ExecMetrics::peak_bytes` across completed requests.
+    pub peak_bytes_max: usize,
+    pub worker_panics: u64,
+}
+
+/// The overload mix: mostly light single-statement queries with an
+/// occasional heavy sharing-rich batch (the batch is what drives memory
+/// reservations up). Deterministic for a fixed seed.
+pub fn overload_requests(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = TestRng::new(seed ^ 0x6f76_6572_6c6f_6164); // "overload"
+    let light = [
+        "select c_mktsegment, count(*) as n from customer group by c_mktsegment".to_string(),
+        "select o_orderstatus, sum(o_totalprice) as s from orders group by o_orderstatus"
+            .to_string(),
+        "select l_returnflag, sum(l_quantity) as q from lineitem group by l_returnflag".to_string(),
+    ];
+    let heavy = workloads::scaleup_batch(3);
+    (0..n)
+        .map(|_| {
+            if rng.chance(0.125) {
+                heavy.clone()
+            } else {
+                rng.pick(&light).clone()
+            }
+        })
+        .collect()
+}
+
+/// Closed-loop calibration: measure the server's saturation throughput on
+/// the overload mix (blocking admission, no deadline, no governor — pure
+/// capacity).
+fn overload_saturation_rps(catalog: &Catalog, workers: usize, seed: u64) -> f64 {
+    use cse_serve::{AdmitPolicy, Outcome, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let n = 96;
+    let sqls = overload_requests(n, seed ^ 1);
+    let mut server = Server::new(
+        Arc::new(catalog.clone()),
+        ServerConfig {
+            workers,
+            queue_capacity: 16,
+            admit: AdmitPolicy::Block,
+            ..ServerConfig::default()
+        },
+    );
+    let started = Instant::now();
+    let tickets: Vec<_> = sqls
+        .iter()
+        .map(|sql| server.submit(sql).expect("blocking admission never sheds"))
+        .collect();
+    for t in tickets {
+        assert!(
+            matches!(t.wait(), Outcome::Done(_)),
+            "calibration run must complete every request"
+        );
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-6);
+    server.drain();
+    n as f64 / elapsed
+}
+
+/// The open-loop overload experiment: Poisson arrivals (inter-arrival
+/// `-ln(1-u)/rate` off the testkit PRNG) at 1x/2x/4x the calibrated
+/// saturation rate, against a shedding server with an attempt deadline
+/// and a global memory budget. Arrivals do **not** wait for replies —
+/// that is what makes saturation observable instead of self-throttling.
+///
+/// The harness asserts the robustness contract (every request reaches
+/// exactly one terminal outcome; rejections only carry `SHED_MEMORY`,
+/// `SHED_QUEUE_FULL` or `REQ_DEADLINE`; zero worker panics) and returns
+/// the measured points; callers decide what to print or persist.
+pub fn overload(catalog: &Catalog, requests: usize, seed: u64) -> Vec<OverloadPoint> {
+    use cse_serve::{AdmitPolicy, Outcome, RejectReason, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let workers = 6;
+    let shared = Arc::new(catalog.clone());
+    let saturation = overload_saturation_rps(catalog, workers, seed);
+    [1.0, 2.0, 4.0]
+        .iter()
+        .map(|&multiplier| {
+            let rate = (saturation * multiplier).max(1.0);
+            let sqls = overload_requests(requests, seed);
+            let mut rng = TestRng::new(seed ^ (multiplier as u64) << 32);
+            let mut server = Server::new(
+                Arc::clone(&shared),
+                ServerConfig {
+                    workers,
+                    queue_capacity: 16,
+                    admit: AdmitPolicy::Shed,
+                    deadline: Some(Duration::from_millis(250)),
+                    max_retries: 1,
+                    // Tight enough that concurrent heavy batches contend:
+                    // six workers' grown grants sit near the Elevated
+                    // threshold, so bursts of heavy batches push the pool
+                    // into Critical and shed.
+                    mem_budget: Some(6 << 20),
+                    mem_grant: 256 * 1024,
+                    ..ServerConfig::default()
+                },
+            );
+            let started = Instant::now();
+            let mut next_at = Duration::ZERO;
+            let mut tickets = Vec::with_capacity(requests);
+            let mut submit_rejects: Vec<RejectReason> = Vec::new();
+            for sql in &sqls {
+                // Poisson process: exponential inter-arrival times.
+                let u = rng.range_f64(0.0, 1.0).min(0.999_999);
+                next_at += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+                let now = started.elapsed();
+                if next_at > now {
+                    std::thread::sleep(next_at - now);
+                }
+                match server.submit(sql) {
+                    Ok(t) => tickets.push(t),
+                    Err(r) => submit_rejects.push(r.reason),
+                }
+            }
+            let mut latencies: Vec<Duration> = Vec::new();
+            let mut peak_bytes_max = 0usize;
+            let mut degraded = 0u64;
+            let mut reasons: Vec<RejectReason> = submit_rejects;
+            for t in tickets {
+                match t.wait() {
+                    Outcome::Done(reply) => {
+                        peak_bytes_max = peak_bytes_max.max(reply.metrics.peak_bytes);
+                        if !reply.events.is_empty() {
+                            degraded += 1;
+                        }
+                        latencies.push(reply.latency);
+                    }
+                    Outcome::Rejected(r) => reasons.push(r.reason),
+                }
+            }
+            let wall = started.elapsed().as_secs_f64().max(1e-6);
+            let stats = server.drain();
+            let completed = latencies.len() as u64;
+            assert_eq!(
+                completed + reasons.len() as u64,
+                requests as u64,
+                "every request reaches exactly one terminal outcome"
+            );
+            assert_eq!(stats.worker_panics, 0, "overload must not panic workers");
+            let count = |r: RejectReason| reasons.iter().filter(|&&x| x == r).count() as u64;
+            let shed_memory = count(RejectReason::ShedMemory);
+            let shed_queue = count(RejectReason::ShedQueueFull);
+            let deadline_expired = count(RejectReason::ReqDeadline);
+            let other_rejected = reasons.len() as u64 - shed_memory - shed_queue - deadline_expired;
+            assert_eq!(
+                other_rejected, 0,
+                "overload rejections must carry a load-shedding reason code, got {reasons:?}"
+            );
+            latencies.sort();
+            let pct = |p: f64| -> Duration {
+                if latencies.is_empty() {
+                    return Duration::ZERO;
+                }
+                latencies[((latencies.len() as f64 - 1.0) * p).round() as usize]
+            };
+            let mut histogram = vec![0u64; OVERLOAD_BUCKETS_MS.len() + 1];
+            for l in &latencies {
+                let ms = l.as_secs_f64() * 1e3;
+                let idx = OVERLOAD_BUCKETS_MS
+                    .iter()
+                    .position(|&ub| ms <= ub)
+                    .unwrap_or(OVERLOAD_BUCKETS_MS.len());
+                histogram[idx] += 1;
+            }
+            OverloadPoint {
+                multiplier,
+                offered_rps: rate,
+                requests,
+                completed,
+                degraded,
+                shed_memory,
+                shed_queue,
+                deadline_expired,
+                other_rejected,
+                goodput_rps: completed as f64 / wall,
+                p50: pct(0.50),
+                p99: pct(0.99),
+                histogram,
+                peak_bytes_max,
+                worker_panics: stats.worker_panics,
+            }
+        })
+        .collect()
+}
+
+/// Hand-rolled JSON for the overload report.
+pub fn overload_json(sf: f64, seed: u64, rows: &[OverloadPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"experiment\": \"overload\",");
+    let _ = writeln!(s, "  \"sf\": {sf},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = write!(s, "  \"histogram_buckets_ms\": [");
+    for (i, ub) in OVERLOAD_BUCKETS_MS.iter().enumerate() {
+        let _ = write!(s, "{}{ub}", if i == 0 { "" } else { ", " });
+    }
+    s.push_str(", null],\n");
+    s.push_str("  \"points\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"multiplier\": {}, \"offered_rps\": {:.1}, \"requests\": {}, \
+             \"completed\": {}, \"degraded\": {}, \"shed_memory\": {}, \"shed_queue\": {}, \
+             \"deadline_expired\": {}, \"other_rejected\": {}, \"goodput_rps\": {:.2}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"peak_bytes_max\": {}, \
+             \"worker_panics\": {}, \"histogram\": [",
+            r.multiplier,
+            r.offered_rps,
+            r.requests,
+            r.completed,
+            r.degraded,
+            r.shed_memory,
+            r.shed_queue,
+            r.deadline_expired,
+            r.other_rejected,
+            r.goodput_rps,
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.peak_bytes_max,
+            r.worker_panics,
+        );
+        for (j, c) in r.histogram.iter().enumerate() {
+            let _ = write!(s, "{}{c}", if j == 0 { "" } else { ", " });
         }
         s.push_str("]}");
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });

@@ -3,17 +3,21 @@
 //! Each model mirrors one real component — [`QueueModel`] for
 //! `cse_serve::queue::BoundedQueue`, [`BreakerModel`] for
 //! `cse_serve::breaker::Breaker`, [`CancelModel`] for the server's
-//! cancel/deadline race (request token + per-attempt token + watchdog) —
-//! at the granularity the `conc/` discipline rules guarantee is sound:
+//! cancel/deadline race (request token + per-attempt token + watchdog),
+//! [`GovernorModel`] for `cse_govern::MemoryGovernor`'s reserve / grow /
+//! release accounting — at the granularity the `conc/` discipline rules
+//! guarantee is sound:
 //! one mutex-protected operation of the real code is one atomic model
 //! step. Time is a logical tick advanced by a dedicated clock thread, so
 //! "deadline expires mid-attempt" is just another interleaving.
 //!
 //! The invariants here are the ISSUE-level properties the stress tests
 //! only sample: every admitted item is delivered exactly once in FIFO
-//! order, the half-open breaker admits exactly one probe, and every
+//! order, the half-open breaker admits exactly one probe, every
 //! request reaches exactly one terminal outcome with the
-//! explicit-cancel-wins classification the reason codes promise.
+//! explicit-cancel-wins classification the reason codes promise, and
+//! memory reservations never over-commit the governor's budget while a
+//! release always unblocks a fitting waiter.
 
 use crate::explore::Model;
 use std::collections::VecDeque;
@@ -656,6 +660,214 @@ impl Model for CancelModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// GovernorModel — MemoryGovernor reserve / grow / release accounting
+// ---------------------------------------------------------------------------
+
+/// How a modeled requester takes its initial reservation: `Try` mirrors
+/// `MemoryGovernor::try_reserve` (sheds when the grant does not fit),
+/// `Blocking` mirrors `reserve_blocking` (waits on the release condvar —
+/// modeled as the thread being *disabled* while its grant does not fit,
+/// so a release path that failed to wake a fitting waiter would surface
+/// as an explored deadlock, not a missed assertion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReserveMode {
+    Try,
+    Blocking,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Requester {
+    mode: ReserveMode,
+    /// Initial grant it asks for.
+    reserve: u32,
+    /// Mid-flight growth (`MemReservation::charge` crossing its grant);
+    /// zero means the requester never grows.
+    grow: u32,
+    /// 0 = about to reserve, 1 = about to grow, 2 = about to release,
+    /// 3 = terminal.
+    pc: u8,
+    /// Bytes this requester currently holds out of the pool.
+    held: u32,
+    /// Terminal fate: reservation refused (request shed).
+    shed: bool,
+    /// The grow step was refused (the recoverable `EXEC_MEM_RESERVATION`
+    /// fault): the requester degrades but still releases what it holds.
+    grow_refused: bool,
+}
+
+/// Model of `cse_govern::MemoryGovernor`: N requesters, each running
+/// reserve → grow → release against one shared byte budget. One
+/// pool-lock operation of the real code is one atomic step here.
+///
+/// Thread layout: requester `i` is tid `i`; there is no clock (the
+/// governor has no time-dependent state — `reserve_blocking`'s deadline
+/// polling is covered by [`CancelModel`]).
+///
+/// Invariants: the pool never over-commits (`reserved <= budget`),
+/// accounting is exact (`reserved` equals the sum of held bytes, so
+/// release-on-drop leaks nothing and double-releases nothing), and a
+/// shed requester holds zero bytes. Final check: the pool drains to
+/// zero and every requester reaches exactly one terminal fate.
+#[derive(Debug, Clone)]
+pub struct GovernorModel {
+    budget: u32,
+    /// Pool state: bytes currently granted.
+    reserved: u32,
+    requesters: Vec<Requester>,
+}
+
+impl GovernorModel {
+    /// `spec` is `(mode, reserve_bytes, grow_bytes)` per requester.
+    pub fn new(budget: u32, spec: &[(ReserveMode, u32, u32)]) -> Self {
+        GovernorModel {
+            budget,
+            reserved: 0,
+            requesters: spec
+                .iter()
+                .map(|&(mode, reserve, grow)| Requester {
+                    mode,
+                    reserve,
+                    grow,
+                    pc: 0,
+                    held: 0,
+                    shed: false,
+                    grow_refused: false,
+                })
+                .collect(),
+        }
+    }
+
+    fn fits(&self, extra: u32) -> bool {
+        self.reserved + extra <= self.budget
+    }
+
+    pub fn shed_count(&self) -> usize {
+        self.requesters.iter().filter(|r| r.shed).count()
+    }
+
+    pub fn completed_count(&self) -> usize {
+        self.requesters
+            .iter()
+            .filter(|r| r.pc == 3 && !r.shed)
+            .count()
+    }
+
+    pub fn grow_refusals(&self) -> usize {
+        self.requesters.iter().filter(|r| r.grow_refused).count()
+    }
+
+    pub fn reserved(&self) -> u32 {
+        self.reserved
+    }
+}
+
+impl Model for GovernorModel {
+    fn threads(&self) -> usize {
+        self.requesters.len()
+    }
+
+    fn enabled(&self, tid: usize) -> bool {
+        let r = &self.requesters[tid];
+        if r.pc == 3 {
+            return false;
+        }
+        if r.pc == 0 && r.mode == ReserveMode::Blocking {
+            // A blocked reserver is runnable only once its grant fits —
+            // except an over-budget request, which `reserve_blocking`
+            // fails fast on (no release could ever satisfy it).
+            return self.fits(r.reserve) || r.reserve > self.budget;
+        }
+        true
+    }
+
+    fn done(&self, tid: usize) -> bool {
+        self.requesters[tid].pc == 3
+    }
+
+    fn step(&mut self, tid: usize) {
+        let r = self.requesters[tid].clone();
+        match r.pc {
+            0 => {
+                let admit = match r.mode {
+                    ReserveMode::Try => self.fits(r.reserve),
+                    // enabled() already held this thread until it fits;
+                    // an over-budget blocking request fails fast instead.
+                    ReserveMode::Blocking => r.reserve <= self.budget,
+                };
+                let me = &mut self.requesters[tid];
+                if admit {
+                    me.held = r.reserve;
+                    me.pc = 1;
+                    self.reserved += r.reserve;
+                } else {
+                    me.shed = true;
+                    me.pc = 3;
+                }
+            }
+            1 => {
+                // Growth is always try-style: `MemReservation::charge`
+                // never blocks, a refusal is the recoverable fault the
+                // engine turns into a baseline retry.
+                let granted = r.grow > 0 && self.fits(r.grow);
+                let me = &mut self.requesters[tid];
+                if granted {
+                    me.held += r.grow;
+                    self.reserved += r.grow;
+                } else if r.grow > 0 {
+                    me.grow_refused = true;
+                }
+                me.pc = 2;
+            }
+            2 => {
+                // Release-on-drop: the whole held amount goes back in one
+                // step and (in the real code) notifies the condvar.
+                let me = &mut self.requesters[tid];
+                let held = me.held;
+                me.held = 0;
+                me.pc = 3;
+                self.reserved -= held;
+            }
+            _ => unreachable!("stepped a terminal requester"),
+        }
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        if self.reserved > self.budget {
+            return Err(format!(
+                "pool over-committed: {} reserved > {} budget",
+                self.reserved, self.budget
+            ));
+        }
+        let held_sum: u32 = self.requesters.iter().map(|r| r.held).sum();
+        if held_sum != self.reserved {
+            return Err(format!(
+                "accounting drift: requesters hold {held_sum} but the pool says {}",
+                self.reserved
+            ));
+        }
+        for (i, r) in self.requesters.iter().enumerate() {
+            if r.shed && r.held != 0 {
+                return Err(format!("shed requester {i} still holds {} bytes", r.held));
+            }
+        }
+        Ok(())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.reserved != 0 {
+            return Err(format!(
+                "pool did not drain: {} bytes still reserved",
+                self.reserved
+            ));
+        }
+        if self.shed_count() + self.completed_count() != self.requesters.len() {
+            return Err("a requester reached neither shed nor completed".to_string());
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -823,6 +1035,89 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    // -- GovernorModel ------------------------------------------------------
+
+    #[test]
+    fn governor_exhaustive_never_overcommits() {
+        // Budget 3 against try(2)+grow(1), blocking(2), try(1)+grow(2):
+        // schedules exist where everything fits serially, where the try
+        // reservers shed, and where a grow is refused mid-flight — the
+        // invariant (reserved <= budget, exact accounting) must hold in
+        // every interleaving of pool operations.
+        let init = GovernorModel::new(
+            3,
+            &[
+                (ReserveMode::Try, 2, 1),
+                (ReserveMode::Blocking, 2, 0),
+                (ReserveMode::Try, 1, 2),
+            ],
+        );
+        let mut saw_shed = false;
+        let mut saw_grow_refusal = false;
+        let mut saw_all_completed = false;
+        let stats = explore_with(&init, 2_000_000, |m| {
+            saw_shed |= m.shed_count() > 0;
+            saw_grow_refusal |= m.grow_refusals() > 0;
+            saw_all_completed |= m.completed_count() == 3;
+        })
+        .expect("no interleaving over-commits the budget or drifts accounting");
+        assert!(stats.schedules > 100, "{stats:?}");
+        assert!(saw_shed, "some schedule sheds a try-reserver");
+        assert!(saw_grow_refusal, "some schedule refuses a mid-flight grow");
+        assert!(saw_all_completed, "some schedule completes every requester");
+    }
+
+    #[test]
+    fn governor_release_always_unblocks_a_fitting_waiter() {
+        // Two blocking reservers that each want the whole budget: they
+        // can only run serially, and the second is disabled until the
+        // first releases. If release failed to make the waiter runnable
+        // the explorer would report this as a deadlock.
+        let init = GovernorModel::new(
+            2,
+            &[(ReserveMode::Blocking, 2, 0), (ReserveMode::Blocking, 2, 0)],
+        );
+        let stats = explore(&init, 100_000).expect("release wakes the blocked reserver");
+        assert!(stats.schedules >= 2);
+        // Deterministic witness: t0 reserves/grows/releases, then t1 can.
+        let s = replay(&init, &[0, 0, 0, 1, 1, 1]).expect("serial hand-off schedule");
+        assert_eq!(s.completed_count(), 2);
+        assert_eq!(s.reserved(), 0);
+    }
+
+    #[test]
+    fn governor_oversized_blocking_request_fails_fast_not_deadlocks() {
+        // A blocking request larger than the whole budget can never be
+        // satisfied; reserve_blocking fails it fast (modeled as a shed)
+        // instead of waiting forever.
+        let init = GovernorModel::new(
+            2,
+            &[(ReserveMode::Blocking, 3, 0), (ReserveMode::Try, 1, 0)],
+        );
+        let mut saw_oversized_shed = false;
+        let stats = explore_with(&init, 100_000, |m| {
+            saw_oversized_shed |= m.shed_count() >= 1 && m.completed_count() == 1;
+        })
+        .expect("over-budget request sheds instead of deadlocking");
+        assert!(stats.schedules >= 2);
+        assert!(saw_oversized_shed);
+    }
+
+    #[test]
+    fn governor_sampling_arm_is_deterministic() {
+        let init = GovernorModel::new(
+            3,
+            &[
+                (ReserveMode::Try, 2, 1),
+                (ReserveMode::Blocking, 2, 0),
+                (ReserveMode::Try, 1, 2),
+            ],
+        );
+        let a = sample(&init, 13, 400).expect("clean");
+        let b = sample(&init, 13, 400).expect("clean");
+        assert_eq!(a, b);
+    }
+
     /// The deep seeded-sampling arm, gated on `QCONC_SAMPLE=seed[:n]`
     /// (e.g. `QCONC_SAMPLE=7:20000`). The gated configurations are too
     /// big for exhaustive exploration in every test run; CI invokes this
@@ -869,6 +1164,18 @@ mod tests {
         assert_eq!(s.schedules, n);
         let cancel = CancelModel::new(3, 3, 2, true, 3, 5);
         let s = sample(&cancel, seed ^ 2, n).expect("cancel invariants hold under deep sampling");
+        assert_eq!(s.schedules, n);
+        let governor = GovernorModel::new(
+            4,
+            &[
+                (ReserveMode::Try, 2, 1),
+                (ReserveMode::Blocking, 3, 1),
+                (ReserveMode::Try, 1, 0),
+                (ReserveMode::Blocking, 2, 2),
+            ],
+        );
+        let s =
+            sample(&governor, seed ^ 3, n).expect("governor invariants hold under deep sampling");
         assert_eq!(s.schedules, n);
     }
 }

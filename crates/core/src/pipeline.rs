@@ -64,6 +64,11 @@ pub struct CseConfig {
     /// CSE phase is skipped and an `OPT_FORCED` event is recorded. Unlike
     /// `enable_cse = false`, this *reports* the skip as a degradation.
     pub fallback_only: bool,
+    /// Where the degradation ladder starts. The serving layer lowers this
+    /// under global memory pressure (Elevated → capped CSE) rather than
+    /// letting a full-sharing plan materialize spools the pool cannot
+    /// hold; a lowered start is recorded as a `MEM_PRESSURE` degradation.
+    pub start_rung: Rung,
     /// Deterministic fault-injection registry, shared with the engine.
     /// Disabled unless armed explicitly or via the `CSE_FAIL` env var.
     pub failpoints: FailpointRegistry,
@@ -98,6 +103,7 @@ impl Default for CseConfig {
             verify: cfg!(debug_assertions),
             budget: Budget::unlimited(),
             fallback_only: false,
+            start_rung: Rung::FullCse,
             failpoints: FailpointRegistry::from_env(),
             exec_limits: ExecLimits::none(),
             cancel: CancelToken::never(),
@@ -416,7 +422,16 @@ pub fn optimize_plan_with_facts(
     // write-once-atomic (the token's cancel flag; the failpoint registry's
     // mutex recovers poisoning via `into_inner`). No partially-mutated
     // structure outlives a panicking attempt, so `AssertUnwindSafe` holds.
-    let mut rung = Rung::FullCse;
+    let mut rung = cfg.start_rung;
+    if rung != Rung::FullCse {
+        report.degradations.push(DegradationEvent::opt(
+            Reason::MemPressure,
+            "admission",
+            Rung::FullCse,
+            rung,
+            "memory pressure capped the starting rung",
+        ));
+    }
     let mut phase: Option<PhaseOutput> = None;
     while rung != Rung::Baseline {
         let (eff, caps) = tighten(cfg, rung);

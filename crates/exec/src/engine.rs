@@ -15,7 +15,10 @@
 use crate::error::ExecError;
 use crate::eval::{accepts, agg_input, eval, AggState, Layout};
 use cse_algebra::{AggExpr, ColRef, PlanContext, SortOrder};
-use cse_govern::{sites, CancelToken, DegradationEvent, ExecLimits, FailpointRegistry, Reason};
+use cse_govern::{
+    sites, CancelToken, DegradationEvent, ExecLimits, FailpointRegistry, MemReservation, MemScope,
+    Reason, ReserveError,
+};
 use cse_optimizer::{CseId, FullPlan, PhysicalPlan};
 use cse_storage::{Catalog, Row, Value};
 use std::collections::HashMap;
@@ -94,14 +97,24 @@ impl ResultSet {
 }
 
 /// Execution counters.
+///
+/// Under baseline-retry recovery these reflect the *final* attempt of each
+/// statement only: a failed attempt's spool/scan/byte deltas are rolled
+/// back before the retry, so dashboards see what actually produced the
+/// answer, not work that was thrown away.
 #[derive(Debug, Clone, Default)]
 pub struct ExecMetrics {
     /// Rows produced into each spool work table.
     pub spool_rows: HashMap<CseId, usize>,
     /// Number of times each spool was read.
     pub spool_reads: HashMap<CseId, usize>,
+    /// Approximate bytes held by each spool work table.
+    pub spool_bytes: HashMap<CseId, usize>,
     /// Total rows scanned from base tables.
     pub base_rows_scanned: usize,
+    /// Per-request high-water mark of approximate bytes materialized:
+    /// the current statement's operator outputs plus all live spools.
+    pub peak_bytes: usize,
 }
 
 /// Execution output: one result set per delivered statement plus metrics.
@@ -149,12 +162,42 @@ struct RunState<'p> {
     /// Rows / approximate bytes materialized by the current statement.
     rows_materialized: usize,
     bytes_materialized: usize,
+    /// Approximate bytes held by live spools (sum of
+    /// [`ExecMetrics::spool_bytes`], kept as a running total).
+    spool_bytes_total: usize,
+    /// Transient per-statement charge against the request's global memory
+    /// reservation; recreated each statement so its bytes release on
+    /// statement end. `None` when execution is not memory-governed.
+    stmt_scope: Option<MemScope>,
+    /// Charge for spool work tables, which outlive their statement; bytes
+    /// are uncharged individually if a spool is rolled back.
+    spool_scope: Option<MemScope>,
     /// Set while retrying a statement against its baseline plan: both
     /// fault injection and limits are suppressed so recovery always
     /// terminates — recovery prioritizes answering over governing.
     /// Cancellation is *not* suppressed: a watchdog must be able to stop
-    /// a runaway baseline retry too.
+    /// a runaway baseline retry too. Memory-reservation charges switch to
+    /// unchecked mode: the retry cannot fault, but a retry that outruns
+    /// its grant becomes visible to the serving watchdog via
+    /// [`MemReservation::over_grant`].
     recovering: bool,
+}
+
+/// Map a refused reservation charge into the interpreter's error space.
+fn reserve_to_exec(e: ReserveError) -> ExecError {
+    match e {
+        ReserveError::Exhausted {
+            requested,
+            available,
+        } => ExecError::MemReservation {
+            requested,
+            available,
+        },
+        ReserveError::Injected => ExecError::Injected {
+            site: sites::MEM_RESERVE.to_string(),
+        },
+        ReserveError::Canceled { deadline } => ExecError::Canceled { deadline },
+    }
 }
 
 /// How many rows an operator loop processes between cancellation checks.
@@ -192,14 +235,25 @@ impl RunState<'_> {
         Ok(())
     }
 
-    /// Charge one operator's materialized output against the statement
-    /// budget (no-op while recovering or when no limits are set).
+    /// Charge one operator's materialized output: the high-water metric
+    /// and the global memory reservation always see it; the per-statement
+    /// limits are enforced only outside recovery (recovery prioritizes
+    /// answering over governing).
     fn charge(&mut self, rows: usize, bytes: usize) -> Result<(), ExecError> {
+        self.rows_materialized += rows;
+        self.bytes_materialized += bytes;
+        let live = self.bytes_materialized + self.spool_bytes_total;
+        self.metrics.peak_bytes = self.metrics.peak_bytes.max(live);
+        if let Some(scope) = self.stmt_scope.as_mut() {
+            if self.recovering {
+                scope.charge_unchecked(bytes);
+            } else {
+                scope.charge(bytes).map_err(reserve_to_exec)?;
+            }
+        }
         if self.recovering || self.limits.is_unlimited() {
             return Ok(());
         }
-        self.rows_materialized += rows;
-        self.bytes_materialized += bytes;
         if let Some(cap) = self.limits.max_rows {
             if self.rows_materialized > cap {
                 return Err(ExecError::ResourceBudget {
@@ -219,6 +273,33 @@ impl RunState<'_> {
             }
         }
         Ok(())
+    }
+
+    /// Replace the per-statement reservation scope with a fresh one,
+    /// releasing the previous statement's transient bytes.
+    fn reset_stmt_scope(&mut self) {
+        self.stmt_scope = self.stmt_scope.take().map(|s| s.child());
+    }
+
+    /// Undo a failed attempt's side effects before the baseline retry:
+    /// spools it materialized are dropped (and their reservation bytes
+    /// returned), and metrics revert to the pre-attempt snapshot.
+    fn rollback_attempt(&mut self, snapshot: &ExecMetrics) {
+        let added: Vec<CseId> = self
+            .spools
+            .keys()
+            .filter(|id| !snapshot.spool_rows.contains_key(id))
+            .copied()
+            .collect();
+        for id in added {
+            self.spools.remove(&id);
+            let bytes = self.metrics.spool_bytes.get(&id).copied().unwrap_or(0);
+            self.spool_bytes_total = self.spool_bytes_total.saturating_sub(bytes);
+            if let Some(scope) = self.spool_scope.as_mut() {
+                scope.uncharge(bytes);
+            }
+        }
+        self.metrics = snapshot.clone();
     }
 }
 
@@ -287,6 +368,24 @@ impl<'a> Engine<'a> {
         cancel: &CancelToken,
         recover: bool,
     ) -> Result<ExecOutput, ExecError> {
+        self.execute_reserved(plan, failpoints, limits, cancel, None, recover)
+    }
+
+    /// The fully-governed entry point: everything the other `execute_*`
+    /// methods thread, plus an optional global memory reservation. All
+    /// operator output bytes (and spool work tables, which outlive their
+    /// statement) are charged against the reservation; a refused charge is
+    /// a recoverable fault that walks the same baseline-retry path as an
+    /// injected failpoint or a breached [`ExecLimits`].
+    pub fn execute_reserved(
+        &self,
+        plan: &FullPlan,
+        failpoints: &FailpointRegistry,
+        limits: &ExecLimits,
+        cancel: &CancelToken,
+        reservation: Option<&MemReservation>,
+        recover: bool,
+    ) -> Result<ExecOutput, ExecError> {
         let mut st = RunState {
             plan,
             spools: HashMap::new(),
@@ -296,6 +395,9 @@ impl<'a> Engine<'a> {
             cancel,
             rows_materialized: 0,
             bytes_materialized: 0,
+            spool_bytes_total: 0,
+            stmt_scope: reservation.map(MemReservation::scope),
+            spool_scope: reservation.map(MemReservation::scope),
             recovering: false,
         };
         let statements: Vec<&PhysicalPlan> = match &plan.root {
@@ -308,12 +410,18 @@ impl<'a> Engine<'a> {
             st.check_cancel()?;
             st.rows_materialized = 0;
             st.bytes_materialized = 0;
+            st.reset_stmt_scope();
+            // Snapshot so a failed attempt's metric deltas (spools it
+            // materialized, rows it scanned, the peak it touched) can be
+            // rolled back — metrics report the final attempt only.
+            let snapshot = st.metrics.clone();
             match self.deliver(stmt, &mut st) {
                 Ok(rs) => results.push(rs),
                 Err(e) if recover && e.is_recoverable() => {
                     let reason = match &e {
                         ExecError::Injected { .. } => Reason::ExecFaultInjected,
                         ExecError::ResourceBudget { what: "rows", .. } => Reason::ExecRowBudget,
+                        ExecError::MemReservation { .. } => Reason::MemReservation,
                         _ => Reason::ExecMemBudget,
                     };
                     let event = DegradationEvent::exec(
@@ -321,6 +429,10 @@ impl<'a> Engine<'a> {
                         format!("statement {}", i + 1),
                         format!("{e}; retried on baseline plan"),
                     );
+                    st.rollback_attempt(&snapshot);
+                    st.rows_materialized = 0;
+                    st.bytes_materialized = 0;
+                    st.reset_stmt_scope();
                     // The retained baseline is the statement's original
                     // non-covering expression. A plan without spools has
                     // nothing to retain: its statement *is* the baseline,
@@ -721,7 +833,23 @@ impl<'a> Engine<'a> {
                 .map(|r| cse_storage::row(positions.iter().map(|i| r[*i].clone()).collect()))
                 .collect()
         };
+        // The spool outlives its statement, so its bytes move to the
+        // persistent scope (on top of the transient charge its definition
+        // already paid above — conservative double-count within this one
+        // statement, gone when the statement scope resets).
+        let bytes = rows.len() * def.layout.len().max(1) * std::mem::size_of::<Value>();
+        if let Some(scope) = st.spool_scope.as_mut() {
+            if st.recovering {
+                scope.charge_unchecked(bytes);
+            } else {
+                scope.charge(bytes).map_err(reserve_to_exec)?;
+            }
+        }
         st.metrics.spool_rows.insert(cse, rows.len());
+        st.metrics.spool_bytes.insert(cse, bytes);
+        st.spool_bytes_total += bytes;
+        let live = st.bytes_materialized + st.spool_bytes_total;
+        st.metrics.peak_bytes = st.metrics.peak_bytes.max(live);
         st.spools.insert(cse, (def.layout.clone(), rows));
         Ok(())
     }

@@ -34,6 +34,11 @@ pub enum ExecError {
         limit: usize,
         used: usize,
     },
+    /// The request's global memory reservation could not grow: the shared
+    /// pool ([`cse_govern::MemoryGovernor`]) is exhausted. Recoverable —
+    /// the baseline retry charges without faulting, so cross-request
+    /// memory pressure degrades the plan, never the answer.
+    MemReservation { requested: usize, available: usize },
     /// The request's cancellation token fired mid-execution (`deadline`
     /// distinguishes an expired deadline from an explicit watchdog/client
     /// cancel). Never recovered in-engine: cancellation must stop the
@@ -50,7 +55,9 @@ impl ExecError {
     pub fn is_recoverable(&self) -> bool {
         matches!(
             self,
-            ExecError::Injected { .. } | ExecError::ResourceBudget { .. }
+            ExecError::Injected { .. }
+                | ExecError::ResourceBudget { .. }
+                | ExecError::MemReservation { .. }
         )
     }
 }
@@ -65,6 +72,15 @@ impl fmt::Display for ExecError {
             ExecError::Injected { site } => write!(f, "injected fault at {site}"),
             ExecError::ResourceBudget { what, limit, used } => {
                 write!(f, "{what} budget breached: {used} used, limit {limit}")
+            }
+            ExecError::MemReservation {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "memory reservation exhausted: requested {requested} bytes, {available} available in pool"
+                )
             }
             ExecError::Canceled { deadline: true } => write!(f, "request deadline expired"),
             ExecError::Canceled { deadline: false } => write!(f, "request canceled"),

@@ -30,6 +30,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+pub mod memory;
+pub use memory::{MemReservation, MemScope, MemoryGovernor, Pressure, ReserveError};
+
 /// Canonical failpoint site names. Sites are dynamic strings in the
 /// registry (the `CSE_FAIL` grammar allows anything), but injection code
 /// should reference these constants.
@@ -46,6 +49,11 @@ pub mod sites {
     /// A serving worker picking up a request (`cse-serve`); a trip here is
     /// a transient worker fault the server retries with backoff.
     pub const SERVE_WORKER: &str = "serve.worker";
+    /// A memory-governor reservation or grant growth
+    /// ([`crate::memory::MemoryGovernor`]); a trip here makes the grant
+    /// appear exhausted, exercising the reservation-fault recovery path
+    /// without needing a real budget squeeze.
+    pub const MEM_RESERVE: &str = "mem.reserve";
 
     /// Every site with an injection hook in the codebase. The drift test in
     /// `tests/failpoint_drift.rs` arms each one and asserts it actually
@@ -56,6 +64,7 @@ pub mod sites {
         SCAN_INDEX,
         OPT_CSE_PHASE,
         SERVE_WORKER,
+        MEM_RESERVE,
     ];
 
     /// Is `name` a known site?
@@ -125,6 +134,11 @@ pub enum Reason {
     ExecRowBudget,
     /// The per-statement byte materialization budget was breached.
     ExecMemBudget,
+    /// The request's memory reservation grant could not be extended
+    /// (global budget exhausted or the `mem.reserve` failpoint tripped).
+    MemReservation,
+    /// Global memory pressure capped or forced down the starting rung.
+    MemPressure,
     /// The request was canceled explicitly (watchdog or client).
     ReqCanceled,
     /// The request's end-to-end deadline expired.
@@ -143,6 +157,8 @@ impl Reason {
             Reason::ExecFaultInjected => "EXEC_FAULT_INJECTED",
             Reason::ExecRowBudget => "EXEC_ROW_BUDGET",
             Reason::ExecMemBudget => "EXEC_MEM_BUDGET",
+            Reason::MemReservation => "EXEC_MEM_RESERVATION",
+            Reason::MemPressure => "MEM_PRESSURE",
             Reason::ReqCanceled => "REQ_CANCELED",
             Reason::ReqDeadline => "REQ_DEADLINE",
         }

@@ -59,7 +59,7 @@ pub use server::{
 };
 
 use cse_core::CseConfig;
-use cse_govern::{CancelToken, DegradationEvent};
+use cse_govern::{CancelToken, DegradationEvent, MemReservation, MemoryGovernor};
 use cse_storage::Catalog;
 
 // The whole point of this crate: the catalog and configuration must be
@@ -71,4 +71,6 @@ fn _assert_threading() {
     is_send_sync::<CseConfig>();
     is_send_sync::<CancelToken>();
     is_send_sync::<DegradationEvent>();
+    is_send_sync::<MemoryGovernor>();
+    is_send_sync::<MemReservation>();
 }

@@ -34,7 +34,10 @@ use crate::queue::{BoundedQueue, PushError};
 use cse_conc::{LockSiteStats, TrackedGuard, TrackedMutex};
 use cse_core::CseConfig;
 use cse_exec::{Engine, ExecError, ExecMetrics, ResultSet};
-use cse_govern::{sites, CancelToken, DegradationEvent, FailpointRegistry, Rung};
+use cse_govern::{
+    sites, CancelToken, DegradationEvent, FailpointRegistry, MemReservation, MemoryGovernor,
+    Pressure, ReserveError, Rung,
+};
 use cse_storage::testkit::TestRng;
 use cse_storage::Catalog;
 use std::collections::HashMap;
@@ -77,6 +80,15 @@ pub struct ServerConfig {
     /// (faults recovered invisibly, never rejected).
     pub strict_faults: bool,
     pub breaker: BreakerConfig,
+    /// Global memory budget shared by all in-flight requests. `None`
+    /// disables memory governance (the single-session behaviour). With a
+    /// budget set, every attempt takes a [`MemReservation`] before
+    /// planning; Critical pool pressure sheds new admissions with
+    /// `SHED_MEMORY`, Elevated pressure caps the planning rung.
+    pub mem_budget: Option<usize>,
+    /// Initial per-request reservation grant (grows on demand in
+    /// [`cse_govern::memory::GRANT_CHUNK`] steps).
+    pub mem_grant: usize,
     /// Base optimizer configuration. Its failpoint registry is shared
     /// across all workers (one process-wide fault schedule); its cancel
     /// token is replaced per attempt.
@@ -95,6 +107,8 @@ impl Default for ServerConfig {
             retry_seed: 42,
             strict_faults: true,
             breaker: BreakerConfig::default(),
+            mem_budget: None,
+            mem_grant: 1 << 20,
             cse: CseConfig::default(),
         }
     }
@@ -107,6 +121,10 @@ pub enum RejectReason {
     ShedQueueFull,
     /// Submitted after [`Server::drain`] closed the queue.
     ShedShutdown,
+    /// Shed for memory: admission refused at Critical pool pressure, or a
+    /// request's reservation could not be taken/grown and retries were
+    /// exhausted.
+    ShedMemory,
     /// Attempt deadline expired (watchdog), retries exhausted.
     ReqDeadline,
     /// The client canceled via [`Ticket::cancel`].
@@ -125,6 +143,7 @@ impl RejectReason {
         match self {
             RejectReason::ShedQueueFull => "SHED_QUEUE_FULL",
             RejectReason::ShedShutdown => "SHED_SHUTDOWN",
+            RejectReason::ShedMemory => "SHED_MEMORY",
             RejectReason::ReqDeadline => "REQ_DEADLINE",
             RejectReason::ReqCanceled => "REQ_CANCELED",
             RejectReason::ExecFault => "EXEC_FAULT",
@@ -254,6 +273,7 @@ struct Stats {
     deadline_expired: Counter,
     exec_faults: Counter,
     worker_panics: Counter,
+    shed_memory: Counter,
 }
 
 /// Counter snapshot ([`Server::stats`]).
@@ -279,12 +299,28 @@ pub struct ServerStats {
     pub exec_faults: u64,
     /// Panics converted into `EXEC_INTERNAL` rejections.
     pub worker_panics: u64,
+    /// Terminal `SHED_MEMORY` rejections (admission-time pressure sheds
+    /// plus exhausted-reservation rejections).
+    pub shed_memory: u64,
     pub breaker: BreakerSnapshot,
 }
 
-/// In-flight attempt registry for the watchdog: request id → (attempt
-/// token, request token, attempt deadline).
-type Inflight = HashMap<u64, (CancelToken, CancelToken, Option<Instant>)>;
+/// One in-flight attempt, as the watchdog sees it.
+#[derive(Clone)]
+struct InflightEntry {
+    /// Fresh per attempt; the token hot loops actually poll.
+    attempt: CancelToken,
+    /// Request-level token: explicit client cancels.
+    request: CancelToken,
+    /// Absolute attempt deadline, if any.
+    deadline: Option<Instant>,
+    /// The attempt's memory grant; the watchdog cancels an attempt whose
+    /// usage outruns it (only unchecked recovery charges can get there).
+    reservation: Option<MemReservation>,
+}
+
+/// In-flight attempt registry for the watchdog, keyed by request id.
+type Inflight = HashMap<u64, InflightEntry>;
 
 struct Shared {
     catalog: Arc<Catalog>,
@@ -293,6 +329,8 @@ struct Shared {
     stats: Stats,
     inflight: TrackedMutex<Inflight>,
     shutdown: AtomicBool,
+    /// The global memory pool (`None` = memory governance off).
+    governor: Option<MemoryGovernor>,
 }
 
 impl Shared {
@@ -315,6 +353,7 @@ impl Server {
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let breaker = Breaker::new(cfg.breaker.clone());
         let workers_n = cfg.workers.max(1);
+        let governor = cfg.mem_budget.map(MemoryGovernor::new);
         let shared = Arc::new(Shared {
             catalog,
             cfg,
@@ -322,6 +361,7 @@ impl Server {
             stats: Stats::default(),
             inflight: TrackedMutex::new("serve.inflight", HashMap::new()),
             shutdown: AtomicBool::new(false),
+            governor,
         });
         let workers = (0..workers_n)
             .map(|i| {
@@ -370,6 +410,26 @@ impl Server {
     ) -> Result<Ticket, Rejection> {
         let id = self.next_request_id();
         self.shared.stats.submitted.bump();
+        // Memory admission control: at Critical pool pressure, queueing
+        // more work only deepens the hole — shed at the door with a stable
+        // code so clients know to back off.
+        if let Some(gov) = &self.shared.governor {
+            if gov.pressure() == Pressure::Critical {
+                self.shared.stats.rejected.bump();
+                self.shared.stats.shed.bump();
+                self.shared.stats.shed_memory.bump();
+                return Err(Rejection {
+                    id,
+                    reason: RejectReason::ShedMemory,
+                    detail: format!(
+                        "admission refused: memory pool at critical pressure ({} of {} bytes reserved)",
+                        gov.reserved(),
+                        gov.budget()
+                    ),
+                    retries: 0,
+                });
+            }
+        }
         let token = CancelToken::never();
         // Capacity 1 is exact, not an optimization: the worker sends one
         // outcome and drops the sender, so a bounded rendezvous slot is
@@ -416,6 +476,11 @@ impl Server {
         &self.shared.breaker
     }
 
+    /// The global memory governor, if [`ServerConfig::mem_budget`] is set.
+    pub fn memory_governor(&self) -> Option<&MemoryGovernor> {
+        self.shared.governor.as_ref()
+    }
+
     pub fn stats(&self) -> ServerStats {
         let breaker = self.shared.breaker.snapshot();
         let s = &self.shared.stats;
@@ -430,6 +495,7 @@ impl Server {
             deadline_expired: s.deadline_expired.get(),
             exec_faults: s.exec_faults.get(),
             worker_panics: s.worker_panics.get(),
+            shed_memory: s.shed_memory.get(),
             breaker,
         }
     }
@@ -440,11 +506,15 @@ impl Server {
     /// says which. The serve bench arm emits these into `BENCH_serve.json`
     /// so multi-worker contention claims come with evidence attached.
     pub fn lock_stats(&self) -> Vec<LockSiteStats> {
-        vec![
+        let mut sites = vec![
             self.queue.lock_site_stats(),
             self.shared.breaker.lock_site_stats(),
             self.shared.inflight.stats(),
-        ]
+        ];
+        if let Some(gov) = &self.shared.governor {
+            sites.push(gov.lock_site_stats());
+        }
+        sites
     }
 
     /// Racy queue depth, for monitoring only.
@@ -486,23 +556,32 @@ fn watchdog_loop(shared: &Shared) {
         // critical section stays O(workers) with no token method calls
         // inside, so a worker inserting/removing its attempt entry never
         // waits behind a watchdog sweep.
-        let entries: Vec<(CancelToken, CancelToken, Option<Instant>)> =
-            shared.inflight().values().cloned().collect();
-        for (attempt, request, deadline) in &entries {
+        let entries: Vec<InflightEntry> = shared.inflight().values().cloned().collect();
+        for entry in &entries {
             // Propagate client cancels onto the running attempt; the
             // attempt token's flag is fresh per attempt, so this is the
             // only path by which an explicit cancel reaches hot loops.
-            if request.is_explicitly_canceled() {
-                attempt.cancel();
+            if entry.request.is_explicitly_canceled() {
+                entry.attempt.cancel();
             }
             // Belt-and-braces deadline enforcement: the attempt token
             // carries the deadline and cooperative checks normally trip
             // on it first; canceling here additionally stops code that
             // only polls the flag.
-            if let Some(d) = deadline {
-                if Instant::now() >= *d {
-                    attempt.cancel();
+            if let Some(d) = entry.deadline {
+                if Instant::now() >= d {
+                    entry.attempt.cancel();
                 }
+            }
+            // A reservation can only outrun its grant via unchecked
+            // recovery charges; cancel the runaway attempt rather than
+            // letting it eat into every other request's headroom.
+            if entry
+                .reservation
+                .as_ref()
+                .is_some_and(MemReservation::over_grant)
+            {
+                entry.attempt.cancel();
             }
         }
         std::thread::sleep(WATCHDOG_TICK);
@@ -549,6 +628,7 @@ fn worker_loop(shared: &Shared, queue: &BoundedQueue<Request>) {
                     RejectReason::ReqCanceled => s.canceled.bump(),
                     RejectReason::ReqDeadline => s.deadline_expired.bump(),
                     RejectReason::ExecFault => s.exec_faults.bump(),
+                    RejectReason::ShedMemory => s.shed_memory.bump(),
                     _ => {}
                 }
             }
@@ -629,11 +709,43 @@ fn run_attempt(shared: &Shared, req: &Request, attempt: u32) -> AttemptEnd {
         None => CancelToken::never(),
     };
     let deadline_at = req.deadline.map(|d| Instant::now() + d);
+
+    // Take the attempt's memory grant before any planning work. Under
+    // shed admission a full pool refuses immediately (the retry loop's
+    // backoff gives releases time to land); under block admission the
+    // reserve parks until room frees up or the attempt token trips.
+    let reservation = match &shared.governor {
+        Some(gov) => {
+            let grant = shared.cfg.mem_grant.min(gov.budget());
+            let fp = Some(&shared.cfg.cse.failpoints);
+            let taken = match shared.cfg.admit {
+                AdmitPolicy::Shed => gov.try_reserve(grant, fp),
+                AdmitPolicy::Block => gov.reserve_blocking(grant, fp, &attempt_token),
+            };
+            match taken {
+                Ok(r) => Some(r),
+                Err(ReserveError::Canceled { .. }) => return cancellation_end(req),
+                Err(e) => {
+                    return AttemptEnd::Transient(
+                        RejectReason::ShedMemory,
+                        format!("memory reservation refused: {e}"),
+                    )
+                }
+            }
+        }
+        None => None,
+    };
+
     shared.inflight().insert(
         req.id,
-        (attempt_token.clone(), req.token.clone(), deadline_at),
+        InflightEntry {
+            attempt: attempt_token.clone(),
+            request: req.token.clone(),
+            deadline: deadline_at,
+            reservation: reservation.clone(),
+        },
     );
-    let end = run_attempt_inner(shared, req, &attempt_token, attempt);
+    let end = run_attempt_inner(shared, req, &attempt_token, reservation.as_ref(), attempt);
     shared.inflight().remove(&req.id);
     end
 }
@@ -642,6 +754,7 @@ fn run_attempt_inner(
     shared: &Shared,
     req: &Request,
     attempt_token: &CancelToken,
+    reservation: Option<&MemReservation>,
     attempt: u32,
 ) -> AttemptEnd {
     let admission = shared.breaker.admit();
@@ -652,6 +765,25 @@ fn run_attempt_inner(
         // as an OPT_FORCED degradation in the reply, so clients can see
         // they were served under an open breaker.
         cfg.fallback_only = true;
+    }
+    // Pressure-driven planning ladder: under memory pressure, plan fewer
+    // (Elevated) or no (Critical) spools — sharing is only a win when the
+    // materialization resource exists. A probe is exempt: it must run the
+    // full CSE phase to measure health, and its `record_probe` must not be
+    // skewed by the pool's state.
+    let mut mem_forced = false;
+    if admission != Admission::Probe {
+        match shared.governor.as_ref().map(MemoryGovernor::pressure) {
+            Some(Pressure::Critical) if !cfg.fallback_only => {
+                cfg.fallback_only = true;
+                mem_forced = true;
+            }
+            Some(Pressure::Elevated) if cfg.start_rung == Rung::FullCse => {
+                cfg.start_rung = Rung::CappedCse;
+                mem_forced = true;
+            }
+            _ => {}
+        }
     }
 
     let optimized = match cse_core::optimize_sql(&shared.catalog, &req.sql, &cfg) {
@@ -665,33 +797,27 @@ fn run_attempt_inner(
     };
     // Breaker bookkeeping happens on planning success, before execution:
     // the breaker tracks CSE-*phase* health, and execution faults have
-    // their own retry channel.
+    // their own retry channel. A memory-forced downgrade says nothing
+    // about CSE-phase health, so it stays out of the breaker's window.
     match admission {
-        Admission::Full => shared
+        Admission::Full if !mem_forced => shared
             .breaker
             .record(optimized.report.rung != Rung::FullCse),
         Admission::Probe => shared
             .breaker
             .record_probe(optimized.report.rung == Rung::FullCse),
-        Admission::BaselineOnly => {}
+        _ => {}
     }
 
     let engine = Engine::new(&shared.catalog, &optimized.ctx);
-    let run = if shared.cfg.strict_faults {
-        engine.execute_strict(
-            &optimized.plan,
-            &cfg.failpoints,
-            &cfg.exec_limits,
-            attempt_token,
-        )
-    } else {
-        engine.execute_cancelable(
-            &optimized.plan,
-            &cfg.failpoints,
-            &cfg.exec_limits,
-            attempt_token,
-        )
-    };
+    let run = engine.execute_reserved(
+        &optimized.plan,
+        &cfg.failpoints,
+        &cfg.exec_limits,
+        attempt_token,
+        reservation,
+        !shared.cfg.strict_faults,
+    );
     match run {
         Ok(out) => {
             let mut events = optimized.report.degradations.clone();
@@ -707,7 +833,29 @@ fn run_attempt_inner(
                 latency: req.submitted.elapsed(),
             }))
         }
-        Err(ExecError::Canceled { .. }) => cancellation_end(req),
+        Err(ExecError::Canceled { .. }) => {
+            // A watchdog memory-kill (grant outrun by unchecked recovery
+            // charges) surfaces as a cancel; classify it as a memory shed
+            // unless the client genuinely canceled.
+            if !req.token.is_explicitly_canceled() && reservation.is_some_and(|r| r.over_grant()) {
+                AttemptEnd::Transient(
+                    RejectReason::ShedMemory,
+                    "memory grant exceeded; attempt canceled by watchdog".into(),
+                )
+            } else {
+                cancellation_end(req)
+            }
+        }
+        Err(e @ ExecError::MemReservation { .. }) => {
+            // Strict mode bubbles reservation exhaustion here: transient,
+            // because by the retry's backoff other requests have released.
+            AttemptEnd::Transient(RejectReason::ShedMemory, e.to_string())
+        }
+        // An injected `mem.reserve` fault simulates a refused grant, so it
+        // terminalizes the same way a real one does.
+        Err(ref e @ ExecError::Injected { ref site }) if site == sites::MEM_RESERVE => {
+            AttemptEnd::Transient(RejectReason::ShedMemory, e.to_string())
+        }
         Err(e) if e.is_recoverable() => {
             AttemptEnd::Transient(RejectReason::ExecFault, e.to_string())
         }

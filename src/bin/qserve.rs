@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release --bin qserve -- [--sf 0.01] [--workers N] [--queue N]
 //!     [--block] [--deadline-ms N] [--retries N] [--lenient]
+//!     [--mem-budget BYTES[k|m|g]] [--arrival-rps N]
 //!     [--fail <site>:<prob>[:<seed>]] [file.sql ...]
 //! ```
 //!
@@ -36,6 +37,8 @@ fn main() {
     let mut deadline_ms: Option<u64> = None;
     let mut retries = 2u32;
     let mut strict = true;
+    let mut mem_budget: Option<usize> = None;
+    let mut arrival_rps: Option<f64> = None;
     let mut fail_specs: Vec<FailSpec> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -78,6 +81,25 @@ fn main() {
             // Recover transient faults inside the engine (single-session
             // behaviour) instead of retrying at the serving layer.
             "--lenient" => strict = false,
+            // Global memory budget (bytes, k/m/g suffixes); enables the
+            // memory governor: reservations, pressure ladder, SHED_MEMORY.
+            "--mem-budget" => {
+                let v = args.next().expect("--mem-budget expects bytes[k|m|g]");
+                mem_budget = Some(parse_bytes(&v).unwrap_or_else(|| {
+                    eprintln!("--mem-budget: cannot parse {v:?} (expect e.g. 64m, 512k, 8388608)");
+                    std::process::exit(2);
+                }));
+            }
+            // Open-loop submission: Poisson arrivals at this rate instead
+            // of submitting every request up front.
+            "--arrival-rps" => {
+                arrival_rps = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r: &f64| *r > 0.0)
+                        .expect("--arrival-rps expects a positive number"),
+                );
+            }
             // Full CSE_FAIL grammar: comma-separated site:prob[:seed]
             // specs, unknown sites rejected unless `allow-unknown` leads.
             "--fail" => {
@@ -94,6 +116,7 @@ fn main() {
                 eprintln!(
                     "unknown flag {other}; usage: qserve [--sf N] [--workers N] [--queue N] \
                      [--block] [--deadline-ms N] [--retries N] [--lenient] \
+                     [--mem-budget BYTES[k|m|g]] [--arrival-rps N] \
                      [--fail site:prob[:seed]] [file.sql ...]"
                 );
                 std::process::exit(2);
@@ -121,17 +144,39 @@ fn main() {
         deadline: deadline_ms.map(Duration::from_millis),
         max_retries: retries,
         strict_faults: strict,
+        mem_budget,
         cse,
         ..ServerConfig::default()
     };
     let mut server = Server::new(catalog, config);
     eprintln!(
-        "serving {} request(s) on {workers} worker(s), queue={queue} ...",
-        requests.len()
+        "serving {} request(s) on {workers} worker(s), queue={queue}{}{} ...",
+        requests.len(),
+        match mem_budget {
+            Some(b) => format!(", mem-budget={b}B"),
+            None => String::new(),
+        },
+        match arrival_rps {
+            Some(r) => format!(", arrivals={r}/s"),
+            None => String::new(),
+        }
     );
 
+    // Deterministic Poisson pacing for --arrival-rps (exponential
+    // inter-arrival times off the testkit PRNG, seed fixed).
+    let mut rng = similar_subexpr::storage::testkit::TestRng::new(42);
+    let started = std::time::Instant::now();
+    let mut next_at = Duration::ZERO;
     let mut tickets = Vec::new();
     for sql in &requests {
+        if let Some(rate) = arrival_rps {
+            let u = rng.range_f64(0.0, 1.0).min(0.999_999);
+            next_at += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+            let now = started.elapsed();
+            if next_at > now {
+                std::thread::sleep(next_at - now);
+            }
+        }
         match server.submit(sql) {
             Ok(t) => tickets.push(Ok(t)),
             Err(r) => tickets.push(Err(r)),
@@ -171,15 +216,27 @@ fn main() {
             }
         }
     }
+    let governor = server.memory_governor().cloned();
     let stats = server.drain();
+    // Report the pool after drain, once every worker has released its
+    // grants — a nonzero figure here is a leak, not an in-flight request.
+    if let Some(gov) = governor {
+        eprintln!(
+            "-- memory pool: budget {}B, reserved {}B, pressure {}",
+            gov.budget(),
+            gov.reserved(),
+            gov.pressure()
+        );
+    }
     eprintln!(
-        "-- served {}/{} (degraded {}), rejected {} (shed {}), retries {}, \
+        "-- served {}/{} (degraded {}), rejected {} (shed {}, shed-memory {}), retries {}, \
          breaker: {} (trips {}, probes {}, baseline-served {})",
         stats.completed,
         stats.submitted,
         stats.degraded,
         stats.rejected,
         stats.shed,
+        stats.shed_memory,
         stats.retries,
         stats.breaker.state.as_str(),
         stats.breaker.trips,
@@ -189,6 +246,20 @@ fn main() {
     if failed > 0 {
         std::process::exit(1);
     }
+}
+
+/// Parse a byte count with an optional k/m/g suffix (binary multiples).
+fn parse_bytes(s: &str) -> Option<usize> {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match t.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => match t.as_bytes()[t.len() - 1] {
+            b'k' => (d, 1usize << 10),
+            b'm' => (d, 1 << 20),
+            _ => (d, 1 << 30),
+        },
+        None => (t.as_str(), 1),
+    };
+    digits.parse::<usize>().ok().map(|n| n * mult)
 }
 
 /// Split input into requests on blank lines; `--`-prefixed lines are

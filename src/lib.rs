@@ -64,8 +64,8 @@ pub mod prelude {
     };
     pub use cse_exec::{Engine, ExecOutput, ResultSet};
     pub use cse_govern::{
-        Budget, CancelToken, DegradationEvent, ExecLimits, FailSpec, FailpointRegistry, Reason,
-        Rung,
+        Budget, CancelToken, DegradationEvent, ExecLimits, FailSpec, FailpointRegistry,
+        MemReservation, MemoryGovernor, Pressure, Reason, Rung,
     };
     pub use cse_lint::{lint_batch, LintMode, LintOutcome};
     pub use cse_serve::{

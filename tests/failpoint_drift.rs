@@ -100,6 +100,17 @@ fn exercise(site: &str) -> FailpointRegistry {
             }
             server.drain();
         }
+        // The memory-governor hook fires inside reservation grants: a
+        // certain fault makes try_reserve refuse deterministically.
+        sites::MEM_RESERVE => {
+            use similar_subexpr::govern::ReserveError;
+            let gov = MemoryGovernor::new(1 << 20);
+            match gov.try_reserve(64 * 1024, Some(&registry)) {
+                Err(ReserveError::Injected) => {}
+                other => panic!("certain mem.reserve fault must inject, got {other:?}"),
+            }
+            assert_eq!(gov.reserved(), 0, "refused grant must not leak bytes");
+        }
         other => panic!(
             "site {other} is listed in sites::ALL but has no exercise in \
              this drift test — add a workload that reaches its hook"
