@@ -49,6 +49,31 @@ echo "==> qconc (breaker: allowlist-free)"
 cargo run -q --release --bin qconc -- --deny --allow /dev/null \
   crates/serve/src/breaker.rs >/dev/null
 
+# qaudit gate: panic-path + contract-drift audits over every crate. Same
+# contract as qconc: the full report (panic-surface summary, vocabulary
+# counts, allowlist coverage) must match the golden byte-for-byte, and
+# deny mode must pass — zero unjustified hot-reachable panic sites, zero
+# contract drift. Note the qconc golden check above doubles as the
+# shared-lexer refactor guard: cse-conc now lexes through cse-source,
+# and its output must not move.
+echo "==> qaudit (panic paths + contracts: golden file + deny gate)"
+cargo run -q --release --bin qaudit | diff -u tests/corpus/qaudit.golden - \
+  || { echo "qaudit output drifted (regenerate tests/corpus/qaudit.golden if intended)"; exit 1; }
+cargo run -q --release --bin qaudit -- --deny >/dev/null
+
+# Stale-allowlist detection must itself be live: an allowlist entry that
+# matches nothing has to flip deny mode to failure.
+echo "==> qaudit (stale allowlist entry is fatal)"
+stale_allow=$(mktemp)
+cat qaudit.allow > "$stale_allow"
+echo "audit/hot-panic  crates/nonexistent/src/void.rs  nothing  ci stale-entry probe" >> "$stale_allow"
+if cargo run -q --release --bin qaudit -- --deny --allow "$stale_allow" >/dev/null 2>&1; then
+  rm -f "$stale_allow"
+  echo "qaudit --deny accepted a stale allowlist entry"
+  exit 1
+fi
+rm -f "$stale_allow"
+
 # Interleaving explorer: the exhaustive suites over the queue / breaker /
 # cancel / memory-governor models run as part of `cargo test` above; the
 # deep seeded sampling arm is opt-in because it is slow. Set

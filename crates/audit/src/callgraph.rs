@@ -1,0 +1,594 @@
+//! Approximate function-level call-graph extraction.
+//!
+//! Token-level, dependency-free, built on the shared lexer and scope
+//! tracker from `cse-source`. One pass per file produces every function
+//! definition with its `impl` target type, the calls its body makes, and
+//! its panic surface (`unwrap`/`expect`/panic-family macros, plus direct
+//! slice indexing inside loops). [`CallGraph::build`] links the
+//! per-file scans by name; [`CallGraph::classify`] floods hot-path
+//! reachability from the configured serve/exec entry points.
+//!
+//! ## Resolution model (and its deliberate imprecision)
+//!
+//! There is no type information, so calls resolve by name:
+//!
+//! - `Type::name(...)` / `Self::name(...)` resolve to `Type`'s `name`
+//!   when such an impl exists, falling back to every function named
+//!   `name` (modules qualify paths the same way types do).
+//! - `.name(...)` method calls and free `name(...)` calls resolve to
+//!   *every* known function named `name`.
+//!
+//! The fallbacks over-approximate: a method named like an unrelated hot
+//! function inherits its hotness. That is the safe direction for a panic
+//! audit — a site can be misclassified hot (and need a justification),
+//! never silently cold. Functions inside `#[cfg(test)]` / `#[test]`
+//! regions are excluded both as resolution targets and as panic-site
+//! sources; trait default methods and macro-generated code are scanned
+//! as plain tokens.
+
+use cse_source::lexer::{lex, Tok, TokKind};
+use cse_source::scope::{BlockKind, ScopeEvent, ScopeTracker};
+use std::collections::{HashMap, VecDeque};
+
+/// What kind of panic site a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()` — panics with no context.
+    Unwrap,
+    /// `.expect(..)` — panics with an invariant message (accepted by
+    /// policy; still classified hot/cold for the summary).
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro(&'static str),
+}
+
+impl PanicKind {
+    pub fn label(&self) -> String {
+        match self {
+            PanicKind::Unwrap => "unwrap()".to_string(),
+            PanicKind::Expect => "expect(..)".to_string(),
+            PanicKind::Macro(m) => format!("{m}!"),
+        }
+    }
+}
+
+/// One panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    pub kind: PanicKind,
+    pub span: (u32, u32),
+}
+
+/// One call made by a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// `Type` in `Type::name(...)`; `None` for free and method calls.
+    /// `Self` is resolved to the enclosing impl type at scan time.
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+/// One scanned function definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// Target type of the enclosing `impl` block, if any.
+    pub impl_type: Option<String>,
+    pub file: String,
+    /// Span of the name token in `fn name`.
+    pub span: (u32, u32),
+    pub in_test: bool,
+    pub calls: Vec<Call>,
+    pub sites: Vec<PanicSite>,
+    /// Direct slice-indexing sites inside loop bodies (`x[i]` in a
+    /// `for`/`while`/`loop`), each with its byte span.
+    pub index_sites: Vec<(u32, u32)>,
+}
+
+impl FnDef {
+    /// `Type::name` when the fn is a method, else `name`.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Identifiers that look like calls but are control flow or bindings.
+fn is_call_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "fn"
+            | "impl"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "mod"
+            | "use"
+            | "pub"
+            | "where"
+            | "unsafe"
+            | "move"
+            | "ref"
+            | "mut"
+            | "as"
+            | "in"
+            | "dyn"
+            | "const"
+            | "static"
+            | "type"
+            | "crate"
+            | "super"
+            | "self"
+    )
+}
+
+/// Scan one file's source into function definitions.
+pub fn scan_file(file: &str, src: &str) -> Vec<FnDef> {
+    let toks = lex(src);
+    let mut tracker = ScopeTracker::new();
+
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut pending_def: Option<FnDef> = None;
+    // Stack of indices into `fns` for the currently-open bodies, with the
+    // body depth of each (nested fns attribute to the innermost).
+    let mut open: Vec<(usize, usize)> = Vec::new();
+    // Depths of currently-open loop bodies.
+    let mut loop_depths: Vec<usize> = Vec::new();
+    let mut pending_loop = false;
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        match tracker.feed(&toks, i) {
+            ScopeEvent::FnName => {
+                pending_def = Some(FnDef {
+                    name: t.ident().unwrap_or("<anon>").to_string(),
+                    impl_type: tracker.current_impl().map(|s| s.to_string()),
+                    file: file.to_string(),
+                    span: (t.start, t.end),
+                    in_test: false,
+                    calls: Vec::new(),
+                    sites: Vec::new(),
+                    index_sites: Vec::new(),
+                });
+            }
+            ScopeEvent::Enter(BlockKind::Fn) => {
+                if let Some(mut d) = pending_def.take() {
+                    // Test regions opened by a `#[test]` attribute start
+                    // at the body brace, so sample the flag here, not at
+                    // the name.
+                    d.in_test = tracker.in_test_region();
+                    fns.push(d);
+                    open.push((fns.len() - 1, tracker.depth()));
+                }
+                pending_loop = false;
+            }
+            ScopeEvent::Enter(BlockKind::Impl) => {
+                pending_loop = false;
+            }
+            ScopeEvent::Enter(BlockKind::Other) => {
+                if pending_loop {
+                    loop_depths.push(tracker.depth());
+                    pending_loop = false;
+                }
+            }
+            ScopeEvent::Exit => {
+                let d = tracker.depth();
+                while loop_depths.last().is_some_and(|&ld| ld > d) {
+                    loop_depths.pop();
+                }
+                while open.last().is_some_and(|&(_, fd)| fd > d) {
+                    open.pop();
+                }
+            }
+            ScopeEvent::Stmt => {
+                // `fn f(&self);` trait declarations have no body — but a
+                // `;` inside signature parens (`fn g(t: [u8; 4])`) is
+                // part of a type, and the pending fn survives it.
+                if tracker.paren_depth() == 0 {
+                    pending_def = None;
+                }
+                pending_loop = false;
+            }
+            ScopeEvent::Other => {
+                scan_token(
+                    &toks,
+                    i,
+                    &mut fns,
+                    &open,
+                    &loop_depths,
+                    &mut pending_loop,
+                    &tracker,
+                );
+            }
+        }
+    }
+    fns
+}
+
+fn scan_token(
+    toks: &[Tok],
+    i: usize,
+    fns: &mut [FnDef],
+    open: &[(usize, usize)],
+    loop_depths: &[usize],
+    pending_loop: &mut bool,
+    tracker: &ScopeTracker,
+) {
+    let t = &toks[i];
+    let cur = open.last().map(|&(idx, _)| idx);
+    let prev = |k: usize| i.checked_sub(k).map(|j| &toks[j]);
+    let next = |k: usize| toks.get(i + k);
+
+    match &t.kind {
+        TokKind::Ident(name) => {
+            let name = name.as_str();
+            if matches!(name, "for" | "while" | "loop") {
+                *pending_loop = true;
+                return;
+            }
+            let Some(cur) = cur else { return };
+            let next_is_bang = next(1).is_some_and(|n| n.is_punct(b'!'));
+            let next_is_paren = next(1).is_some_and(|n| n.is_punct(b'('));
+
+            if next_is_bang && matches!(name, "panic" | "unreachable" | "todo" | "unimplemented") {
+                let kind = PanicKind::Macro(match name {
+                    "panic" => "panic",
+                    "unreachable" => "unreachable",
+                    "todo" => "todo",
+                    _ => "unimplemented",
+                });
+                fns[cur].sites.push(PanicSite {
+                    kind,
+                    span: (t.start, t.end),
+                });
+                return;
+            }
+            if !next_is_paren {
+                return;
+            }
+            let after_dot = prev(1).is_some_and(|p| p.is_punct(b'.'));
+            if name == "unwrap" && after_dot && next(2).is_some_and(|n| n.is_punct(b')')) {
+                fns[cur].sites.push(PanicSite {
+                    kind: PanicKind::Unwrap,
+                    span: (t.start, t.end),
+                });
+                return;
+            }
+            if name == "expect" && after_dot {
+                fns[cur].sites.push(PanicSite {
+                    kind: PanicKind::Expect,
+                    span: (t.start, t.end),
+                });
+                return;
+            }
+            // Call extraction.
+            let call = if after_dot {
+                Some(Call {
+                    qualifier: None,
+                    name: name.to_string(),
+                })
+            } else if prev(1).is_some_and(|p| p.is_punct(b':'))
+                && prev(2).is_some_and(|p| p.is_punct(b':'))
+            {
+                let q = prev(3).and_then(|p| p.ident()).map(|q| {
+                    if q == "Self" {
+                        fns[cur]
+                            .impl_type
+                            .clone()
+                            .unwrap_or_else(|| "Self".to_string())
+                    } else {
+                        q.to_string()
+                    }
+                });
+                Some(Call {
+                    qualifier: q,
+                    name: name.to_string(),
+                })
+            } else if !is_call_keyword(name) && !name.starts_with(|c: char| c.is_ascii_uppercase())
+            {
+                // Free call. Uppercase idents before `(` are tuple-struct
+                // or enum constructors (`Some`, `CseId`), not functions.
+                Some(Call {
+                    qualifier: None,
+                    name: name.to_string(),
+                })
+            } else {
+                None
+            };
+            if let Some(c) = call {
+                if !fns[cur].calls.contains(&c) {
+                    fns[cur].calls.push(c);
+                }
+            }
+        }
+        TokKind::Punct(b'[') => {
+            let Some(cur) = cur else { return };
+            let in_loop = loop_depths.last().is_some_and(|&ld| tracker.depth() >= ld);
+            if !in_loop {
+                return;
+            }
+            // Expression-position `[`: indexing after an identifier (not
+            // a keyword), a call, or another index. Type positions
+            // (`: [u8; 4]`), slices (`&[..]`) and macro brackets
+            // (`vec![..]`) have different predecessors.
+            let indexable = match prev(1).map(|p| &p.kind) {
+                Some(TokKind::Ident(id)) => !is_call_keyword(id),
+                Some(TokKind::Punct(b')')) | Some(TokKind::Punct(b']')) => true,
+                _ => false,
+            };
+            if indexable {
+                fns[cur].index_sites.push((t.start, t.end));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Hot/cold classification of one function.
+#[derive(Debug, Clone, Default)]
+pub struct HotInfo {
+    /// The entry-point pattern whose flood first reached this function.
+    pub via: String,
+}
+
+/// The linked per-workspace call graph.
+pub struct CallGraph {
+    pub fns: Vec<FnDef>,
+    /// bare name -> non-test fn indices.
+    name_map: HashMap<String, Vec<usize>>,
+    /// `Type::name` -> non-test fn indices.
+    qual_map: HashMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Link scans from every file. `fns` must already be in deterministic
+    /// (file, span) order — the classifier's tie-breaks depend on it.
+    pub fn build(fns: Vec<FnDef>) -> Self {
+        let mut name_map: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut qual_map: HashMap<String, Vec<usize>> = HashMap::new();
+        for (idx, f) in fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            name_map.entry(f.name.clone()).or_default().push(idx);
+            if f.impl_type.is_some() {
+                qual_map.entry(f.qualified()).or_default().push(idx);
+            }
+        }
+        CallGraph {
+            fns,
+            name_map,
+            qual_map,
+        }
+    }
+
+    /// Resolve one call to candidate callee indices.
+    fn resolve(&self, call: &Call) -> &[usize] {
+        if let Some(q) = &call.qualifier {
+            let key = format!("{q}::{}", call.name);
+            if let Some(v) = self.qual_map.get(&key) {
+                return v;
+            }
+        }
+        self.name_map
+            .get(&call.name)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Flood reachability from `roots` (each a `Type::name` or bare-name
+    /// pattern). Returns, per function, `Some(HotInfo)` when
+    /// hot-reachable, `None` when cold.
+    pub fn classify(&self, roots: &[&str]) -> Vec<Option<HotInfo>> {
+        let mut hot: Vec<Option<HotInfo>> = vec![None; self.fns.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for root in roots {
+            let matches: Vec<usize> = if let Some(v) = self.qual_map.get(*root) {
+                v.clone()
+            } else {
+                self.name_map.get(*root).cloned().unwrap_or_default()
+            };
+            for idx in matches {
+                if hot[idx].is_none() {
+                    hot[idx] = Some(HotInfo {
+                        via: root.to_string(),
+                    });
+                    queue.push_back(idx);
+                }
+            }
+        }
+        while let Some(idx) = queue.pop_front() {
+            let via = hot[idx].as_ref().map(|h| h.via.clone()).unwrap_or_default();
+            for call in &self.fns[idx].calls.clone() {
+                for &callee in self.resolve(call) {
+                    if hot[callee].is_none() && !self.fns[callee].in_test {
+                        hot[callee] = Some(HotInfo { via: via.clone() });
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+        hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(src: &str) -> CallGraph {
+        CallGraph::build(scan_file("t.rs", src))
+    }
+
+    fn hot_names(g: &CallGraph, roots: &[&str]) -> Vec<String> {
+        let hot = g.classify(roots);
+        g.fns
+            .iter()
+            .zip(&hot)
+            .filter(|(_, h)| h.is_some())
+            .map(|(f, _)| f.qualified())
+            .collect()
+    }
+
+    #[test]
+    fn direct_and_transitive_reachability() {
+        let src = r#"
+            fn entry() { step_one(); }
+            fn step_one() { step_two(); }
+            fn step_two() { data.unwrap(); }
+            fn unrelated() { other(); }
+        "#;
+        let g = graph(src);
+        let hot = hot_names(&g, &["entry"]);
+        assert_eq!(hot, vec!["entry", "step_one", "step_two"]);
+        let f = g.fns.iter().find(|f| f.name == "step_two").unwrap();
+        assert_eq!(f.sites.len(), 1);
+        assert_eq!(f.sites[0].kind, PanicKind::Unwrap);
+    }
+
+    #[test]
+    fn impl_blocks_qualify_and_self_resolves() {
+        let src = r#"
+            impl Server {
+                fn submit(&self) { self.admit(); Self::validate(x); }
+                fn admit(&self) { panic!("full"); }
+                fn validate(x: u32) { x.expect("checked"); }
+            }
+            impl Other {
+                fn cold(&self) { todo!() }
+            }
+        "#;
+        let g = graph(src);
+        let hot = hot_names(&g, &["Server::submit"]);
+        assert_eq!(
+            hot,
+            vec!["Server::submit", "Server::admit", "Server::validate"]
+        );
+    }
+
+    #[test]
+    fn method_calls_over_approximate_by_name() {
+        let src = r#"
+            fn entry(e: &Engine) { e.run(); }
+            impl Engine { fn run(&self) { unreachable!() } }
+        "#;
+        let g = graph(src);
+        let hot = hot_names(&g, &["entry"]);
+        assert!(hot.contains(&"Engine::run".to_string()), "{hot:?}");
+    }
+
+    #[test]
+    fn test_regions_neither_emit_sites_nor_attract_hotness() {
+        let src = r#"
+            fn entry() { helper(); }
+            fn live_helper() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() { x.unwrap(); }
+                #[test]
+                fn case() { entry(); assert!(true); }
+            }
+        "#;
+        let g = graph(src);
+        let hot = hot_names(&g, &["entry"]);
+        assert_eq!(hot, vec!["entry"], "test helper must not resolve");
+        let test_fn = g.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(test_fn.in_test);
+    }
+
+    #[test]
+    fn panic_macros_and_contextful_expect_are_distinguished() {
+        let src = r#"
+            fn f() {
+                a.unwrap();
+                b.expect("invariant: queue non-empty");
+                c.unwrap_or_else(|| panic!("boom"));
+                unreachable!("never");
+            }
+        "#;
+        let g = graph(src);
+        let kinds: Vec<PanicKind> = g.fns[0].sites.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PanicKind::Unwrap,
+                PanicKind::Expect,
+                PanicKind::Macro("panic"),
+                PanicKind::Macro("unreachable"),
+            ]
+        );
+    }
+
+    #[test]
+    fn indexing_counts_only_inside_loops() {
+        let src = r#"
+            fn f(xs: &[u32], ys: &[u32]) -> u32 {
+                let a = xs[0];
+                let mut s = 0;
+                for i in 0..xs.len() {
+                    s += xs[i] + ys[i];
+                }
+                while s > 10 { s -= xs[1]; }
+                s
+            }
+            fn g(t: [u8; 4]) -> u8 { t[0] }
+        "#;
+        let g = graph(src);
+        let f = &g.fns[0];
+        assert_eq!(f.index_sites.len(), 3, "two in for, one in while");
+        assert!(g.fns[1].index_sites.is_empty(), "no loop in g");
+    }
+
+    #[test]
+    fn vec_macros_and_types_are_not_index_sites() {
+        let src = r#"
+            fn f() {
+                loop {
+                    let v: [u8; 4] = make();
+                    let w = vec![1, 2, 3];
+                    let s = &xs[..];
+                    break;
+                }
+            }
+        "#;
+        let g = graph(src);
+        // `&xs[..]` is indexing (slicing panics on bad bounds); the type
+        // and the macro bracket are not.
+        assert_eq!(g.fns[0].index_sites.len(), 1);
+    }
+
+    #[test]
+    fn constructors_are_not_calls() {
+        let src = r#"
+            fn f() { let x = Some(CseId(3)); g(); }
+            fn g() {}
+        "#;
+        let g = graph(src);
+        let names: Vec<&str> = g.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["g"]);
+    }
+
+    #[test]
+    fn qualified_resolution_prefers_the_named_impl() {
+        let src = r#"
+            fn entry() { Alpha::go(); }
+            impl Alpha { fn go() { panic!("a"); } }
+            impl Beta { fn go() { panic!("b"); } }
+        "#;
+        let g = graph(src);
+        let hot = hot_names(&g, &["entry"]);
+        assert!(hot.contains(&"Alpha::go".to_string()));
+        assert!(!hot.contains(&"Beta::go".to_string()));
+    }
+}

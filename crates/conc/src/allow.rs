@@ -1,155 +1,32 @@
 //! The `qconc` allowlist: checked-in, justified exceptions.
 //!
-//! Format (one entry per line, `#` comments, blank lines ignored):
-//!
-//! ```text
-//! rule-id  file-suffix  function  justification text...
-//! ```
-//!
-//! The first three whitespace-separated fields key the entry; everything
-//! after the third field is the mandatory justification. `function` may be
-//! `*` to cover a whole file. An entry matches a finding when the rule id
-//! is equal, the finding's file path ends with `file-suffix`, and the
-//! enclosing function matches.
-//!
-//! Keying on `(rule, file, function)` instead of byte spans keeps entries
-//! stable across unrelated edits: reformatting a file must not invalidate
-//! its exceptions, while renaming or deleting the excepted function makes
-//! the entry *stale* — and stale entries are themselves findings
-//! (`conc/stale-allow`), so the list can only shrink back to truth, never
-//! silently rot.
+//! The format and mechanics (entry keys, mandatory justifications,
+//! stale-entry detection) live in [`cse_source::allow`], shared with
+//! `qaudit`; this module binds them to the `conc/*` rule vocabulary and
+//! the `qconc.allow` list name.
 
 use crate::discipline::{rules, Finding};
-use cse_diag::Severity;
 
-/// One parsed allowlist entry.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AllowEntry {
-    pub rule: String,
-    pub file_suffix: String,
-    pub func: String,
-    pub justification: String,
-    /// 1-based line in the allowlist file (for stale-entry reporting).
-    pub line: usize,
-}
+pub use cse_source::allow::{apply_allowlist, AllowEntry, Filtered};
 
-impl AllowEntry {
-    pub fn matches(&self, f: &Finding) -> bool {
-        self.rule == f.rule
-            && f.file.ends_with(&self.file_suffix)
-            && (self.func == "*" || self.func == f.func)
-    }
-}
-
-/// Parse the allowlist text. Errors name the offending line; an entry
-/// without a justification is an error — undocumented exceptions are the
-/// failure mode this file exists to prevent.
+/// Parse the allowlist text against the `conc/*` rule set. Errors name
+/// the offending line; an entry without a justification is an error —
+/// undocumented exceptions are the failure mode this file exists to
+/// prevent.
 pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
-    let mut entries = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        // Split the three key fields on whitespace *runs* (columns may be
-        // space-aligned); the remainder is the justification.
-        let mut rest = line;
-        let mut field = || {
-            rest = rest.trim_start();
-            let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
-            let f = &rest[..end];
-            rest = &rest[end..];
-            f.to_string()
-        };
-        let rule = field();
-        let file_suffix = field();
-        let func = field();
-        let justification = rest.trim().to_string();
-        if rule.is_empty() || file_suffix.is_empty() || func.is_empty() {
-            return Err(format!(
-                "allowlist line {}: expected `rule file-suffix function justification`, got: {raw}",
-                idx + 1
-            ));
-        }
-        if !rules::ALL.contains(&rule.as_str()) {
-            return Err(format!(
-                "allowlist line {}: unknown rule `{rule}`; known rules: {}",
-                idx + 1,
-                rules::ALL.join(", ")
-            ));
-        }
-        if justification.is_empty() {
-            return Err(format!(
-                "allowlist line {}: entry for {rule} at {file_suffix}::{func} has no \
-                 justification — every exception must say why it is sound",
-                idx + 1
-            ));
-        }
-        entries.push(AllowEntry {
-            rule,
-            file_suffix,
-            func,
-            justification,
-            line: idx + 1,
-        });
-    }
-    Ok(entries)
+    cse_source::allow::parse_allowlist(text, rules::ALL)
 }
 
-/// The result of filtering findings through the allowlist.
-#[derive(Debug, Default)]
-pub struct Filtered {
-    /// Findings no entry covered: these gate `--deny`.
-    pub denied: Vec<Finding>,
-    /// Covered findings, with the entry's justification attached.
-    pub allowed: Vec<(Finding, String)>,
-    /// Entries that covered nothing: stale, reported as findings.
-    pub stale: Vec<AllowEntry>,
-}
-
-/// Split `findings` by the allowlist, and convert unused entries into
-/// `conc/stale-allow` findings so the list cannot rot.
-pub fn apply_allowlist(findings: Vec<Finding>, entries: &[AllowEntry]) -> Filtered {
-    let mut used = vec![false; entries.len()];
-    let mut out = Filtered::default();
-    for f in findings {
-        match entries.iter().position(|e| e.matches(&f)) {
-            Some(idx) => {
-                used[idx] = true;
-                let justification = entries[idx].justification.clone();
-                out.allowed.push((f, justification));
-            }
-            None => out.denied.push(f),
-        }
-    }
-    for (idx, e) in entries.iter().enumerate() {
-        if !used[idx] {
-            out.stale.push(e.clone());
-        }
-    }
-    out
-}
-
-/// A stale entry rendered as a deniable finding.
+/// A stale entry rendered as a deniable `conc/stale-allow` finding.
 pub fn stale_finding(e: &AllowEntry) -> Finding {
-    Finding {
-        rule: rules::STALE_ALLOW,
-        file: "qconc.allow".to_string(),
-        func: format!("line {}", e.line),
-        message: format!(
-            "allowlist entry `{} {} {}` matched no finding; remove it (the excepted \
-             code was fixed, moved, or renamed)",
-            e.rule, e.file_suffix, e.func
-        ),
-        span: (0, 0),
-        severity: Severity::Warning,
-    }
+    cse_source::allow::stale_finding(e, "qconc.allow", rules::STALE_ALLOW)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::discipline::rules;
+    use cse_diag::Severity;
 
     fn finding(rule: &'static str, file: &str, func: &str) -> Finding {
         Finding {
@@ -163,7 +40,7 @@ mod tests {
     }
 
     #[test]
-    fn parse_and_match() {
+    fn conc_rules_parse_and_match() {
         let text = "\
 # serve-layer counters
 conc/relaxed-ordering crates/serve/src/server.rs bump monotonic counter, no ordering needed
@@ -176,11 +53,6 @@ conc/hot-path-lock    crates/serve/src/server.rs *    bounded O(1) sections
             "/root/repo/crates/serve/src/server.rs",
             "bump"
         )));
-        assert!(!entries[0].matches(&finding(
-            rules::RELAXED_ORDERING,
-            "/root/repo/crates/serve/src/server.rs",
-            "other_fn"
-        )));
         assert!(entries[1].matches(&finding(
             rules::HOT_PATH_LOCK,
             "crates/serve/src/server.rs",
@@ -189,19 +61,13 @@ conc/hot-path-lock    crates/serve/src/server.rs *    bounded O(1) sections
     }
 
     #[test]
-    fn justification_is_mandatory() {
-        let err = parse_allowlist("conc/lock-order a.rs f").unwrap_err();
-        assert!(err.contains("no justification"), "{err}");
-    }
-
-    #[test]
-    fn unknown_rules_are_rejected() {
-        let err = parse_allowlist("conc/not-a-rule a.rs f because reasons").unwrap_err();
+    fn foreign_rule_families_are_rejected() {
+        let err = parse_allowlist("audit/hot-panic a.rs f justified elsewhere").unwrap_err();
         assert!(err.contains("unknown rule"), "{err}");
     }
 
     #[test]
-    fn stale_entries_surface() {
+    fn stale_entries_name_the_qconc_list() {
         let entries =
             parse_allowlist("conc/lock-order gone.rs vanished_fn refactored away").expect("parses");
         let filtered = apply_allowlist(vec![finding(rules::LOCK_ORDER, "live.rs", "f")], &entries);
@@ -209,25 +75,7 @@ conc/hot-path-lock    crates/serve/src/server.rs *    bounded O(1) sections
         assert_eq!(filtered.stale.len(), 1);
         let s = stale_finding(&filtered.stale[0]);
         assert_eq!(s.rule, rules::STALE_ALLOW);
+        assert_eq!(s.file, "qconc.allow");
         assert!(s.message.contains("vanished_fn"), "{}", s.message);
-    }
-
-    #[test]
-    fn first_matching_entry_wins_and_is_marked_used() {
-        let text = "\
-conc/lock-order a.rs f justified once
-conc/lock-order a.rs * justified broadly
-";
-        let entries = parse_allowlist(text).expect("parses");
-        let filtered = apply_allowlist(
-            vec![
-                finding(rules::LOCK_ORDER, "a.rs", "f"),
-                finding(rules::LOCK_ORDER, "a.rs", "g"),
-            ],
-            &entries,
-        );
-        assert_eq!(filtered.allowed.len(), 2);
-        assert!(filtered.stale.is_empty());
-        assert!(filtered.denied.is_empty());
     }
 }

@@ -35,8 +35,11 @@
 //!   a guard is modeled by naming the helper as an acquirer (`stats`,
 //!   `inflight`), not by interprocedural inference.
 
-use crate::lexer::{lex, Tok, TokKind};
 use cse_diag::Severity;
+use cse_source::lexer::{lex, Tok, TokKind};
+use cse_source::scope::{ScopeEvent, ScopeTracker};
+
+pub use cse_source::finding::Finding;
 
 pub mod rules {
     pub const GUARD_ACROSS_CALL: &str = "conc/guard-across-call";
@@ -180,26 +183,6 @@ impl DisciplineConfig {
     }
 }
 
-/// One analyzer finding, pre-allowlist. `file` is the path as given to
-/// [`scan_file`]; `func` is the innermost enclosing function (`<module>`
-/// at item level).
-#[derive(Debug, Clone)]
-pub struct Finding {
-    pub rule: &'static str,
-    pub file: String,
-    pub func: String,
-    pub message: String,
-    pub span: (u32, u32),
-    pub severity: Severity,
-}
-
-impl Finding {
-    /// Diagnostic path: `file::function`.
-    pub fn path(&self) -> String {
-        format!("{}::{}", self.file, self.func)
-    }
-}
-
 /// A guard the scanner currently considers live.
 #[derive(Debug, Clone)]
 struct Guard {
@@ -214,216 +197,218 @@ struct Guard {
     temp: bool,
 }
 
-struct FnFrame {
-    name: String,
-    /// Depth *inside* the body: the frame pops when depth drops below it.
-    body_depth: usize,
-}
-
 /// Scan one file's source, returning findings in byte order.
 pub fn scan_file(file: &str, src: &str, cfg: &DisciplineConfig) -> Vec<Finding> {
     let toks = lex(src);
     let mut out: Vec<Finding> = Vec::new();
 
-    let mut depth: usize = 0;
-    let mut fns: Vec<FnFrame> = Vec::new();
-    let mut pending_fn: Option<String> = None;
+    let mut scopes = ScopeTracker::new();
     let mut guards: Vec<Guard> = Vec::new();
     // `let` statement tracking: Some(binding) once `let [mut] name` has
     // been seen in the current statement.
     let mut stmt_let: Option<String> = None;
     let mut awaiting_let_binding = false;
 
-    let func_at = |fns: &[FnFrame]| -> String {
-        fns.last()
-            .map(|f| f.name.clone())
-            .unwrap_or_else(|| "<module>".to_string())
-    };
-
     let mut i = 0usize;
     while i < toks.len() {
         let t = &toks[i];
-        match &t.kind {
-            TokKind::Punct(b'{') => {
-                depth += 1;
-                if let Some(name) = pending_fn.take() {
-                    fns.push(FnFrame {
+        match scopes.feed(&toks, i) {
+            ScopeEvent::Enter(_) => {
+                stmt_let = None;
+                awaiting_let_binding = false;
+            }
+            ScopeEvent::Exit => {
+                guards.retain(|g| g.depth <= scopes.depth());
+                stmt_let = None;
+                awaiting_let_binding = false;
+            }
+            ScopeEvent::Stmt => {
+                guards.retain(|g| !(g.temp && g.depth == scopes.depth()));
+                stmt_let = None;
+                awaiting_let_binding = false;
+            }
+            ScopeEvent::FnName => {}
+            ScopeEvent::Other => {
+                if let TokKind::Ident(name) = &t.kind {
+                    scan_ident(
+                        file,
+                        cfg,
+                        &toks,
+                        i,
                         name,
-                        body_depth: depth,
-                    });
+                        &scopes,
+                        &mut guards,
+                        &mut stmt_let,
+                        &mut awaiting_let_binding,
+                        &mut out,
+                    );
                 }
-                stmt_let = None;
-                awaiting_let_binding = false;
             }
-            TokKind::Punct(b'}') => {
-                depth = depth.saturating_sub(1);
-                guards.retain(|g| g.depth <= depth);
-                while fns.last().is_some_and(|f| f.body_depth > depth) {
-                    fns.pop();
-                }
-                stmt_let = None;
-                awaiting_let_binding = false;
-            }
-            TokKind::Punct(b';') => {
-                guards.retain(|g| !(g.temp && g.depth == depth));
-                // A `fn f();` trait declaration has no body.
-                pending_fn = None;
-                stmt_let = None;
-                awaiting_let_binding = false;
-            }
-            TokKind::Ident(name) => {
-                let name = name.as_str();
-                let prev_ident_is_fn = i > 0 && toks[i - 1].is_ident("fn");
-                let next_is_paren = toks.get(i + 1).is_some_and(|n| n.is_punct(b'('));
+        }
+        i += 1;
+    }
+    out
+}
 
-                if prev_ident_is_fn {
-                    pending_fn = Some(name.to_string());
-                } else if name == "let" {
-                    awaiting_let_binding = true;
-                } else if awaiting_let_binding {
-                    if name != "mut" {
-                        stmt_let = Some(name.to_string());
-                        awaiting_let_binding = false;
-                    }
-                } else if name == "drop" && next_is_paren {
-                    if let Some(TokKind::Ident(dropped)) = toks.get(i + 2).map(|t| &t.kind) {
-                        if toks.get(i + 3).is_some_and(|t| t.is_punct(b')')) {
-                            guards.retain(|g| g.binding.as_deref() != Some(dropped.as_str()));
-                        }
-                    }
-                } else if name == "catch_unwind" && !guards.is_empty() {
+/// Rule logic for one identifier token (everything that is not scope
+/// bookkeeping). Split out of [`scan_file`] so the walk stays readable.
+#[allow(clippy::too_many_arguments)]
+fn scan_ident(
+    file: &str,
+    cfg: &DisciplineConfig,
+    toks: &[Tok],
+    i: usize,
+    name: &str,
+    scopes: &ScopeTracker,
+    guards: &mut Vec<Guard>,
+    stmt_let: &mut Option<String>,
+    awaiting_let_binding: &mut bool,
+    out: &mut Vec<Finding>,
+) {
+    let t = &toks[i];
+    let depth = scopes.depth();
+    let next_is_paren = toks.get(i + 1).is_some_and(|n| n.is_punct(b'('));
+
+    if name == "let" {
+        *awaiting_let_binding = true;
+    } else if *awaiting_let_binding {
+        if name != "mut" {
+            *stmt_let = Some(name.to_string());
+            *awaiting_let_binding = false;
+        }
+    } else if name == "drop" && next_is_paren {
+        if let Some(TokKind::Ident(dropped)) = toks.get(i + 2).map(|t| &t.kind) {
+            if toks.get(i + 3).is_some_and(|t| t.is_punct(b')')) {
+                guards.retain(|g| g.binding.as_deref() != Some(dropped.as_str()));
+            }
+        }
+    } else if name == "catch_unwind" && !guards.is_empty() {
+        out.push(Finding {
+            rule: rules::GUARD_ACROSS_UNWIND,
+            file: file.to_string(),
+            func: scopes.current_fn(),
+            message: format!(
+                "guard on `{}` held across catch_unwind; a panic here \
+                 poisons the lock while unwinding through foreign frames",
+                held_locks(guards)
+            ),
+            span: (t.start, t.end),
+            severity: Severity::Error,
+        });
+    } else if name == "Relaxed"
+        && i >= 3
+        && toks[i - 1].is_punct(b':')
+        && toks[i - 2].is_punct(b':')
+        && toks[i - 3].is_ident("Ordering")
+    {
+        out.push(Finding {
+            rule: rules::RELAXED_ORDERING,
+            file: file.to_string(),
+            func: scopes.current_fn(),
+            message: "Ordering::Relaxed requires an allowlist entry justifying why \
+                      no happens-before edge is needed"
+                .to_string(),
+            span: (t.start, t.end),
+            severity: Severity::Warning,
+        });
+    } else if name == "channel"
+        && next_is_paren
+        && i >= 3
+        && toks[i - 1].is_punct(b':')
+        && toks[i - 2].is_punct(b':')
+        && toks[i - 3].is_ident("mpsc")
+    {
+        out.push(Finding {
+            rule: rules::UNBOUNDED_CHANNEL,
+            file: file.to_string(),
+            func: scopes.current_fn(),
+            message: "mpsc::channel() is unbounded; use sync_channel with an \
+                      explicit capacity so backpressure is a design decision"
+                .to_string(),
+            span: (t.start, t.end),
+            severity: Severity::Warning,
+        });
+    } else if next_is_paren && cfg.entry_points.contains(&name) {
+        if !guards.is_empty() {
+            out.push(Finding {
+                rule: rules::GUARD_ACROSS_CALL,
+                file: file.to_string(),
+                func: scopes.current_fn(),
+                message: format!(
+                    "guard on `{}` held across call to `{name}`; planning and \
+                     execution must never run under a serve-layer lock",
+                    held_locks(guards)
+                ),
+                span: (t.start, t.end),
+                severity: Severity::Error,
+            });
+        }
+    } else if next_is_paren {
+        if let Some(acq) = cfg.acquirers.iter().find(|a| a.name == name) {
+            let lock = match &acq.lock {
+                LockName::Fixed(l) => (*l).to_string(),
+                LockName::Receiver => receiver_name(toks, i),
+            };
+            let func = scopes.current_fn();
+            if cfg.hot_paths.iter().any(|h| *h == func) {
+                out.push(Finding {
+                    rule: rules::HOT_PATH_LOCK,
+                    file: file.to_string(),
+                    func: func.clone(),
+                    message: format!(
+                        "lock `{lock}` acquired inside hot-path function \
+                         `{func}`; hot loops must stay lock-free"
+                    ),
+                    span: (t.start, t.end),
+                    severity: Severity::Warning,
+                });
+            }
+            for g in guards.iter() {
+                if g.lock == lock {
                     out.push(Finding {
-                        rule: rules::GUARD_ACROSS_UNWIND,
+                        rule: rules::LOCK_ORDER,
                         file: file.to_string(),
-                        func: func_at(&fns),
+                        func: func.clone(),
                         message: format!(
-                            "guard on `{}` held across catch_unwind; a panic here \
-                             poisons the lock while unwinding through foreign frames",
-                            held_locks(&guards)
+                            "lock `{lock}` re-acquired while already held \
+                             (self-deadlock on a non-reentrant mutex)"
                         ),
                         span: (t.start, t.end),
                         severity: Severity::Error,
                     });
-                } else if name == "Relaxed"
-                    && i >= 3
-                    && toks[i - 1].is_punct(b':')
-                    && toks[i - 2].is_punct(b':')
-                    && toks[i - 3].is_ident("Ordering")
-                {
-                    out.push(Finding {
-                        rule: rules::RELAXED_ORDERING,
-                        file: file.to_string(),
-                        func: func_at(&fns),
-                        message: "Ordering::Relaxed requires an allowlist entry justifying why \
-                                  no happens-before edge is needed"
-                            .to_string(),
-                        span: (t.start, t.end),
-                        severity: Severity::Warning,
-                    });
-                } else if name == "channel"
-                    && next_is_paren
-                    && i >= 3
-                    && toks[i - 1].is_punct(b':')
-                    && toks[i - 2].is_punct(b':')
-                    && toks[i - 3].is_ident("mpsc")
-                {
-                    out.push(Finding {
-                        rule: rules::UNBOUNDED_CHANNEL,
-                        file: file.to_string(),
-                        func: func_at(&fns),
-                        message: "mpsc::channel() is unbounded; use sync_channel with an \
-                                  explicit capacity so backpressure is a design decision"
-                            .to_string(),
-                        span: (t.start, t.end),
-                        severity: Severity::Warning,
-                    });
-                } else if next_is_paren && cfg.entry_points.contains(&name) {
-                    if !guards.is_empty() {
+                } else if let (Some(ni), Some(hi)) = (
+                    cfg.lock_order.iter().position(|l| *l == lock),
+                    cfg.lock_order.iter().position(|l| *l == g.lock),
+                ) {
+                    if ni < hi {
                         out.push(Finding {
-                            rule: rules::GUARD_ACROSS_CALL,
+                            rule: rules::LOCK_ORDER,
                             file: file.to_string(),
-                            func: func_at(&fns),
+                            func: func.clone(),
                             message: format!(
-                                "guard on `{}` held across call to `{name}`; planning and \
-                                 execution must never run under a serve-layer lock",
-                                held_locks(&guards)
+                                "lock `{lock}` acquired while holding `{}`; \
+                                 declared order is {}",
+                                g.lock,
+                                cfg.lock_order.join(" -> ")
                             ),
                             span: (t.start, t.end),
                             severity: Severity::Error,
                         });
                     }
-                } else if next_is_paren {
-                    if let Some(acq) = cfg.acquirers.iter().find(|a| a.name == name) {
-                        let lock = match &acq.lock {
-                            LockName::Fixed(l) => (*l).to_string(),
-                            LockName::Receiver => receiver_name(&toks, i),
-                        };
-                        let func = func_at(&fns);
-                        if cfg.hot_paths.iter().any(|h| *h == func) {
-                            out.push(Finding {
-                                rule: rules::HOT_PATH_LOCK,
-                                file: file.to_string(),
-                                func: func.clone(),
-                                message: format!(
-                                    "lock `{lock}` acquired inside hot-path function \
-                                     `{func}`; hot loops must stay lock-free"
-                                ),
-                                span: (t.start, t.end),
-                                severity: Severity::Warning,
-                            });
-                        }
-                        for g in &guards {
-                            if g.lock == lock {
-                                out.push(Finding {
-                                    rule: rules::LOCK_ORDER,
-                                    file: file.to_string(),
-                                    func: func.clone(),
-                                    message: format!(
-                                        "lock `{lock}` re-acquired while already held \
-                                         (self-deadlock on a non-reentrant mutex)"
-                                    ),
-                                    span: (t.start, t.end),
-                                    severity: Severity::Error,
-                                });
-                            } else if let (Some(ni), Some(hi)) = (
-                                cfg.lock_order.iter().position(|l| *l == lock),
-                                cfg.lock_order.iter().position(|l| *l == g.lock),
-                            ) {
-                                if ni < hi {
-                                    out.push(Finding {
-                                        rule: rules::LOCK_ORDER,
-                                        file: file.to_string(),
-                                        func: func.clone(),
-                                        message: format!(
-                                            "lock `{lock}` acquired while holding `{}`; \
-                                             declared order is {}",
-                                            g.lock,
-                                            cfg.lock_order.join(" -> ")
-                                        ),
-                                        span: (t.start, t.end),
-                                        severity: Severity::Error,
-                                    });
-                                }
-                            }
-                        }
-                        // Internal acquirers release before returning, so
-                        // no guard survives the call in the caller.
-                        if acq.returns_guard {
-                            guards.push(Guard {
-                                binding: stmt_let.clone(),
-                                lock,
-                                depth,
-                                temp: stmt_let.is_none(),
-                            });
-                        }
-                    }
                 }
             }
-            _ => {}
+            // Internal acquirers release before returning, so no guard
+            // survives the call in the caller.
+            if acq.returns_guard {
+                guards.push(Guard {
+                    binding: stmt_let.clone(),
+                    lock,
+                    depth,
+                    temp: stmt_let.is_none(),
+                });
+            }
         }
-        i += 1;
     }
-    out
 }
 
 /// Comma-joined names of the currently held locks (diagnostic text).

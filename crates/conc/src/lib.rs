@@ -3,7 +3,8 @@
 //! Three coupled parts, one theme: make the serving layer's concurrency
 //! *checkable* instead of vibes-based.
 //!
-//! 1. [`discipline`] + [`lexer`] + [`allow`]: a dependency-free static
+//! 1. [`discipline`] + [`allow`] (on the shared [`cse_source`] lexer and
+//!    scope tracker): a dependency-free static
 //!    analyzer over the workspace's own source, enforcing the lock
 //!    discipline the server relies on (no guard across an optimizer or
 //!    engine call, global lock order, no locks in declared hot paths, no
@@ -34,9 +35,13 @@
 pub mod allow;
 pub mod discipline;
 pub mod explore;
-pub mod lexer;
 pub mod models;
 pub mod track;
+
+/// The Rust token scanner now lives in the shared source-analysis
+/// foundation (`cse-source`), where `cse-audit` reuses it; this re-export
+/// keeps the original `cse_conc::lexer` paths working.
+pub use cse_source::lexer;
 
 pub use allow::{apply_allowlist, parse_allowlist, stale_finding, AllowEntry, Filtered};
 pub use discipline::{rules, scan_file, DisciplineConfig, Finding};

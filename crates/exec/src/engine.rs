@@ -574,7 +574,15 @@ impl<'a> Engine<'a> {
                     Some(idx) => {
                         for (i, rid) in idx.range(lo_b, hi_b).enumerate() {
                             st.check_cancel_at(i)?;
-                            let r = &table.rows()[rid as usize];
+                            // The index can lag the table (rebuild racing a
+                            // shrink); a stale rowid must degrade to an
+                            // error, not a panic on the serving path.
+                            let r = table.rows().get(rid as usize).ok_or_else(|| {
+                                ExecError::Storage(format!(
+                                    "index rowid {rid} out of range for {}",
+                                    info.name
+                                ))
+                            })?;
                             if let Some(p) = residual {
                                 if !accepts(p, &lay, r) {
                                     continue;

@@ -1,0 +1,23 @@
+//! The carrier type analyzers hand to allowlists and diagnostics.
+
+use cse_diag::Severity;
+
+/// One analyzer finding, pre-allowlist. `file` is the path as given to
+/// the scanner; `func` is the innermost enclosing function (`<module>`
+/// at item level).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub func: String,
+    pub message: String,
+    pub span: (u32, u32),
+    pub severity: Severity,
+}
+
+impl Finding {
+    /// Diagnostic path: `file::function`.
+    pub fn path(&self) -> String {
+        format!("{}::{}", self.file, self.func)
+    }
+}

@@ -1,0 +1,487 @@
+//! Brace-scope tracking over the token stream.
+//!
+//! Both analyzers need the same structural facts while walking a file's
+//! tokens: how deeply nested am I, which function am I inside, which
+//! `impl` block does that function belong to, and is this region test
+//! code. [`ScopeTracker::feed`] consumes one token at a time and keeps
+//! those facts current; the returned [`ScopeEvent`] tells the caller what
+//! structural transition (if any) the token caused, so rule logic can key
+//! off statement and block boundaries without re-deriving them.
+//!
+//! ## Known approximations
+//!
+//! - The tracker is token-level: macro bodies are scanned as ordinary
+//!   code, and a `{` inside a macro invocation counts as a block.
+//! - The `impl` target type is recovered heuristically: the last
+//!   angle-depth-zero identifier of the type path (after `for` when
+//!   present), which resolves `impl fmt::Display for Severity` to
+//!   `Severity` and `impl<T: Clone> Wrapper<T>` to `Wrapper`. `impl
+//!   Trait`-in-argument/return position is excluded by requiring item
+//!   position (outside parentheses, no function header pending).
+//! - Test regions are attribute-driven: an attribute containing the
+//!   identifier `test` (and not `not`, so `#[cfg(not(test))]` stays
+//!   live code) marks the next braced item — `#[cfg(test)] mod tests`,
+//!   `#[test] fn` — as a test region until its closing brace.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of block a `{` opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// The body of a `fn` whose name was just pushed.
+    Fn,
+    /// The body of an `impl` block whose target type was just pushed.
+    Impl,
+    /// Any other block (control flow, expression, module, struct, ...).
+    Other,
+}
+
+/// The structural transition one token caused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeEvent {
+    /// Entered a block; [`ScopeTracker::depth`] is already incremented.
+    Enter(BlockKind),
+    /// Left a block; depth is already decremented and any function /
+    /// impl frames that ended with it are already popped.
+    Exit,
+    /// A `;` at the current depth — a statement (or item) boundary.
+    Stmt,
+    /// This identifier is the name in `fn name` — a definition, not a
+    /// call or use.
+    FnName,
+    /// No structural transition.
+    Other,
+}
+
+struct FnFrame {
+    name: String,
+    /// Depth *inside* the body: the frame pops when depth drops below it.
+    body_depth: usize,
+}
+
+struct ImplFrame {
+    type_name: String,
+    body_depth: usize,
+}
+
+/// Pending `impl` header: tokens between `impl` and its `{` are folded
+/// into the eventual target type name.
+struct PendingImpl {
+    /// Angle-bracket nesting inside the header (`<T: Clone>` etc).
+    angle_depth: usize,
+    /// Last angle-depth-zero identifier seen since `impl` (or since
+    /// `for`, which resets it).
+    last_path_ident: Option<String>,
+}
+
+/// Attribute scanning state (`#[...]`).
+enum AttrState {
+    Idle,
+    /// Saw `#`, expecting `[`.
+    Hash,
+    /// Inside `#[...]` at the given bracket depth, collecting idents.
+    Body {
+        depth: usize,
+        test: bool,
+        not: bool,
+    },
+}
+
+/// See the module docs. Feed every token in order; query between feeds.
+pub struct ScopeTracker {
+    depth: usize,
+    paren_depth: usize,
+    fns: Vec<FnFrame>,
+    impls: Vec<ImplFrame>,
+    pending_fn: Option<String>,
+    pending_impl: Option<PendingImpl>,
+    attr: AttrState,
+    /// A test-marking attribute was closed and awaits its braced item.
+    test_attr_pending: bool,
+    /// Depth of the innermost test region's body, when inside one.
+    test_region_depth: Option<usize>,
+}
+
+impl Default for ScopeTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScopeTracker {
+    pub fn new() -> Self {
+        ScopeTracker {
+            depth: 0,
+            paren_depth: 0,
+            fns: Vec::new(),
+            impls: Vec::new(),
+            pending_fn: None,
+            pending_impl: None,
+            attr: AttrState::Idle,
+            test_attr_pending: false,
+            test_region_depth: None,
+        }
+    }
+
+    /// Current brace nesting depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Innermost enclosing function name, or `<module>` at item level.
+    pub fn current_fn(&self) -> String {
+        self.fns
+            .last()
+            .map(|f| f.name.clone())
+            .unwrap_or_else(|| "<module>".to_string())
+    }
+
+    /// Target type of the innermost enclosing `impl` block, if any.
+    pub fn current_impl(&self) -> Option<&str> {
+        self.impls.last().map(|f| f.type_name.as_str())
+    }
+
+    /// Inside a `#[cfg(test)]` / `#[test]` region?
+    /// Current round-paren nesting depth. Lets consumers distinguish a
+    /// statement-ending `;` from one inside a signature type
+    /// (`fn g(t: [u8; 4])`), mirroring the tracker's own pending-fn
+    /// handling.
+    pub fn paren_depth(&self) -> usize {
+        self.paren_depth
+    }
+
+    pub fn in_test_region(&self) -> bool {
+        self.test_region_depth.is_some()
+    }
+
+    /// Consume `toks[i]`, updating all tracked facts. Must be called for
+    /// every token, in order, exactly once.
+    pub fn feed(&mut self, toks: &[Tok], i: usize) -> ScopeEvent {
+        let t = &toks[i];
+
+        // Attribute state machine runs first: tokens inside `#[...]` are
+        // attribute metadata, not scope structure (cfg predicates may
+        // contain parentheses that must not skew paren_depth).
+        match &mut self.attr {
+            AttrState::Idle => {}
+            AttrState::Hash => {
+                if t.is_punct(b'[') {
+                    self.attr = AttrState::Body {
+                        depth: 1,
+                        test: false,
+                        not: false,
+                    };
+                } else {
+                    self.attr = AttrState::Idle;
+                }
+                if matches!(self.attr, AttrState::Body { .. }) {
+                    return ScopeEvent::Other;
+                }
+            }
+            AttrState::Body { depth, test, not } => {
+                match &t.kind {
+                    TokKind::Punct(b'[') => *depth += 1,
+                    TokKind::Punct(b']') => {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            if *test && !*not {
+                                self.test_attr_pending = true;
+                            }
+                            self.attr = AttrState::Idle;
+                        }
+                    }
+                    TokKind::Ident(name) if name == "test" => *test = true,
+                    TokKind::Ident(name) if name == "not" => *not = true,
+                    _ => {}
+                }
+                return ScopeEvent::Other;
+            }
+        }
+
+        // Pending impl header: fold tokens into the target type name.
+        if let Some(p) = &mut self.pending_impl {
+            match &t.kind {
+                TokKind::Punct(b'<') => {
+                    p.angle_depth += 1;
+                    return ScopeEvent::Other;
+                }
+                TokKind::Punct(b'>') => {
+                    p.angle_depth = p.angle_depth.saturating_sub(1);
+                    return ScopeEvent::Other;
+                }
+                TokKind::Ident(name) if p.angle_depth == 0 => {
+                    if name == "for" {
+                        p.last_path_ident = None;
+                    } else {
+                        p.last_path_ident = Some(name.clone());
+                    }
+                    return ScopeEvent::Other;
+                }
+                TokKind::Punct(b'{') => {
+                    let type_name = p
+                        .last_path_ident
+                        .take()
+                        .unwrap_or_else(|| "<unknown>".to_string());
+                    self.pending_impl = None;
+                    self.depth += 1;
+                    self.impls.push(ImplFrame {
+                        type_name,
+                        body_depth: self.depth,
+                    });
+                    self.note_region_start();
+                    return ScopeEvent::Enter(BlockKind::Impl);
+                }
+                TokKind::Punct(b';') => {
+                    // `impl Foo;` is not Rust, but never wedge on it.
+                    self.pending_impl = None;
+                    return ScopeEvent::Stmt;
+                }
+                _ => return ScopeEvent::Other,
+            }
+        }
+
+        match &t.kind {
+            TokKind::Punct(b'#') => {
+                self.attr = AttrState::Hash;
+                ScopeEvent::Other
+            }
+            TokKind::Punct(b'(') => {
+                self.paren_depth += 1;
+                ScopeEvent::Other
+            }
+            TokKind::Punct(b')') => {
+                self.paren_depth = self.paren_depth.saturating_sub(1);
+                ScopeEvent::Other
+            }
+            TokKind::Punct(b'{') => {
+                self.depth += 1;
+                let kind = if let Some(name) = self.pending_fn.take() {
+                    self.fns.push(FnFrame {
+                        name,
+                        body_depth: self.depth,
+                    });
+                    BlockKind::Fn
+                } else {
+                    BlockKind::Other
+                };
+                self.note_region_start();
+                ScopeEvent::Enter(kind)
+            }
+            TokKind::Punct(b'}') => {
+                self.depth = self.depth.saturating_sub(1);
+                while self.fns.last().is_some_and(|f| f.body_depth > self.depth) {
+                    self.fns.pop();
+                }
+                while self.impls.last().is_some_and(|f| f.body_depth > self.depth) {
+                    self.impls.pop();
+                }
+                if self.test_region_depth.is_some_and(|d| d > self.depth) {
+                    self.test_region_depth = None;
+                }
+                ScopeEvent::Exit
+            }
+            TokKind::Punct(b';') => {
+                // A `fn f();` trait declaration has no body, and an
+                // attribute on `mod x;` / `use ...;` marks nothing. But a
+                // `;` inside parens (`fn g(t: [u8; 4])`) is part of a
+                // type, not a statement end — the pending fn survives it.
+                if self.paren_depth == 0 {
+                    self.pending_fn = None;
+                    self.test_attr_pending = false;
+                }
+                ScopeEvent::Stmt
+            }
+            TokKind::Ident(name) => {
+                let prev_ident_is_fn = i > 0 && toks[i - 1].is_ident("fn");
+                if prev_ident_is_fn {
+                    self.pending_fn = Some(name.clone());
+                    ScopeEvent::FnName
+                } else if name == "impl" && self.paren_depth == 0 && self.pending_fn.is_none() {
+                    // Item position: an `impl` block header starts. (In
+                    // argument or return position — `impl Into<String>` —
+                    // either parens are open or a fn header is pending.)
+                    self.pending_impl = Some(PendingImpl {
+                        angle_depth: 0,
+                        last_path_ident: None,
+                    });
+                    ScopeEvent::Other
+                } else {
+                    ScopeEvent::Other
+                }
+            }
+            _ => ScopeEvent::Other,
+        }
+    }
+
+    /// A block just opened at `self.depth`: if a test-marking attribute
+    /// was pending, this block is its item body.
+    fn note_region_start(&mut self) {
+        if self.test_attr_pending {
+            self.test_attr_pending = false;
+            if self.test_region_depth.is_none() {
+                self.test_region_depth = Some(self.depth);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// Drive the tracker over `src`, recording `(fn, impl, in_test)` at
+    /// every occurrence of the identifier `probe`.
+    fn probe_points(src: &str) -> Vec<(String, Option<String>, bool)> {
+        let toks = lex(src);
+        let mut tracker = ScopeTracker::new();
+        let mut out = Vec::new();
+        for i in 0..toks.len() {
+            tracker.feed(&toks, i);
+            if toks[i].is_ident("probe") {
+                out.push((
+                    tracker.current_fn(),
+                    tracker.current_impl().map(|s| s.to_string()),
+                    tracker.in_test_region(),
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn function_and_impl_attribution() {
+        let src = r#"
+            fn free() { probe(); }
+            impl Server {
+                fn method(&self) { probe(); }
+            }
+            impl fmt::Display for Severity {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { probe() }
+            }
+            probe();
+        "#;
+        let pts = probe_points(src);
+        assert_eq!(pts[0], ("free".into(), None, false));
+        assert_eq!(pts[1], ("method".into(), Some("Server".into()), false));
+        assert_eq!(pts[2], ("fmt".into(), Some("Severity".into()), false));
+        assert_eq!(pts[3], ("<module>".into(), None, false));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_to_the_type() {
+        let src = r#"
+            impl<T: Clone> Wrapper<T> { fn get(&self) { probe(); } }
+            impl<'a> Iterator for Rows<'a> { fn next(&mut self) { probe(); } }
+        "#;
+        let pts = probe_points(src);
+        assert_eq!(pts[0].1.as_deref(), Some("Wrapper"));
+        assert_eq!(pts[1].1.as_deref(), Some("Rows"));
+    }
+
+    #[test]
+    fn impl_trait_in_signatures_is_not_a_block() {
+        let src = r#"
+            fn take(x: impl Into<String>) -> bool { probe(x) }
+            fn give() -> impl Iterator<Item = u32> { probe() }
+        "#;
+        let pts = probe_points(src);
+        assert_eq!(pts[0], ("take".into(), None, false));
+        assert_eq!(pts[1], ("give".into(), None, false));
+    }
+
+    #[test]
+    fn test_regions_cover_mods_and_fns_but_not_cfg_not_test() {
+        let src = r#"
+            fn live() { probe(); }
+            #[cfg(test)]
+            mod tests {
+                use super::*;
+                fn helper() { probe(); }
+                #[test]
+                fn case() { probe(); }
+            }
+            #[cfg(not(test))]
+            fn also_live() { probe(); }
+            #[test]
+            fn top_level_test() { probe(); }
+        "#;
+        let pts = probe_points(src);
+        assert!(!pts[0].2, "live code");
+        assert!(pts[1].2, "helper inside cfg(test) mod");
+        assert!(pts[2].2, "test fn inside cfg(test) mod");
+        assert!(!pts[3].2, "cfg(not(test)) is live code");
+        assert!(pts[4].2, "top-level #[test] fn");
+    }
+
+    #[test]
+    fn attribute_on_semicolon_item_marks_nothing() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests;
+            fn live() { probe(); }
+        "#;
+        let pts = probe_points(src);
+        assert!(!pts[0].2);
+    }
+
+    #[test]
+    fn nested_fns_pop_back_to_the_outer_frame() {
+        let src = r#"
+            fn outer() {
+                fn inner() { probe(); }
+                probe();
+            }
+        "#;
+        let pts = probe_points(src);
+        assert_eq!(pts[0].0, "inner");
+        assert_eq!(pts[1].0, "outer");
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        // `fn f(&self);` must not leave a pending frame that swallows the
+        // next block.
+        let src = r#"
+            trait T { fn declared(&self); }
+            fn real() { probe(); }
+        "#;
+        let pts = probe_points(src);
+        assert_eq!(pts[0].0, "real");
+    }
+
+    #[test]
+    fn derive_attributes_do_not_open_test_regions() {
+        let src = r#"
+            #[derive(Debug, Clone)]
+            struct S { x: u32 }
+            fn live() { probe(); }
+        "#;
+        let pts = probe_points(src);
+        assert!(!pts[0].2);
+    }
+
+    #[test]
+    fn array_type_semicolon_in_signature_keeps_the_pending_fn() {
+        // The `;` in `[u8; 4]` is inside the parameter parens, not a
+        // statement end — the body must still attribute to `takes_array`.
+        let src = r#"
+            fn takes_array(t: [u8; 4]) -> u8 { probe() }
+        "#;
+        let pts = probe_points(src);
+        assert_eq!(pts[0], ("takes_array".into(), None, false));
+    }
+
+    #[test]
+    fn cfg_parens_do_not_skew_paren_depth() {
+        // If the cfg predicate's parens leaked into paren_depth, the
+        // following `impl` would be rejected as non-item-position.
+        let src = r#"
+            #[cfg(feature = "lock-stats")]
+            struct Gated;
+            impl Server { fn m(&self) { probe(); } }
+        "#;
+        let pts = probe_points(src);
+        assert_eq!(pts[0].1.as_deref(), Some("Server"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Deterministic source-file collection for the analyzer CLIs.
+
+use std::path::{Path, PathBuf};
+
+/// Recursively collect every `.rs` file under `dir` into `out`. Silently
+/// skips unreadable directories (the caller decides whether an empty scan
+/// is an error). Callers sort + dedup the final list for determinism.
+pub fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in rd.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}

@@ -222,7 +222,9 @@ impl Parser {
         match self.peek() {
             Some(Token::Ident(_)) => match self.next()? {
                 Token::Ident(s) => Ok(s),
-                _ => unreachable!("peeked Ident"),
+                other => Err(self.err(format!(
+                    "internal: token stream advanced unexpectedly (peeked identifier, got {other})"
+                ))),
             },
             Some(other) => Err(self.err(format!("expected identifier, found {other}"))),
             None => Err(self.err("expected identifier, found EOF")),

@@ -1,0 +1,300 @@
+//! `qaudit` — panic-path & contract-drift gate for the workspace.
+//!
+//! ```text
+//! cargo run --release --bin qaudit -- [--deny] [--spans] [--print-vocab]
+//!                                    [--allow FILE] [--root DIR] [path ...]
+//! ```
+//!
+//! Scans every crate source tree (`crates/*/src` and `src/`) with the
+//! token-level analyses in `cse-audit`:
+//!
+//! - the **panic-path audit** floods an approximate call graph from the
+//!   serve/exec entry points and reports hot-reachable panic sites
+//!   (`audit/hot-panic`, `audit/bare-unwrap`, `audit/index-hot-loop`);
+//! - the **contract-drift audit** cross-checks the declared string
+//!   vocabularies (reason codes, rule ids, failpoint sites, bench JSON
+//!   keys) against `DESIGN.md`, `README.md`, the golden corpus, the
+//!   `sites::ALL` registry, and committed `BENCH_*.json` artifacts
+//!   (`audit/contract-drift`).
+//!
+//! Findings are filtered through `qaudit.allow` (same format as
+//! `qconc.allow`; stale entries become `audit/stale-allow`). Without
+//! `--spans` byte offsets are omitted so the golden file stays stable
+//! under unrelated edits. When explicit paths are given, only the
+//! panic-path audit runs over them (the contract checks are
+//! whole-workspace by nature). `--print-vocab` prints the generated
+//! vocabulary reference table (the exact text DESIGN.md must embed) and
+//! exits.
+//!
+//! Exit status:
+//!
+//! - `0` — scanned everything; without `--deny`, findings are informational;
+//! - `1` — `--deny` was set and at least one non-allowlisted finding
+//!   (or stale allowlist entry) survived;
+//! - `2` — usage error or unreadable file.
+
+use cse_audit::{contract, panic_audit, rules, AuditConfig, Finding};
+use cse_diag::{Report, Severity};
+use cse_source::{apply_allowlist, collect_rs, parse_allowlist, stale_finding};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let mut deny = false;
+    let mut spans = false;
+    let mut print_vocab = false;
+    let mut allow_path: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--spans" => spans = true,
+            "--print-vocab" => print_vocab = true,
+            "--allow" => {
+                allow_path = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--allow expects a path")),
+                ));
+            }
+            "--root" => {
+                root = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--root expects a path")),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                usage(&format!("unknown flag {flag}"));
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    // Collect the files to scan, sorted for deterministic output.
+    let explicit = !paths.is_empty();
+    let mut files: Vec<PathBuf> = Vec::new();
+    if explicit {
+        for p in &paths {
+            if p.is_dir() {
+                collect_rs(p, &mut files);
+            } else {
+                files.push(p.clone());
+            }
+        }
+    } else {
+        let crates = root.join("crates");
+        let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .map(|e| e.path().join("src"))
+                .filter(|p| p.is_dir())
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir, &mut files);
+        }
+        collect_rs(&root.join("src"), &mut files);
+    }
+    files.sort();
+    files.dedup();
+    if files.is_empty() {
+        eprintln!("qaudit: nothing to scan under {}", root.display());
+        std::process::exit(2);
+    }
+
+    // Pre-read sources with root-relative paths (keeps the golden file
+    // independent of where the checkout lives).
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(&root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, read_or_die(f)));
+    }
+
+    // Contract vocabulary is extracted from the same sources.
+    let mut vocab = contract::Vocabulary::default();
+    for (path, text) in &sources {
+        contract::extract_source(path, text, &mut vocab);
+    }
+
+    if print_vocab {
+        print!("{}", contract::render_vocab_table(&vocab));
+        return;
+    }
+
+    let allow_file = allow_path.unwrap_or_else(|| root.join("qaudit.allow"));
+    let entries = if allow_file.exists() {
+        let text = read_or_die(&allow_file);
+        match parse_allowlist(&text, rules::ALL) {
+            Ok(e) => e,
+            Err(msg) => {
+                eprintln!("qaudit: {}: {msg}", allow_file.display());
+                std::process::exit(2);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let cfg = AuditConfig::repo_default();
+    let (mut findings, summary) = panic_audit(&sources, &cfg);
+
+    if !explicit {
+        let inputs = contract::ContractInputs {
+            docs: read_optional(&root, &["DESIGN.md", "README.md"]),
+            goldens: read_glob(&root.join("tests/corpus"), ".golden"),
+            bench_json: read_bench_json(&root),
+        };
+        findings.extend(contract::check(&vocab, &inputs));
+    }
+
+    let filtered = apply_allowlist(findings, &entries);
+    let mut report = Report::new();
+    for f in &filtered.denied {
+        push(&mut report, f, spans);
+    }
+    for e in &filtered.stale {
+        push(
+            &mut report,
+            &stale_finding(e, "qaudit.allow", rules::STALE_ALLOW),
+            spans,
+        );
+    }
+
+    println!("== qaudit: {} file(s) scanned ==", files.len());
+    println!(
+        "panic surface: {} site(s) across {} function(s); {} hot-reachable site(s) in {} hot function(s)",
+        summary.sites, summary.functions, summary.hot_sites, summary.hot_functions
+    );
+    println!(
+        "contract: {} reason code(s), {} rule id(s), {} failpoint site(s), {} bench key(s)",
+        vocab.reason_codes.len(),
+        vocab.rule_ids.len(),
+        vocab.failpoint_sites.len(),
+        vocab.bench_keys.len()
+    );
+    let rendered = report.render_as("qaudit");
+    if rendered.ends_with('\n') {
+        print!("{rendered}");
+    } else {
+        println!("{rendered}");
+    }
+    if !filtered.allowed.is_empty() {
+        println!(
+            "allowed: {} finding(s) via {}",
+            filtered.allowed.len(),
+            allow_file.display()
+        );
+        for (f, justification) in &filtered.allowed {
+            println!("  [{}] {}: {justification}", f.rule, f.path());
+        }
+    }
+
+    if deny && !report.is_clean() {
+        eprintln!(
+            "qaudit: denied ({} finding(s) not covered by the allowlist)",
+            report.diagnostics.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn push(report: &mut Report, f: &Finding, spans: bool) {
+    match (f.severity, spans) {
+        (Severity::Error, true) => report.error_at(f.rule, f.path(), &f.message, f.span),
+        (Severity::Error, false) => report.error(f.rule, f.path(), &f.message),
+        (Severity::Note, true) => report.note_at(f.rule, f.path(), &f.message, f.span),
+        (Severity::Note, false) => report.note(f.rule, f.path(), &f.message),
+        (_, true) => report.warn_at(f.rule, f.path(), &f.message, f.span),
+        (_, false) => report.warn(f.rule, f.path(), &f.message),
+    }
+}
+
+/// Read the files that exist among `names` (relative to `root`).
+fn read_optional(root: &Path, names: &[&str]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for n in names {
+        let p = root.join(n);
+        if p.exists() {
+            out.push((n.to_string(), read_or_die(&p)));
+        }
+    }
+    out
+}
+
+/// Read every file under `dir` whose name ends with `suffix`, sorted.
+fn read_glob(dir: &Path, suffix: &str) -> Vec<(String, String)> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.to_string_lossy().ends_with(suffix))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .to_string();
+            let text = read_or_die(&p);
+            (format!("tests/corpus/{name}"), text)
+        })
+        .collect()
+}
+
+/// Committed bench artifacts at the repo root: `BENCH_*.json`.
+fn read_bench_json(root: &Path) -> Vec<(String, String)> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(root) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .map(|n| {
+                        let n = n.to_string_lossy();
+                        n.starts_with("BENCH_") && n.ends_with(".json")
+                    })
+                    .unwrap_or(false)
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .to_string();
+            let text = read_or_die(&p);
+            (name, text)
+        })
+        .collect()
+}
+
+fn read_or_die(p: &Path) -> String {
+    std::fs::read_to_string(p).unwrap_or_else(|e| {
+        eprintln!("qaudit: {}: {e}", p.display());
+        std::process::exit(2);
+    })
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("qaudit: {msg}");
+    eprintln!(
+        "usage: qaudit [--deny] [--spans] [--print-vocab] [--allow FILE] [--root DIR] [path ...]"
+    );
+    std::process::exit(2)
+}

@@ -23,6 +23,7 @@
 use cse_conc::discipline::DisciplineConfig;
 use cse_conc::{apply_allowlist, parse_allowlist, scan_file, stale_finding, Finding};
 use cse_diag::{Report, Severity};
+use cse_source::collect_rs;
 use std::path::{Path, PathBuf};
 
 /// Directories scanned when no explicit paths are given, relative to
@@ -160,20 +161,6 @@ fn push(report: &mut Report, f: &Finding, spans: bool) {
         (Severity::Note, false) => report.note(f.rule, f.path(), &f.message),
         (_, true) => report.warn_at(f.rule, f.path(), &f.message, f.span),
         (_, false) => report.warn(f.rule, f.path(), &f.message),
-    }
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(rd) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in rd.flatten() {
-        let p = entry.path();
-        if p.is_dir() {
-            collect_rs(&p, out);
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
     }
 }
 
