@@ -37,7 +37,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Reason-code prefixes recognized in source and docs. A new code with a
 /// new prefix must be added here (that is deliberate: the whitelist is
 /// what keeps prose out of the vocabulary).
-pub const CODE_PREFIXES: &[&str] = &["SHED_", "REQ_", "EXEC_", "OPT_", "MEM_", "PLAN_"];
+pub const CODE_PREFIXES: &[&str] = &["SHED_", "REQ_", "EXEC_", "OPT_", "MEM_", "PLAN_", "WAL_"];
 
 /// Diagnostic rule-id families recognized in source and docs.
 pub const RULE_FAMILIES: &[&str] = &[
@@ -50,6 +50,7 @@ pub const RULE_FAMILIES: &[&str] = &[
     "lint",
     "conc",
     "audit",
+    "catalog",
 ];
 
 pub const VOCAB_BEGIN: &str = "<!-- qaudit:vocab:begin -->";

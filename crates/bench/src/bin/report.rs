@@ -3,10 +3,11 @@
 //!
 //! Usage: `cargo run --release -p cse-bench --bin report [-- <experiment>] [--sf <f>]`
 //! where `<experiment>` is one of `table1 table2 table3 table4 fig8
-//! viewmaint overhead verify lint robustness serve overload all`
+//! viewmaint overhead verify lint robustness serve overload recovery all`
 //! (default `all`). The `overload` arm also honours `--requests <n>`
 //! (default 10000), `--seed <u64>` (default 42) and `--out <path>`
-//! (default `BENCH_overload.json`).
+//! (default `BENCH_overload.json`); `recovery` honours `--out` too
+//! (default `BENCH_recovery.json`).
 
 use cse_bench::{experiments, print_table};
 
@@ -265,5 +266,48 @@ fn main() {
         let json = experiments::overload_json(sf, seed, &rows);
         std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
         println!("wrote {out}");
+    }
+
+    // Not part of `all`: the durability bench needs no catalog and its
+    // absolute numbers are machine-dependent; run it on demand.
+    if which == "recovery" {
+        println!("\n=== recovery: WAL commit overhead and replay throughput ===");
+        println!(
+            "{:>9} {:>6} {:>9} {:>9} {:>10} {:>9} {:>9} {:>8} {:>11} {:>12}",
+            "mutations",
+            "group",
+            "snap",
+            "plain",
+            "commit",
+            "overhead",
+            "wal",
+            "replayed",
+            "recovery",
+            "replay"
+        );
+        let rows = experiments::recovery(&[256, 1024, 4096]);
+        for r in &rows {
+            println!(
+                "{:>9} {:>6} {:>9} {:>7.0}ns {:>8.0}ns {:>8.2}x {:>8}B {:>8} {:>9.2}ms {:>8.0}/s",
+                r.mutations,
+                r.group_commit,
+                r.snapshot_every,
+                r.plain_ns_per_mutation,
+                r.commit_ns_per_mutation,
+                r.commit_ns_per_mutation / r.plain_ns_per_mutation.max(1.0),
+                r.wal_bytes,
+                r.replayed,
+                r.recovery_ms,
+                r.replay_rps
+            );
+        }
+        let json = experiments::recovery_json(&rows);
+        let path = if out == "BENCH_overload.json" {
+            "BENCH_recovery.json".to_string()
+        } else {
+            out.clone()
+        };
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
     }
 }

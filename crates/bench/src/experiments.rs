@@ -905,3 +905,153 @@ pub fn lint_all(catalog: &Catalog) -> Vec<LintRow> {
     }
     rows
 }
+
+/// One measured configuration of the durability bench: a mutation log of
+/// `mutations` records committed at `group_commit` cadence (with or
+/// without snapshots), then recovered from scratch.
+#[derive(Debug)]
+pub struct RecoveryPoint {
+    pub mutations: usize,
+    pub group_commit: usize,
+    pub snapshot_every: u64,
+    /// Per-mutation apply cost with no durability at all (the baseline
+    /// every overhead figure is relative to).
+    pub plain_ns_per_mutation: f64,
+    /// Per-mutation apply cost through the journal.
+    pub commit_ns_per_mutation: f64,
+    pub wal_bytes: usize,
+    pub replayed: usize,
+    pub skipped: usize,
+    pub recovery_ms: f64,
+    /// Records replayed per second during recovery.
+    pub replay_rps: f64,
+}
+
+/// The mutation workload the durability bench journals: a handful of base
+/// tables, then a long stream of single-row deltas round-robined across
+/// them — the catalog-mutation shape a serving deployment actually
+/// produces (views refreshing, maintenance trickle), not pathological
+/// bulk registration.
+fn recovery_workload(n: usize) -> Vec<cse_storage::CatalogMutation> {
+    use cse_storage::delta::{DeltaAction, DeltaTable};
+    use cse_storage::schema::Schema;
+    use cse_storage::table::{row, Table};
+    use cse_storage::value::{DataType, Value};
+    const BASES: usize = 8;
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Str)]);
+    let mut out = Vec::with_capacity(n);
+    for b in 0..BASES.min(n) {
+        let mut t = Table::new(format!("base{b}"), schema.clone());
+        t.push(row(vec![Value::Int(b as i64), Value::str("seed")]))
+            .expect("seed row");
+        out.push(cse_storage::CatalogMutation::RegisterTable { table: t });
+    }
+    let mut i = out.len();
+    while i < n {
+        let b = i % BASES;
+        let mut delta = DeltaTable::new(format!("base{b}"), &schema);
+        delta
+            .record(
+                DeltaAction::Insert,
+                row(vec![Value::Int(i as i64), Value::str(format!("r{i}"))]),
+            )
+            .expect("delta row");
+        out.push(cse_storage::CatalogMutation::ApplyDelta { delta });
+        i += 1;
+    }
+    out
+}
+
+/// Durability bench: commit-latency overhead of the WAL (per group-commit
+/// cadence, against the journal-free baseline), WAL size, and recovery
+/// time / replay throughput as a function of log length. Runs on the
+/// in-memory simulated store, so the overhead measured is the engine's
+/// own (encode + checksum + frame + apply), not the host's fsync latency.
+pub fn recovery(log_lengths: &[usize]) -> Vec<RecoveryPoint> {
+    use cse_durable::{recover, DurableCatalog, DurableOptions, SimStore};
+    use cse_govern::FailpointRegistry;
+
+    let mut points = Vec::new();
+    for &n in log_lengths {
+        let workload = recovery_workload(n);
+
+        // Baseline: the same mutations against a bare catalog.
+        let mut plain = cse_storage::Catalog::new();
+        let t = Instant::now();
+        for m in &workload {
+            plain.apply_mutation(m).expect("workload applies");
+        }
+        let plain_ns = t.elapsed().as_nanos() as f64 / n as f64;
+
+        for (group_commit, snapshot_every) in [(1usize, 0u64), (8, 0), (64, 0), (8, (n / 4) as u64)]
+        {
+            let store = SimStore::new();
+            let (mut dc, _) = DurableCatalog::open(
+                store.clone(),
+                DurableOptions {
+                    group_commit,
+                    snapshot_every,
+                },
+                FailpointRegistry::disabled(),
+            )
+            .expect("open empty store");
+            let t = Instant::now();
+            for m in &workload {
+                dc.apply(m).expect("journaled apply");
+            }
+            dc.flush().expect("final barrier");
+            let commit_ns = t.elapsed().as_nanos() as f64 / n as f64;
+            let wal_bytes = store.wal_len();
+            drop(dc);
+
+            let t = Instant::now();
+            let (_, info) =
+                recover(&store, &FailpointRegistry::disabled()).expect("clean recovery");
+            let recovery_s = t.elapsed().as_secs_f64().max(1e-9);
+            points.push(RecoveryPoint {
+                mutations: n,
+                group_commit,
+                snapshot_every,
+                plain_ns_per_mutation: plain_ns,
+                commit_ns_per_mutation: commit_ns,
+                wal_bytes,
+                replayed: info.replayed,
+                skipped: info.skipped,
+                recovery_ms: recovery_s * 1e3,
+                replay_rps: info.replayed as f64 / recovery_s,
+            });
+        }
+    }
+    points
+}
+
+/// Machine-readable dump of the durability bench.
+pub fn recovery_json(rows: &[RecoveryPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"experiment\": \"recovery\",");
+    s.push_str("  \"points\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"mutations\": {}, \"group_commit\": {}, \"snapshot_every\": {}, \
+             \"plain_ns_per_mutation\": {:.0}, \"commit_ns_per_mutation\": {:.0}, \
+             \"overhead_x\": {:.3}, \"wal_bytes\": {}, \"replayed\": {}, \"skipped\": {}, \
+             \"recovery_ms\": {:.3}, \"replay_rps\": {:.0}}}",
+            r.mutations,
+            r.group_commit,
+            r.snapshot_every,
+            r.plain_ns_per_mutation,
+            r.commit_ns_per_mutation,
+            r.commit_ns_per_mutation / r.plain_ns_per_mutation.max(1.0),
+            r.wal_bytes,
+            r.replayed,
+            r.skipped,
+            r.recovery_ms,
+            r.replay_rps,
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

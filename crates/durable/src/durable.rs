@@ -1,0 +1,339 @@
+//! [`DurableCatalog`]: the live handle tying a [`Catalog`] to its WAL and
+//! snapshot on a [`Store`].
+//!
+//! Commit protocol per mutation: apply in memory, append one checksummed
+//! WAL frame, then group-commit — the fsync barrier runs only every
+//! `group_commit` appends (or on an explicit [`DurableCatalog::flush`],
+//! which `Server::drain` triggers). A mutation is *durable* once the
+//! barrier after it has run; the crash-restart harness asserts exactly
+//! that boundary.
+//!
+//! Every `snapshot_every` records the catalog is snapshotted and the WAL
+//! truncated, bounding recovery time by snapshot freshness instead of
+//! total history.
+//!
+//! After any `Err` the handle must be considered poisoned — the in-memory
+//! catalog may be ahead of the journal. Discard it and reopen via
+//! [`DurableCatalog::open`]; that is the crash the error models.
+
+use crate::recovery::{recover, RecoveryInfo};
+use crate::store::Store;
+use crate::{codec, snapshot, wal, DurableError};
+use cse_govern::{sites, FailpointRegistry};
+use cse_storage::{Catalog, CatalogMutation};
+
+/// Tuning for the commit and snapshot cadence.
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Fsync after this many appends (1 = sync every commit).
+    pub group_commit: usize,
+    /// Snapshot + truncate after this many records (0 = never).
+    pub snapshot_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            group_commit: 8,
+            snapshot_every: 256,
+        }
+    }
+}
+
+/// A catalog whose mutations are journaled to a write-ahead log.
+#[derive(Debug)]
+pub struct DurableCatalog<S: Store> {
+    store: S,
+    registry: FailpointRegistry,
+    catalog: Catalog,
+    opts: DurableOptions,
+    /// LSN the next record will carry (last applied + 1).
+    next_lsn: u64,
+    snapshot_lsn: u64,
+    unsynced: usize,
+    since_snapshot: u64,
+}
+
+impl<S: Store> DurableCatalog<S> {
+    /// Open a store, recovering whatever durable state it holds (an empty
+    /// store recovers to an empty catalog).
+    pub fn open(
+        store: S,
+        opts: DurableOptions,
+        registry: FailpointRegistry,
+    ) -> Result<(Self, RecoveryInfo), DurableError> {
+        let (catalog, info) = recover(&store, &registry)?;
+        let this = DurableCatalog {
+            store,
+            registry,
+            catalog,
+            opts,
+            next_lsn: info.last_lsn + 1,
+            snapshot_lsn: info.snapshot_lsn,
+            unsynced: 0,
+            since_snapshot: 0,
+        };
+        Ok((this, info))
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// LSN of the most recently applied mutation (0 = none).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    pub fn snapshot_lsn(&self) -> u64 {
+        self.snapshot_lsn
+    }
+
+    /// Appends staged since the last durability barrier.
+    pub fn unsynced(&self) -> usize {
+        self.unsynced
+    }
+
+    /// Apply a mutation and journal it. Storage-level rejections
+    /// (duplicate table, unknown column, …) leave both the catalog and
+    /// the journal untouched; durability faults poison the handle (see
+    /// module docs).
+    pub fn apply(&mut self, m: &CatalogMutation) -> Result<(), DurableError> {
+        self.catalog
+            .apply_mutation(m)
+            .map_err(|err| DurableError::Rejected {
+                kind: m.kind(),
+                detail: err.to_string(),
+            })?;
+        if self.registry.should_fail(sites::WAL_APPEND) {
+            return Err(DurableError::Injected {
+                site: sites::WAL_APPEND,
+            });
+        }
+        let frame = wal::encode_frame(self.next_lsn, &codec::encode_mutation(m));
+        self.store.append_wal(&frame)?;
+        self.next_lsn += 1;
+        self.unsynced += 1;
+        self.since_snapshot += 1;
+        if self.unsynced >= self.opts.group_commit.max(1) {
+            self.flush()?;
+        }
+        if self.opts.snapshot_every > 0 && self.since_snapshot >= self.opts.snapshot_every {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Durability barrier: fsync every staged append. No-op when nothing
+    /// is staged.
+    pub fn flush(&mut self) -> Result<(), DurableError> {
+        if self.unsynced == 0 {
+            return Ok(());
+        }
+        if self.registry.should_fail(sites::WAL_FSYNC) {
+            return Err(DurableError::Injected {
+                site: sites::WAL_FSYNC,
+            });
+        }
+        self.store.sync_wal()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Publish a snapshot covering every applied mutation, then truncate
+    /// the WAL. Syncs first so the snapshot never runs ahead of the log.
+    pub fn snapshot(&mut self) -> Result<(), DurableError> {
+        self.flush()?;
+        if self.registry.should_fail(sites::SNAPSHOT_WRITE) {
+            return Err(DurableError::Injected {
+                site: sites::SNAPSHOT_WRITE,
+            });
+        }
+        let lsn = self.last_lsn();
+        let bytes = snapshot::encode_snapshot(lsn, &self.catalog);
+        self.store.write_snapshot(&bytes)?;
+        self.snapshot_lsn = lsn;
+        self.store.truncate_wal()?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::catalogs_equivalent;
+    use crate::store::SimStore;
+    use crate::TailStatus;
+    use cse_govern::FailSpec;
+    use cse_storage::schema::Schema;
+    use cse_storage::table::{row, Table};
+    use cse_storage::value::{DataType, Value};
+
+    fn reg_table(name: &str, vals: &[i64]) -> CatalogMutation {
+        let mut t = Table::new(name, Schema::from_pairs(&[("a", DataType::Int)]));
+        for v in vals {
+            t.push(row(vec![Value::Int(*v)])).unwrap();
+        }
+        CatalogMutation::RegisterTable { table: t }
+    }
+
+    fn open_sim(store: &SimStore, opts: DurableOptions) -> DurableCatalog<SimStore> {
+        DurableCatalog::open(store.clone(), opts, FailpointRegistry::disabled())
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn flushed_mutations_survive_crash_and_reopen() {
+        let store = SimStore::new();
+        let mut d = open_sim(
+            &store,
+            DurableOptions {
+                group_commit: 1,
+                snapshot_every: 0,
+            },
+        );
+        d.apply(&reg_table("t1", &[1, 2, 3])).unwrap();
+        d.apply(&reg_table("t2", &[4])).unwrap();
+        let live = d.catalog().clone();
+        drop(d);
+        store.crash(9);
+        let (d2, info) = DurableCatalog::open(
+            store.clone(),
+            DurableOptions::default(),
+            FailpointRegistry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(info.replayed, 2);
+        catalogs_equivalent(&live, d2.catalog()).unwrap();
+    }
+
+    #[test]
+    fn group_commit_defers_the_barrier() {
+        let store = SimStore::new();
+        let mut d = open_sim(
+            &store,
+            DurableOptions {
+                group_commit: 3,
+                snapshot_every: 0,
+            },
+        );
+        d.apply(&reg_table("t1", &[1])).unwrap();
+        d.apply(&reg_table("t2", &[2])).unwrap();
+        assert_eq!(d.unsynced(), 2);
+        assert!(store.has_pending());
+        d.apply(&reg_table("t3", &[3])).unwrap();
+        assert_eq!(d.unsynced(), 0);
+        assert!(!store.has_pending());
+        d.apply(&reg_table("t4", &[4])).unwrap();
+        d.flush().unwrap();
+        assert!(!store.has_pending());
+    }
+
+    #[test]
+    fn snapshot_truncates_and_reopen_skips_replay() {
+        let store = SimStore::new();
+        let mut d = open_sim(
+            &store,
+            DurableOptions {
+                group_commit: 1,
+                snapshot_every: 0,
+            },
+        );
+        for i in 0..5 {
+            d.apply(&reg_table(&format!("t{i}"), &[i])).unwrap();
+        }
+        d.snapshot().unwrap();
+        assert_eq!(store.wal_len(), 0);
+        d.apply(&reg_table("late", &[99])).unwrap();
+        let live = d.catalog().clone();
+        drop(d);
+        let (d2, info) = DurableCatalog::open(
+            store.clone(),
+            DurableOptions::default(),
+            FailpointRegistry::disabled(),
+        )
+        .unwrap();
+        assert_eq!(info.snapshot_lsn, 5);
+        assert_eq!(info.replayed, 1);
+        assert_eq!(info.last_lsn, 6);
+        catalogs_equivalent(&live, d2.catalog()).unwrap();
+    }
+
+    #[test]
+    fn automatic_snapshot_cadence() {
+        let store = SimStore::new();
+        let mut d = open_sim(
+            &store,
+            DurableOptions {
+                group_commit: 1,
+                snapshot_every: 4,
+            },
+        );
+        for i in 0..4 {
+            d.apply(&reg_table(&format!("t{i}"), &[i])).unwrap();
+        }
+        assert!(store.has_snapshot());
+        assert_eq!(store.wal_len(), 0);
+        assert_eq!(d.snapshot_lsn(), 4);
+    }
+
+    #[test]
+    fn rejected_mutation_is_not_journaled() {
+        let store = SimStore::new();
+        let mut d = open_sim(
+            &store,
+            DurableOptions {
+                group_commit: 1,
+                snapshot_every: 0,
+            },
+        );
+        d.apply(&reg_table("t1", &[1])).unwrap();
+        let wal_before = store.wal_len();
+        let err = d.apply(&reg_table("t1", &[2])).unwrap_err();
+        assert_eq!(err.code(), "WAL_REJECTED");
+        assert_eq!(store.wal_len(), wal_before);
+        assert_eq!(d.last_lsn(), 1);
+    }
+
+    #[test]
+    fn injected_append_fault_poisons_but_recovers() {
+        let store = SimStore::new();
+        let mut reg = FailpointRegistry::disabled();
+        // Arm before cloning: a clone shares the site map only if it
+        // already exists.
+        reg.arm(FailSpec {
+            site: sites::WAL_APPEND.to_string(),
+            probability: 0.0,
+            seed: 7,
+        });
+        let mut d = DurableCatalog::open(
+            store.clone(),
+            DurableOptions {
+                group_commit: 1,
+                snapshot_every: 0,
+            },
+            reg.clone(),
+        )
+        .unwrap()
+        .0;
+        d.apply(&reg_table("t1", &[1])).unwrap();
+        reg.rearm(FailSpec {
+            site: sites::WAL_APPEND.to_string(),
+            probability: 1.0,
+            seed: 7,
+        });
+        let err = d.apply(&reg_table("t2", &[2])).unwrap_err();
+        assert_eq!(err.code(), "WAL_APPEND_FAULT");
+        drop(d);
+        store.crash(7);
+        reg.disarm(sites::WAL_APPEND);
+        let (d2, info) =
+            DurableCatalog::open(store.clone(), DurableOptions::default(), reg.clone()).unwrap();
+        // t2 was never acknowledged; the durable prefix holds exactly t1.
+        assert!(d2.catalog().contains("t1"));
+        assert!(!d2.catalog().contains("t2"));
+        assert_eq!(info.tail, TailStatus::Clean);
+    }
+}

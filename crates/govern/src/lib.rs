@@ -54,6 +54,19 @@ pub mod sites {
     /// appear exhausted, exercising the reservation-fault recovery path
     /// without needing a real budget squeeze.
     pub const MEM_RESERVE: &str = "mem.reserve";
+    /// Appending a record to the durability write-ahead log
+    /// (`cse-durable`); a trip crashes the simulated device before the
+    /// frame is staged, possibly leaving a torn tail.
+    pub const WAL_APPEND: &str = "wal.append";
+    /// The fsync that makes staged WAL frames durable; a trip loses the
+    /// unsynced suffix (fsync-loss fault).
+    pub const WAL_FSYNC: &str = "wal.fsync";
+    /// Writing a catalog snapshot; a trip crashes mid-snapshot, which must
+    /// leave the previous snapshot + log intact (write-ahead invariant).
+    pub const SNAPSHOT_WRITE: &str = "snapshot.write";
+    /// Replaying one WAL record during recovery; a trip simulates a crash
+    /// *during* recovery, which must itself be recoverable.
+    pub const RECOVER_REPLAY: &str = "recover.replay";
 
     /// Every site with an injection hook in the codebase. The drift test in
     /// `tests/failpoint_drift.rs` arms each one and asserts it actually
@@ -65,6 +78,10 @@ pub mod sites {
         OPT_CSE_PHASE,
         SERVE_WORKER,
         MEM_RESERVE,
+        WAL_APPEND,
+        WAL_FSYNC,
+        SNAPSHOT_WRITE,
+        RECOVER_REPLAY,
     ];
 
     /// Is `name` a known site?

@@ -346,6 +346,10 @@ pub struct Server {
     workers: Vec<JoinHandle<()>>,
     watchdog: Option<JoinHandle<()>>,
     next_id: AtomicU64,
+    /// Runs exactly once inside [`Server::drain`], after the workers have
+    /// quiesced. The embedder (qserve) uses it to flush durable state —
+    /// the server itself stays ignorant of the durability layer.
+    drain_hook: Option<Box<dyn FnMut() + Send>>,
 }
 
 impl Server {
@@ -388,7 +392,14 @@ impl Server {
             workers,
             watchdog,
             next_id: AtomicU64::new(1),
+            drain_hook: None,
         }
+    }
+
+    /// Register a callback to run once during [`Server::drain`], after
+    /// the workers have quiesced (e.g. flush a write-ahead log).
+    pub fn set_drain_hook(&mut self, hook: Box<dyn FnMut() + Send>) {
+        self.drain_hook = Some(hook);
     }
 
     /// Submit a SQL batch under the configured default deadline.
@@ -533,6 +544,9 @@ impl Server {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(w) = self.watchdog.take() {
             let _ = w.join();
+        }
+        if let Some(mut hook) = self.drain_hook.take() {
+            hook();
         }
         self.stats()
     }

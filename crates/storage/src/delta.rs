@@ -7,6 +7,7 @@
 //! [`Table`] named `Δtable` plus the action column, and the catalog knows
 //! which base table it shadows.
 
+use crate::error::StorageError;
 use crate::schema::Schema;
 use crate::table::{Row, Table};
 use std::sync::Arc;
@@ -44,11 +45,40 @@ impl DeltaTable {
         }
     }
 
-    pub fn record(&mut self, action: DeltaAction, row: Row) {
-        match action {
-            DeltaAction::Insert => self.inserts.extend([row]),
-            DeltaAction::Delete => self.deletes.extend([row]),
+    /// Capture one changed row, validating it against the delta's schema.
+    ///
+    /// Arity and per-column type errors are reported here, at capture time,
+    /// rather than deferred to view maintenance where the offending row is
+    /// no longer identifiable. NULLs are admitted only in nullable columns.
+    pub fn record(&mut self, action: DeltaAction, row: Row) -> Result<(), StorageError> {
+        let target = match action {
+            DeltaAction::Insert => &mut self.inserts,
+            DeltaAction::Delete => &mut self.deletes,
+        };
+        let schema = target.schema().clone();
+        if row.len() != schema.len() {
+            return Err(StorageError::ArityMismatch {
+                table: target.name().to_string(),
+                expected: schema.len(),
+                got: row.len(),
+            });
         }
+        for (v, col) in row.iter().zip(schema.columns()) {
+            let ok = match v.data_type() {
+                None => col.nullable,
+                Some(t) => t == col.data_type,
+            };
+            if !ok {
+                return Err(StorageError::TypeMismatch {
+                    table: target.name().to_string(),
+                    column: col.name.clone(),
+                    expected: col.data_type,
+                    got: v.data_type(),
+                });
+            }
+        }
+        target.extend([row]);
+        Ok(())
     }
 
     pub fn insert_count(&self) -> usize {
@@ -81,12 +111,74 @@ mod tests {
         let schema = Schema::from_pairs(&[("a", DataType::Int)]);
         let mut d = DeltaTable::new("customer", &schema);
         assert!(d.is_empty());
-        d.record(DeltaAction::Insert, row(vec![Value::Int(1)]));
-        d.record(DeltaAction::Insert, row(vec![Value::Int(2)]));
-        d.record(DeltaAction::Delete, row(vec![Value::Int(9)]));
+        d.record(DeltaAction::Insert, row(vec![Value::Int(1)]))
+            .unwrap();
+        d.record(DeltaAction::Insert, row(vec![Value::Int(2)]))
+            .unwrap();
+        d.record(DeltaAction::Delete, row(vec![Value::Int(9)]))
+            .unwrap();
         assert_eq!(d.insert_count(), 2);
         assert_eq!(d.delete_count(), 1);
         assert!(!d.is_empty());
         assert_eq!(d.insert_table().name(), "Δcustomer+");
+    }
+
+    #[test]
+    fn record_rejects_arity_mismatch() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]);
+        let mut d = DeltaTable::new("customer", &schema);
+        let err = d
+            .record(DeltaAction::Insert, row(vec![Value::Int(1)]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::StorageError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn record_rejects_type_mismatch() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let mut d = DeltaTable::new("customer", &schema);
+        let err = d
+            .record(DeltaAction::Delete, row(vec![Value::str("oops")]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::StorageError::TypeMismatch {
+                expected: DataType::Int,
+                got: Some(DataType::Str),
+                ..
+            }
+        ));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn record_rejects_null_in_not_null_column() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let mut d = DeltaTable::new("customer", &schema);
+        let err = d
+            .record(DeltaAction::Insert, row(vec![Value::Null]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::StorageError::TypeMismatch { got: None, .. }
+        ));
+    }
+
+    #[test]
+    fn record_accepts_null_in_nullable_column() {
+        use crate::schema::ColumnDef;
+        let schema = Schema::new(vec![ColumnDef::new("a", DataType::Int).nullable()]);
+        let mut d = DeltaTable::new("customer", &schema);
+        d.record(DeltaAction::Insert, row(vec![Value::Null]))
+            .unwrap();
+        assert_eq!(d.insert_count(), 1);
     }
 }

@@ -1,5 +1,6 @@
 //! Storage-layer error type.
 
+use crate::value::DataType;
 use std::fmt;
 
 /// Errors produced by the storage layer.
@@ -10,6 +11,14 @@ pub enum StorageError {
         table: String,
         expected: usize,
         got: usize,
+    },
+    /// A row value's type did not match the column's declared type
+    /// (`got: None` means a NULL arrived in a NOT NULL column).
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: DataType,
+        got: Option<DataType>,
     },
     /// Lookup of an unknown table.
     UnknownTable(String),
@@ -30,6 +39,18 @@ impl fmt::Display for StorageError {
                 f,
                 "row arity mismatch for table '{table}': expected {expected} values, got {got}"
             ),
+            StorageError::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => {
+                let got = got.map(|t| t.to_string()).unwrap_or_else(|| "NULL".into());
+                write!(
+                    f,
+                    "type mismatch for column '{column}' of table '{table}': expected {expected}, got {got}"
+                )
+            }
             StorageError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
             StorageError::UnknownColumn { table, column } => {
                 write!(f, "unknown column '{column}' in table '{table}'")

@@ -53,6 +53,15 @@ pub mod rules {
     /// A plan produced under a tripped budget retains spool definitions
     /// (or a redundant baseline copy) it can never use.
     pub const DOWNGRADE_SPOOL_RETAINED: &str = "downgrade/spool-retained";
+    /// A materialized view is registered with no backing table in the
+    /// catalog (e.g. left behind by a partial mutation sequence).
+    pub const CATALOG_VIEW_MISSING_TABLE: &str = "catalog/view-missing-table";
+    /// Table statistics disagree with the table they describe (row count
+    /// or column coverage), so the cost model would reason from fiction.
+    pub const CATALOG_STATS_DRIFT: &str = "catalog/stats-drift";
+    /// An index references columns outside the schema or fails to cover a
+    /// row of its table — reads through it would silently miss data.
+    pub const CATALOG_INDEX_STALE: &str = "catalog/index-stale";
 
     /// Every rule the verifier can emit, for documentation and tooling.
     pub const ALL: &[&str] = &[
@@ -72,6 +81,9 @@ pub mod rules {
         COSTING_BOUND_EXCEEDS_WINNER,
         DOWNGRADE_COVERING_OP_IN_BASELINE,
         DOWNGRADE_SPOOL_RETAINED,
+        CATALOG_VIEW_MISSING_TABLE,
+        CATALOG_STATS_DRIFT,
+        CATALOG_INDEX_STALE,
     ];
 }
 

@@ -37,6 +37,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod candidate;
+pub mod catalog;
 pub mod costing;
 pub mod diag;
 pub mod downgrade;
@@ -44,6 +45,7 @@ pub mod provenance;
 pub mod sigcheck;
 
 pub use candidate::{verify_candidates, CandidateAudit, MemberAudit};
+pub use catalog::verify_catalog;
 pub use costing::{verify_costs, CostAudit};
 pub use diag::{rules, Diagnostic, Report, Severity};
 pub use downgrade::verify_downgrade;

@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release --bin qserve -- [--sf 0.01] [--workers N] [--queue N]
 //!     [--block] [--deadline-ms N] [--retries N] [--lenient]
-//!     [--mem-budget BYTES[k|m|g]] [--arrival-rps N]
+//!     [--mem-budget BYTES[k|m|g]] [--arrival-rps N] [--data-dir DIR]
 //!     [--fail <site>:<prob>[:<seed>]] [file.sql ...]
 //! ```
 //!
@@ -23,11 +23,59 @@
 //!
 //! The final server counters (completed/shed/retries/breaker) go to
 //! stderr, keeping stdout machine-consumable.
+//!
+//! With `--data-dir DIR` the catalog is durable: mutations are journaled
+//! to a checksummed WAL under DIR (group commit), snapshots bound replay,
+//! and a restart recovers the catalog from disk — refusing to serve if
+//! the recovered state fails verification. SIGINT triggers a clean drain
+//! (in-flight requests finish, the WAL is flushed) before the final
+//! stats are printed.
 
+use similar_subexpr::durable::snapshot::catalog_as_mutations;
 use similar_subexpr::prelude::*;
+use similar_subexpr::storage::CatalogMutation;
 use std::io::Read as _;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Set by the SIGINT handler; the submit loop polls it and falls through
+/// to the drain path, so ^C produces a flushed WAL and final stats
+/// instead of a mid-write kill.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_sig: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+fn install_sigint_handler() {
+    // Minimal libc-free signal(2) binding; SIGINT is 2 on every platform
+    // this builds on. The handler only flips an atomic flag, which is
+    // async-signal-safe.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+/// Which table (lower-cased) a mutation creates or depends on, for
+/// idempotent seeding: a mutation targeting a table that already survived
+/// recovery must not be re-applied.
+fn mutation_target(m: &CatalogMutation) -> Option<String> {
+    match m {
+        CatalogMutation::RegisterTable { table } | CatalogMutation::ReplaceTable { table } => {
+            Some(table.name().to_ascii_lowercase())
+        }
+        CatalogMutation::DropTable { name }
+        | CatalogMutation::CreateBtreeIndex { table: name, .. }
+        | CatalogMutation::CreateHashIndex { table: name, .. }
+        | CatalogMutation::RegisterView { name, .. } => Some(name.to_ascii_lowercase()),
+        CatalogMutation::ApplyDelta { .. } => None,
+    }
+}
 
 fn main() {
     let mut sf = 0.01f64;
@@ -39,6 +87,7 @@ fn main() {
     let mut strict = true;
     let mut mem_budget: Option<usize> = None;
     let mut arrival_rps: Option<f64> = None;
+    let mut data_dir: Option<String> = None;
     let mut fail_specs: Vec<FailSpec> = Vec::new();
     let mut files: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -100,6 +149,11 @@ fn main() {
                         .expect("--arrival-rps expects a positive number"),
                 );
             }
+            // Durable catalog rooted at this directory: WAL + snapshots,
+            // recovered (and verified) on startup.
+            "--data-dir" => {
+                data_dir = Some(args.next().expect("--data-dir expects a directory"));
+            }
             // Full CSE_FAIL grammar: comma-separated site:prob[:seed]
             // specs, unknown sites rejected unless `allow-unknown` leads.
             "--fail" => {
@@ -116,7 +170,7 @@ fn main() {
                 eprintln!(
                     "unknown flag {other}; usage: qserve [--sf N] [--workers N] [--queue N] \
                      [--block] [--deadline-ms N] [--retries N] [--lenient] \
-                     [--mem-budget BYTES[k|m|g]] [--arrival-rps N] \
+                     [--mem-budget BYTES[k|m|g]] [--arrival-rps N] [--data-dir DIR] \
                      [--fail site:prob[:seed]] [file.sql ...]"
                 );
                 std::process::exit(2);
@@ -131,12 +185,84 @@ fn main() {
         return;
     }
 
+    install_sigint_handler();
+
     eprintln!("loading TPC-H at SF={sf} ...");
-    let catalog = Arc::new(generate_catalog(&TpchConfig::new(sf)));
+    let generated = generate_catalog(&TpchConfig::new(sf));
     let mut cse = CseConfig::default();
     for s in fail_specs {
         cse.failpoints.arm(s);
     }
+
+    // With --data-dir, recover the durable catalog from disk and seed any
+    // TPC-H tables it does not hold yet through the journal; without it,
+    // the generated catalog is served from memory as before.
+    let mut durable: Option<Arc<Mutex<DurableCatalog<FileStore>>>> = None;
+    let catalog: Arc<Catalog> = match &data_dir {
+        None => Arc::new(generated),
+        Some(dir) => {
+            let store = match FileStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("--data-dir {dir}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let had_state = store.has_state();
+            let opened =
+                DurableCatalog::open(store, DurableOptions::default(), cse.failpoints.clone());
+            let (mut dc, info) = match opened {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("recovery of {dir} failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if had_state {
+                eprintln!(
+                    "-- recovered {dir}: snapshot lsn {}, replayed {}, skipped {}, tail {}, \
+                     verify {}",
+                    info.snapshot_lsn,
+                    info.replayed,
+                    info.skipped,
+                    info.tail.code(),
+                    if info.verify.is_clean() {
+                        "clean".to_string()
+                    } else {
+                        info.verify.render()
+                    }
+                );
+            }
+            let existing: Vec<String> = dc
+                .catalog()
+                .table_names()
+                .map(|n| n.to_ascii_lowercase())
+                .collect();
+            let mut seeded = 0usize;
+            for m in catalog_as_mutations(&generated) {
+                if mutation_target(&m).is_some_and(|t| existing.contains(&t)) {
+                    continue;
+                }
+                if let Err(e) = dc.apply(&m) {
+                    eprintln!("seeding {dir} failed: {e}");
+                    std::process::exit(1);
+                }
+                seeded += 1;
+            }
+            // Group commit batches the fsyncs during seeding; one final
+            // barrier makes the whole seed durable.
+            if let Err(e) = dc.flush() {
+                eprintln!("seeding {dir} failed: {e}");
+                std::process::exit(1);
+            }
+            if seeded > 0 {
+                eprintln!("-- seeded {seeded} catalog mutation(s) into {dir}");
+            }
+            let served = Arc::new(dc.catalog().clone());
+            durable = Some(Arc::new(Mutex::new(dc)));
+            served
+        }
+    };
     let config = ServerConfig {
         workers,
         queue_capacity: queue,
@@ -149,6 +275,16 @@ fn main() {
         ..ServerConfig::default()
     };
     let mut server = Server::new(catalog, config);
+    if let Some(dc) = durable.clone() {
+        // Flush the journal once the workers have quiesced: everything
+        // the server acknowledged is on disk before the process exits.
+        server.set_drain_hook(Box::new(move || {
+            let mut guard = dc.lock().unwrap_or_else(|p| p.into_inner());
+            if let Err(e) = guard.flush() {
+                eprintln!("-- drain: WAL flush failed: {e}");
+            }
+        }));
+    }
     eprintln!(
         "serving {} request(s) on {workers} worker(s), queue={queue}{}{} ...",
         requests.len(),
@@ -169,6 +305,10 @@ fn main() {
     let mut next_at = Duration::ZERO;
     let mut tickets = Vec::new();
     for sql in &requests {
+        if INTERRUPTED.load(Ordering::SeqCst) {
+            eprintln!("-- interrupted: stopping submissions, draining ...");
+            break;
+        }
         if let Some(rate) = arrival_rps {
             let u = rng.range_f64(0.0, 1.0).min(0.999_999);
             next_at += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
@@ -218,6 +358,15 @@ fn main() {
     }
     let governor = server.memory_governor().cloned();
     let stats = server.drain();
+    if let Some(dc) = &durable {
+        let guard = dc.lock().unwrap_or_else(|p| p.into_inner());
+        eprintln!(
+            "-- durable: last lsn {}, snapshot lsn {}, unsynced {}",
+            guard.last_lsn(),
+            guard.snapshot_lsn(),
+            guard.unsynced()
+        );
+    }
     // Report the pool after drain, once every worker has released its
     // grants — a nonzero figure here is a leak, not an in-flight request.
     if let Some(gov) = governor {

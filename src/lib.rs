@@ -42,6 +42,7 @@ pub use cse_conc as conc;
 pub use cse_core as core;
 pub use cse_cost as cost;
 pub use cse_diag as diag;
+pub use cse_durable as durable;
 pub use cse_exec as exec;
 pub use cse_govern as govern;
 pub use cse_lint as lint;
@@ -62,6 +63,7 @@ pub mod prelude {
         create_materialized_view, maintain_insert, optimize_sql, CseConfig, CseReport, GenConfig,
         Optimized,
     };
+    pub use cse_durable::{DurableCatalog, DurableOptions, FileStore, SimStore};
     pub use cse_exec::{Engine, ExecOutput, ResultSet};
     pub use cse_govern::{
         Budget, CancelToken, DegradationEvent, ExecLimits, FailSpec, FailpointRegistry,

@@ -129,6 +129,52 @@ fn exercise(site: &str) -> FailpointRegistry {
             }
             assert_eq!(gov.reserved(), 0, "refused grant must not leak bytes");
         }
+        // Durability sites: drive the WAL/snapshot/recovery paths on an
+        // in-memory simulated store. Each certain fault must surface as
+        // the matching WAL_* reason code, never as completion.
+        sites::WAL_APPEND | sites::WAL_FSYNC | sites::SNAPSHOT_WRITE | sites::RECOVER_REPLAY => {
+            use similar_subexpr::storage::CatalogMutation;
+            let mutation = || {
+                let mut t = similar_subexpr::storage::Table::new(
+                    "drift_t",
+                    similar_subexpr::storage::schema::Schema::from_pairs(&[(
+                        "a",
+                        similar_subexpr::storage::value::DataType::Int,
+                    )]),
+                );
+                t.push(similar_subexpr::storage::table::row(vec![Value::Int(1)]))
+                    .expect("row");
+                CatalogMutation::RegisterTable { table: t }
+            };
+            let opts = DurableOptions {
+                group_commit: 1,
+                snapshot_every: 0,
+            };
+            if site == sites::RECOVER_REPLAY {
+                // Recovery needs a record to replay; journal one without
+                // faults, then recover under the armed registry.
+                let store = SimStore::new();
+                let (mut dc, _) =
+                    DurableCatalog::open(store.clone(), opts, FailpointRegistry::disabled())
+                        .expect("open");
+                dc.apply(&mutation()).expect("journal");
+                drop(dc);
+                let err = similar_subexpr::durable::recover(&store, &registry)
+                    .expect_err("certain recover.replay fault must inject");
+                assert_eq!(err.code(), "WAL_REPLAY_FAULT");
+            } else {
+                let (mut dc, _) =
+                    DurableCatalog::open(SimStore::new(), opts, registry.clone()).expect("open");
+                let err = match site {
+                    sites::SNAPSHOT_WRITE => {
+                        dc.apply(&mutation()).expect("journal");
+                        dc.snapshot().expect_err("certain snapshot fault")
+                    }
+                    _ => dc.apply(&mutation()).expect_err("certain wal fault"),
+                };
+                assert!(err.code().starts_with("WAL_"), "unexpected code: {err}");
+            }
+        }
         other => panic!(
             "site {other} is listed in sites::ALL but has no exercise in \
              this drift test — add a workload that reaches its hook"
